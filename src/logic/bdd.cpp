@@ -1,0 +1,157 @@
+#include "logic/bdd.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lis::logic {
+
+namespace {
+constexpr std::uint8_t kOpAnd = 0;
+constexpr std::uint8_t kOpOr = 1;
+constexpr std::uint8_t kOpXor = 2;
+} // namespace
+
+BddManager::BddManager(unsigned numVars) : numVars_(numVars) {
+  // Terminals occupy slots 0 and 1; their var index is a sentinel beyond
+  // every real variable so ordering logic treats them as deepest.
+  nodes_.push_back({numVars_, kFalse, kFalse});
+  nodes_.push_back({numVars_, kTrue, kTrue});
+}
+
+unsigned BddManager::varOf(BddRef f) const { return nodes_[f].var; }
+
+BddRef BddManager::mkNode(unsigned var, BddRef lo, BddRef hi) {
+  if (lo == hi) return lo;
+  const NodeKey key{var, lo, hi};
+  auto it = unique_.find(key);
+  if (it != unique_.end()) return it->second;
+  nodes_.push_back({var, lo, hi});
+  const BddRef ref = static_cast<BddRef>(nodes_.size() - 1);
+  unique_.emplace(key, ref);
+  return ref;
+}
+
+BddRef BddManager::var(unsigned v) {
+  if (v >= numVars_) throw std::out_of_range("BddManager::var");
+  return mkNode(v, kFalse, kTrue);
+}
+
+BddRef BddManager::nvar(unsigned v) {
+  if (v >= numVars_) throw std::out_of_range("BddManager::nvar");
+  return mkNode(v, kTrue, kFalse);
+}
+
+bool BddManager::terminalOp(std::uint8_t op, BddRef a, BddRef b, BddRef& out) {
+  switch (op) {
+    case kOpAnd:
+      if (a == kFalse || b == kFalse) { out = kFalse; return true; }
+      if (a == kTrue) { out = b; return true; }
+      if (b == kTrue) { out = a; return true; }
+      if (a == b) { out = a; return true; }
+      return false;
+    case kOpOr:
+      if (a == kTrue || b == kTrue) { out = kTrue; return true; }
+      if (a == kFalse) { out = b; return true; }
+      if (b == kFalse) { out = a; return true; }
+      if (a == b) { out = a; return true; }
+      return false;
+    case kOpXor:
+      if (a == b) { out = kFalse; return true; }
+      if (a == kFalse) { out = b; return true; }
+      if (b == kFalse) { out = a; return true; }
+      return false;
+    default:
+      return false;
+  }
+}
+
+BddRef BddManager::apply(std::uint8_t op, BddRef a, BddRef b) {
+  BddRef shortcut;
+  if (terminalOp(op, a, b, shortcut)) return shortcut;
+
+  // Commutative ops: canonicalize operand order for the computed table.
+  OpKey key{op, a < b ? a : b, a < b ? b : a};
+  auto it = computed_.find(key);
+  if (it != computed_.end()) return it->second;
+
+  const unsigned va = varOf(a);
+  const unsigned vb = varOf(b);
+  const unsigned top = va < vb ? va : vb;
+
+  const BddRef aLo = va == top ? nodes_[a].lo : a;
+  const BddRef aHi = va == top ? nodes_[a].hi : a;
+  const BddRef bLo = vb == top ? nodes_[b].lo : b;
+  const BddRef bHi = vb == top ? nodes_[b].hi : b;
+
+  const BddRef lo = apply(op, aLo, bLo);
+  const BddRef hi = apply(op, aHi, bHi);
+  const BddRef result = mkNode(top, lo, hi);
+  computed_.emplace(key, result);
+  return result;
+}
+
+BddRef BddManager::bddAnd(BddRef a, BddRef b) { return apply(kOpAnd, a, b); }
+BddRef BddManager::bddOr(BddRef a, BddRef b) { return apply(kOpOr, a, b); }
+BddRef BddManager::bddXor(BddRef a, BddRef b) { return apply(kOpXor, a, b); }
+
+BddRef BddManager::bddNot(BddRef a) { return bddXor(a, kTrue); }
+
+BddRef BddManager::ite(BddRef f, BddRef g, BddRef h) {
+  // ite(f,g,h) = (f AND g) OR (NOT f AND h)
+  return bddOr(bddAnd(f, g), bddAnd(bddNot(f), h));
+}
+
+BddRef BddManager::restrict(BddRef f, unsigned v, bool value) {
+  if (f <= kTrue) return f;
+  const Node n = nodes_[f];
+  if (n.var > v) return f;
+  if (n.var == v) return value ? n.hi : n.lo;
+  const BddRef lo = restrict(n.lo, v, value);
+  const BddRef hi = restrict(n.hi, v, value);
+  return mkNode(n.var, lo, hi);
+}
+
+bool BddManager::evaluate(BddRef f, std::uint64_t assignment) const {
+  while (f > kTrue) {
+    const Node& n = nodes_[f];
+    f = ((assignment >> n.var) & 1u) != 0 ? n.hi : n.lo;
+  }
+  return f == kTrue;
+}
+
+double BddManager::satCountRec(BddRef f, std::vector<double>& memo) const {
+  if (f == kFalse) return 0.0;
+  if (f == kTrue) return 1.0;
+  if (memo[f] >= 0.0) return memo[f];
+  const Node& n = nodes_[f];
+  const unsigned varLo = varOf(n.lo);
+  const unsigned varHi = varOf(n.hi);
+  const double lo =
+      satCountRec(n.lo, memo) * std::exp2(double(varLo) - n.var - 1);
+  const double hi =
+      satCountRec(n.hi, memo) * std::exp2(double(varHi) - n.var - 1);
+  memo[f] = lo + hi;
+  return memo[f];
+}
+
+double BddManager::satCount(BddRef f) const {
+  std::vector<double> memo(nodes_.size(), -1.0);
+  return satCountRec(f, memo) * std::exp2(double(varOf(f)));
+}
+
+bool BddManager::anySat(BddRef f, std::uint64_t& assignment) const {
+  if (f == kFalse) return false;
+  assignment = 0;
+  while (f > kTrue) {
+    const Node& n = nodes_[f];
+    if (n.lo != kFalse) {
+      f = n.lo;
+    } else {
+      assignment |= std::uint64_t{1} << n.var;
+      f = n.hi;
+    }
+  }
+  return true;
+}
+
+} // namespace lis::logic

@@ -1,0 +1,95 @@
+#pragma once
+// BddManager: a small reduced ordered BDD package (unique table + computed
+// table, no complement edges). Used for combinational equivalence checking
+// of synthesized control logic against its specification.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace lis::logic {
+
+/// Handle into the manager's node array. 0 and 1 are the terminal nodes.
+using BddRef = std::uint32_t;
+
+class BddManager {
+public:
+  static constexpr BddRef kFalse = 0;
+  static constexpr BddRef kTrue = 1;
+
+  explicit BddManager(unsigned numVars);
+
+  unsigned numVars() const { return numVars_; }
+  std::size_t nodeCount() const { return nodes_.size(); }
+
+  BddRef var(unsigned v);
+  BddRef nvar(unsigned v);
+
+  BddRef bddAnd(BddRef a, BddRef b);
+  BddRef bddOr(BddRef a, BddRef b);
+  BddRef bddXor(BddRef a, BddRef b);
+  BddRef bddNot(BddRef a);
+  BddRef ite(BddRef f, BddRef g, BddRef h);
+
+  /// Restrict variable v to a constant value.
+  BddRef restrict(BddRef f, unsigned v, bool value);
+
+  bool evaluate(BddRef f, std::uint64_t assignment) const;
+
+  /// Number of satisfying assignments over all numVars variables.
+  double satCount(BddRef f) const;
+
+  /// One satisfying assignment (lexicographically smallest), or false if
+  /// unsatisfiable.
+  bool anySat(BddRef f, std::uint64_t& assignment) const;
+
+private:
+  struct Node {
+    unsigned var;
+    BddRef lo;
+    BddRef hi;
+  };
+
+  struct NodeKey {
+    unsigned var;
+    BddRef lo;
+    BddRef hi;
+    bool operator==(const NodeKey&) const = default;
+  };
+  struct NodeKeyHash {
+    std::size_t operator()(const NodeKey& k) const {
+      std::size_t h = k.var;
+      h = h * 1000003u + k.lo;
+      h = h * 1000003u + k.hi;
+      return h;
+    }
+  };
+
+  struct OpKey {
+    std::uint8_t op;
+    BddRef a;
+    BddRef b;
+    bool operator==(const OpKey&) const = default;
+  };
+  struct OpKeyHash {
+    std::size_t operator()(const OpKey& k) const {
+      std::size_t h = k.op;
+      h = h * 1000003u + k.a;
+      h = h * 1000003u + k.b;
+      return h;
+    }
+  };
+
+  BddRef mkNode(unsigned var, BddRef lo, BddRef hi);
+  BddRef apply(std::uint8_t op, BddRef a, BddRef b);
+  static bool terminalOp(std::uint8_t op, BddRef a, BddRef b, BddRef& out);
+  unsigned varOf(BddRef f) const;
+  double satCountRec(BddRef f, std::vector<double>& memo) const;
+
+  unsigned numVars_;
+  std::vector<Node> nodes_;
+  std::unordered_map<NodeKey, BddRef, NodeKeyHash> unique_;
+  std::unordered_map<OpKey, BddRef, OpKeyHash> computed_;
+};
+
+} // namespace lis::logic

@@ -1,0 +1,139 @@
+#include "logic/cover.hpp"
+
+#include <algorithm>
+
+namespace lis::logic {
+
+Cover Cover::fromStrings(unsigned numVars,
+                         const std::vector<std::string>& cubes) {
+  Cover cover(numVars);
+  for (const std::string& s : cubes) cover.add(Cube::fromString(s));
+  return cover;
+}
+
+void Cover::add(Cube c) {
+  if (!c.isEmpty()) cubes_.push_back(std::move(c));
+}
+
+unsigned Cover::literalCount() const {
+  unsigned total = 0;
+  for (const Cube& c : cubes_) total += c.literalCount();
+  return total;
+}
+
+Cover Cover::cofactor(unsigned var, bool value) const {
+  const Cube::Literal conflicting =
+      value ? Cube::Literal::Neg : Cube::Literal::Pos;
+  Cover out(numVars_);
+  for (const Cube& c : cubes_) {
+    const Cube::Literal lit = c.literal(var);
+    if (lit == conflicting) continue;
+    out.cubes_.push_back(c.cofactor(var, value));
+  }
+  return out;
+}
+
+Cover Cover::cofactorCube(const Cube& c) const {
+  Cover out(numVars_);
+  for (const Cube& cube : cubes_) {
+    if (cube.distance(c) != 0) continue; // disjoint from c
+    Cube co = cube;
+    for (unsigned v = 0; v < numVars_; ++v) {
+      if (c.literal(v) != Cube::Literal::DontCare) {
+        co.setLiteral(v, Cube::Literal::DontCare);
+      }
+    }
+    out.cubes_.push_back(std::move(co));
+  }
+  return out;
+}
+
+namespace {
+
+/// Pick the most binate variable (appears in both polarities most often);
+/// returns numVars if the cover is unate in every variable.
+unsigned mostBinateVariable(const Cover& cover) {
+  const unsigned n = cover.numVars();
+  std::vector<unsigned> pos(n, 0), neg(n, 0);
+  for (const Cube& c : cover.cubes()) {
+    for (unsigned v = 0; v < n; ++v) {
+      switch (c.literal(v)) {
+        case Cube::Literal::Pos: ++pos[v]; break;
+        case Cube::Literal::Neg: ++neg[v]; break;
+        default: break;
+      }
+    }
+  }
+  unsigned best = n;
+  unsigned bestScore = 0;
+  for (unsigned v = 0; v < n; ++v) {
+    if (pos[v] == 0 || neg[v] == 0) continue;
+    const unsigned score = pos[v] + neg[v];
+    if (score > bestScore) {
+      bestScore = score;
+      best = v;
+    }
+  }
+  return best;
+}
+
+} // namespace
+
+bool Cover::isTautology() const {
+  // Fast exits.
+  for (const Cube& c : cubes_) {
+    if (c.isTautology()) return true;
+  }
+  if (cubes_.empty()) return numVars_ == 0 ? false : false;
+
+  const unsigned split = mostBinateVariable(*this);
+  if (split == numVars_) {
+    // Unate cover: tautology iff it contains the tautology cube (already
+    // checked above) — unate covers are tautologies only via a full cube.
+    return false;
+  }
+  return cofactor(split, false).isTautology() &&
+         cofactor(split, true).isTautology();
+}
+
+bool Cover::containsCube(const Cube& c) const {
+  if (c.isEmpty()) return true;
+  Cover co = cofactorCube(c);
+  if (co.cubes_.empty()) return false;
+  // The cofactored cover must be a tautology over the free variables of c.
+  return co.isTautology();
+}
+
+bool Cover::evaluate(std::uint64_t assignment) const {
+  return std::any_of(cubes_.begin(), cubes_.end(), [&](const Cube& c) {
+    return c.evaluate(assignment);
+  });
+}
+
+void Cover::removeAbsorbed() {
+  std::vector<Cube> kept;
+  kept.reserve(cubes_.size());
+  for (std::size_t i = 0; i < cubes_.size(); ++i) {
+    bool absorbed = false;
+    for (std::size_t j = 0; j < cubes_.size() && !absorbed; ++j) {
+      if (i == j) continue;
+      if (cubes_[j].contains(cubes_[i])) {
+        // Break ties (equal cubes) by index so exactly one survives.
+        absorbed = !cubes_[i].contains(cubes_[j]) || j < i;
+      }
+    }
+    if (!absorbed) kept.push_back(cubes_[i]);
+  }
+  cubes_ = std::move(kept);
+}
+
+std::string Cover::toString() const {
+  std::string s;
+  for (const Cube& c : cubes_) {
+    s += c.toString();
+    s.push_back('\n');
+  }
+  return s;
+}
+
+} // namespace lis::logic

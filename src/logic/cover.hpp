@@ -1,0 +1,61 @@
+#pragma once
+// Cover: a sum of products (set of cubes) over a fixed variable count,
+// with the classic recursive-cofactor operations two-level minimization
+// needs: tautology checking and cube containment.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "logic/cube.hpp"
+
+namespace lis::logic {
+
+class Cover {
+public:
+  explicit Cover(unsigned numVars) : numVars_(numVars) {}
+
+  /// Build from '01-' strings, one cube per string.
+  static Cover fromStrings(unsigned numVars,
+                           const std::vector<std::string>& cubes);
+
+  unsigned numVars() const { return numVars_; }
+  const std::vector<Cube>& cubes() const { return cubes_; }
+  bool empty() const { return cubes_.empty(); }
+  std::size_t size() const { return cubes_.size(); }
+
+  /// Add a cube; silently drops empty cubes.
+  void add(Cube c);
+
+  /// Total literal count (a standard two-level cost metric).
+  unsigned literalCount() const;
+
+  /// Shannon cofactor of the whole cover with respect to var=value:
+  /// keep cubes compatible with the assignment, raise the variable.
+  Cover cofactor(unsigned var, bool value) const;
+
+  /// True if the cover is the tautology (covers all minterms). Recursive
+  /// unate-reduction + splitting, as in espresso.
+  bool isTautology() const;
+
+  /// True if cube c is contained in this cover (cover covers every minterm
+  /// of c). Implemented as tautology of the cofactor against c.
+  bool containsCube(const Cube& c) const;
+
+  /// Evaluate under a complete assignment.
+  bool evaluate(std::uint64_t assignment) const;
+
+  /// Remove cubes single-cube-contained in another cube of the cover.
+  void removeAbsorbed();
+
+  std::string toString() const;
+
+private:
+  /// Cofactor against an arbitrary cube (used by containsCube).
+  Cover cofactorCube(const Cube& c) const;
+
+  unsigned numVars_;
+  std::vector<Cube> cubes_;
+};
+
+} // namespace lis::logic

@@ -1,0 +1,148 @@
+#include "logic/cube.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace lis::logic {
+
+namespace {
+constexpr std::uint64_t kAllDontCare = ~std::uint64_t{0};
+} // namespace
+
+Cube::Cube(unsigned numVars) : numVars_(numVars) {
+  const unsigned words = (numVars + kVarsPerWord - 1) / kVarsPerWord;
+  words_.assign(words == 0 ? 1 : words, kAllDontCare);
+  // Mask off bits beyond numVars so comparisons and popcounts are exact.
+  const unsigned tail = numVars % kVarsPerWord;
+  if (tail != 0) {
+    words_.back() = (std::uint64_t{1} << (tail * 2)) - 1;
+  }
+  if (numVars == 0) words_.back() = 0;
+}
+
+Cube Cube::fromString(const std::string& s) {
+  Cube c(static_cast<unsigned>(s.size()));
+  for (unsigned i = 0; i < s.size(); ++i) {
+    switch (s[i]) {
+      case '0': c.setLiteral(i, Literal::Neg); break;
+      case '1': c.setLiteral(i, Literal::Pos); break;
+      case '-': c.setLiteral(i, Literal::DontCare); break;
+      default:
+        throw std::invalid_argument("Cube::fromString: bad character in \"" +
+                                    s + "\"");
+    }
+  }
+  return c;
+}
+
+Cube::Literal Cube::literal(unsigned var) const {
+  return static_cast<Literal>((words_[wordOf(var)] >> shiftOf(var)) & 3u);
+}
+
+void Cube::setLiteral(unsigned var, Literal lit) {
+  std::uint64_t& w = words_[wordOf(var)];
+  w &= ~(std::uint64_t{3} << shiftOf(var));
+  w |= static_cast<std::uint64_t>(lit) << shiftOf(var);
+}
+
+bool Cube::isEmpty() const {
+  // Empty iff some variable has code 00: detect a 2-bit field that is zero.
+  for (unsigned v = 0; v < numVars_; ++v) {
+    if (literal(v) == Literal::Empty) return true;
+  }
+  return false;
+}
+
+bool Cube::isTautology() const {
+  for (unsigned v = 0; v < numVars_; ++v) {
+    if (literal(v) != Literal::DontCare) return false;
+  }
+  return true;
+}
+
+unsigned Cube::literalCount() const {
+  unsigned count = 0;
+  for (unsigned v = 0; v < numVars_; ++v) {
+    if (literal(v) != Literal::DontCare) ++count;
+  }
+  return count;
+}
+
+Cube Cube::intersect(const Cube& other) const {
+  Cube out(numVars_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    out.words_[i] = words_[i] & other.words_[i];
+  }
+  return out;
+}
+
+bool Cube::contains(const Cube& other) const {
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & other.words_[i]) != other.words_[i]) return false;
+  }
+  return true;
+}
+
+unsigned Cube::distance(const Cube& other) const {
+  unsigned d = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    std::uint64_t a = words_[i] & other.words_[i];
+    // A 2-bit field is 00 iff neither of its bits is set.
+    std::uint64_t lo = a & 0x5555555555555555ull;
+    std::uint64_t hi = (a >> 1) & 0x5555555555555555ull;
+    std::uint64_t nonzero = lo | hi;
+    // Count zero fields among the fields this word actually holds.
+    const unsigned fieldsHere =
+        static_cast<unsigned>(std::min<std::size_t>(
+            kVarsPerWord, numVars_ - i * kVarsPerWord));
+    std::uint64_t fieldMask = fieldsHere == kVarsPerWord
+                                  ? 0x5555555555555555ull
+                                  : ((std::uint64_t{1} << (fieldsHere * 2)) - 1) &
+                                        0x5555555555555555ull;
+    d += static_cast<unsigned>(std::popcount(fieldMask & ~nonzero));
+  }
+  return d;
+}
+
+Cube Cube::consensus(const Cube& other) const {
+  Cube out = intersect(other);
+  for (unsigned v = 0; v < numVars_; ++v) {
+    if (out.literal(v) == Literal::Empty) {
+      out.setLiteral(v, Literal::DontCare);
+    }
+  }
+  return out;
+}
+
+Cube Cube::cofactor(unsigned var, bool /*value*/) const {
+  Cube out = *this;
+  out.setLiteral(var, Literal::DontCare);
+  return out;
+}
+
+bool Cube::evaluate(std::uint64_t assignment) const {
+  for (unsigned v = 0; v < numVars_; ++v) {
+    const bool bit = ((assignment >> v) & 1u) != 0;
+    const Literal lit = literal(v);
+    if (lit == Literal::DontCare) continue;
+    if (lit == Literal::Empty) return false;
+    if (bit != (lit == Literal::Pos)) return false;
+  }
+  return true;
+}
+
+std::string Cube::toString() const {
+  std::string s;
+  s.reserve(numVars_);
+  for (unsigned v = 0; v < numVars_; ++v) {
+    switch (literal(v)) {
+      case Literal::Neg: s.push_back('0'); break;
+      case Literal::Pos: s.push_back('1'); break;
+      case Literal::DontCare: s.push_back('-'); break;
+      case Literal::Empty: s.push_back('x'); break;
+    }
+  }
+  return s;
+}
+
+} // namespace lis::logic

@@ -1,0 +1,82 @@
+#pragma once
+// Cube: a product term over n Boolean variables, espresso-style encoding.
+//
+// Each variable occupies two bits in a packed word array:
+//   01  negative literal (variable must be 0)
+//   10  positive literal (variable must be 1)
+//   11  don't care       (variable absent from the product)
+//   00  empty            (contradictory cube, represents the empty set)
+//
+// This encoding makes intersection a word-wise AND and containment a
+// word-wise subset test, which is what makes two-level minimization fast.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lis::logic {
+
+class Cube {
+public:
+  /// Number of variables packed per 64-bit word.
+  static constexpr unsigned kVarsPerWord = 32;
+
+  /// Full cube (tautology product: every variable don't-care).
+  explicit Cube(unsigned numVars);
+
+  /// Parse from a string of '0', '1', '-' characters, one per variable,
+  /// variable 0 first. Throws std::invalid_argument on bad input.
+  static Cube fromString(const std::string& s);
+
+  unsigned numVars() const { return numVars_; }
+
+  /// Literal accessors: value 0/1/2 for negative/positive/don't-care.
+  enum class Literal : std::uint8_t { Neg = 1, Pos = 2, DontCare = 3, Empty = 0 };
+  Literal literal(unsigned var) const;
+  void setLiteral(unsigned var, Literal lit);
+
+  /// True if any variable's code is 00 (the cube denotes the empty set).
+  bool isEmpty() const;
+
+  /// True if every variable is don't-care.
+  bool isTautology() const;
+
+  /// Number of literals (non-don't-care variables).
+  unsigned literalCount() const;
+
+  /// Word-wise AND; empty result possible.
+  Cube intersect(const Cube& other) const;
+
+  /// True if this cube's set contains `other`'s set (other implies this).
+  bool contains(const Cube& other) const;
+
+  /// Number of variables whose literal codes AND to 00. Distance 0 means
+  /// the cubes intersect; distance 1 means they can potentially merge.
+  unsigned distance(const Cube& other) const;
+
+  /// Consensus on the single conflicting variable (requires distance()==1):
+  /// the merged cube with that variable raised to don't-care, other
+  /// variables intersected.
+  Cube consensus(const Cube& other) const;
+
+  /// Cofactor with respect to var=value: returns this cube with the
+  /// variable raised to don't-care. Caller must ensure the cube does not
+  /// conflict with the assignment (literal is DontCare or matches value).
+  Cube cofactor(unsigned var, bool value) const;
+
+  /// True under a complete assignment (bit i of `assignment` = variable i).
+  bool evaluate(std::uint64_t assignment) const;
+
+  bool operator==(const Cube& other) const = default;
+
+  std::string toString() const;
+
+private:
+  unsigned numVars_;
+  std::vector<std::uint64_t> words_;
+
+  static unsigned wordOf(unsigned var) { return var / kVarsPerWord; }
+  static unsigned shiftOf(unsigned var) { return (var % kVarsPerWord) * 2; }
+};
+
+} // namespace lis::logic

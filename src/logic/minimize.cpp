@@ -1,0 +1,117 @@
+#include "logic/minimize.hpp"
+
+namespace lis::logic {
+
+namespace {
+
+Cover unionOf(const Cover& a, const Cover& b) {
+  Cover u(a.numVars());
+  for (const Cube& c : a.cubes()) u.add(c);
+  for (const Cube& c : b.cubes()) u.add(c);
+  return u;
+}
+
+} // namespace
+
+Cover expandPass(const Cover& onset, const Cover& dcset) {
+  const Cover feasible = unionOf(onset, dcset);
+  Cover out(onset.numVars());
+  for (const Cube& original : onset.cubes()) {
+    Cube cube = original;
+    // Greedy literal raising in variable order: deterministic and cheap.
+    for (unsigned v = 0; v < onset.numVars(); ++v) {
+      if (cube.literal(v) == Cube::Literal::DontCare) continue;
+      Cube raised = cube;
+      raised.setLiteral(v, Cube::Literal::DontCare);
+      if (feasible.containsCube(raised)) cube = raised;
+    }
+    out.add(std::move(cube));
+  }
+  return out;
+}
+
+Cover mergePass(const Cover& cover, const Cover& careUnion) {
+  std::vector<Cube> cubes = cover.cubes();
+  bool merged = true;
+  while (merged) {
+    merged = false;
+    for (std::size_t i = 0; i < cubes.size() && !merged; ++i) {
+      for (std::size_t j = i + 1; j < cubes.size() && !merged; ++j) {
+        if (cubes[i].distance(cubes[j]) != 1) continue;
+        Cube cons = cubes[i].consensus(cubes[j]);
+        // The consensus must swallow both halves (strict win) and stay
+        // inside the care set to be a valid replacement.
+        if (!cons.contains(cubes[i]) || !cons.contains(cubes[j])) continue;
+        if (!careUnion.containsCube(cons)) continue;
+        cubes[i] = std::move(cons);
+        cubes.erase(cubes.begin() + static_cast<std::ptrdiff_t>(j));
+        merged = true;
+      }
+    }
+  }
+  Cover out(cover.numVars());
+  for (Cube& c : cubes) out.add(std::move(c));
+  return out;
+}
+
+Cover irredundant(const Cover& cover, const Cover& dcset) {
+  std::vector<Cube> cubes = cover.cubes();
+  // Try to drop each cube; keep it only if the remainder ∪ dcset fails to
+  // cover it. Iterating in reverse gives later (usually more specific)
+  // cubes first chance to be removed.
+  for (std::size_t idx = cubes.size(); idx-- > 0;) {
+    Cover rest(cover.numVars());
+    for (std::size_t j = 0; j < cubes.size(); ++j) {
+      if (j != idx) rest.add(cubes[j]);
+    }
+    for (const Cube& c : dcset.cubes()) rest.add(c);
+    if (rest.containsCube(cubes[idx])) {
+      cubes.erase(cubes.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+  }
+  Cover out(cover.numVars());
+  for (Cube& c : cubes) out.add(std::move(c));
+  return out;
+}
+
+Cover minimize(const Cover& onset, const Cover& dcset, MinimizeStats* stats) {
+  if (stats != nullptr) {
+    stats->cubesBefore = onset.size();
+    stats->literalsBefore = onset.literalCount();
+    stats->iterations = 0;
+  }
+  const Cover careUnion = [&] {
+    Cover u(onset.numVars());
+    for (const Cube& c : onset.cubes()) u.add(c);
+    for (const Cube& c : dcset.cubes()) u.add(c);
+    return u;
+  }();
+
+  Cover current = onset;
+  unsigned lastCost = current.literalCount() + 1;
+  unsigned iterations = 0;
+  // Iterate to a cost fixpoint; each pass is monotonically non-increasing
+  // in (cubes, literals), so this terminates.
+  while (current.literalCount() < lastCost && iterations < 16) {
+    lastCost = current.literalCount();
+    current = expandPass(current, dcset);
+    current.removeAbsorbed();
+    current = mergePass(current, careUnion);
+    current = irredundant(current, dcset);
+    ++iterations;
+    if (current.empty()) break;
+  }
+
+  if (stats != nullptr) {
+    stats->cubesAfter = current.size();
+    stats->literalsAfter = current.literalCount();
+    stats->iterations = iterations;
+  }
+  return current;
+}
+
+Cover minimize(const Cover& onset, MinimizeStats* stats) {
+  return minimize(onset, Cover(onset.numVars()), stats);
+}
+
+} // namespace lis::logic

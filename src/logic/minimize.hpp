@@ -1,0 +1,46 @@
+#pragma once
+// Two-level minimization, espresso-lite.
+//
+// minimize(onset, dcset) runs the classic loop on a cover:
+//   expand      — greedily raise literals of each cube as long as the
+//                 expanded cube stays inside onset ∪ dcset
+//   absorb      — drop single-cube-contained cubes
+//   mergePass   — replace distance-1 cube pairs by their consensus when the
+//                 consensus covers both
+//   irredundant — drop cubes covered by the rest of the cover ∪ dcset
+//
+// This is not full espresso (no reduce/last-gasp) but reaches the same
+// fixed points on the control logic this repository synthesizes, and its
+// cost is what matters for the Table 1 trends.
+
+#include "logic/cover.hpp"
+
+namespace lis::logic {
+
+struct MinimizeStats {
+  std::size_t cubesBefore = 0;
+  std::size_t cubesAfter = 0;
+  unsigned literalsBefore = 0;
+  unsigned literalsAfter = 0;
+  unsigned iterations = 0;
+};
+
+/// Minimize `onset` against the optional don't-care set. The result covers
+/// every onset minterm, covers nothing outside onset ∪ dcset, and is
+/// irredundant. Deterministic.
+Cover minimize(const Cover& onset, const Cover& dcset,
+               MinimizeStats* stats = nullptr);
+
+/// Convenience overload with an empty don't-care set.
+Cover minimize(const Cover& onset, MinimizeStats* stats = nullptr);
+
+/// One expand pass (exposed for tests).
+Cover expandPass(const Cover& onset, const Cover& dcset);
+
+/// One distance-1 merge pass (exposed for tests).
+Cover mergePass(const Cover& cover, const Cover& careUnion);
+
+/// Remove cubes covered by the remaining cover ∪ dcset.
+Cover irredundant(const Cover& cover, const Cover& dcset);
+
+} // namespace lis::logic

@@ -1,0 +1,106 @@
+#include "logic/truthtable.hpp"
+
+#include "logic/cover.hpp"
+
+namespace lis::logic {
+
+TruthTable::TruthTable(unsigned numVars, std::uint64_t bits)
+    : numVars_(numVars), bits_(bits) {
+  if (numVars > kMaxVars) {
+    throw std::invalid_argument("TruthTable: more than 6 variables");
+  }
+  bits_ &= usedBitsMask();
+}
+
+TruthTable TruthTable::constant(bool value, unsigned numVars) {
+  TruthTable t(numVars, 0);
+  t.bits_ = value ? t.usedBitsMask() : 0;
+  return t;
+}
+
+TruthTable TruthTable::identity(unsigned numVars, unsigned var) {
+  if (var >= numVars) throw std::invalid_argument("TruthTable::identity");
+  TruthTable t(numVars, 0);
+  for (std::uint64_t row = 0; row < t.rows(); ++row) {
+    if (((row >> var) & 1u) != 0) t.bits_ |= std::uint64_t{1} << row;
+  }
+  return t;
+}
+
+TruthTable TruthTable::operator~() const {
+  TruthTable t = *this;
+  t.bits_ = ~t.bits_ & usedBitsMask();
+  return t;
+}
+
+namespace {
+void checkSameArity(const TruthTable& a, const TruthTable& b) {
+  if (a.numVars() != b.numVars()) {
+    throw std::invalid_argument("TruthTable: arity mismatch");
+  }
+}
+} // namespace
+
+TruthTable TruthTable::operator&(const TruthTable& o) const {
+  checkSameArity(*this, o);
+  return TruthTable(numVars_, bits_ & o.bits_);
+}
+
+TruthTable TruthTable::operator|(const TruthTable& o) const {
+  checkSameArity(*this, o);
+  return TruthTable(numVars_, bits_ | o.bits_);
+}
+
+TruthTable TruthTable::operator^(const TruthTable& o) const {
+  checkSameArity(*this, o);
+  return TruthTable(numVars_, bits_ ^ o.bits_);
+}
+
+bool TruthTable::isConstant() const {
+  return bits_ == 0 || bits_ == usedBitsMask();
+}
+
+bool TruthTable::dependsOn(unsigned var) const {
+  if (var >= numVars_) return false;
+  const std::uint64_t stride = std::uint64_t{1} << var;
+  for (std::uint64_t row = 0; row < rows(); ++row) {
+    if ((row & stride) != 0) continue;
+    const bool lo = ((bits_ >> row) & 1u) != 0;
+    const bool hi = ((bits_ >> (row | stride)) & 1u) != 0;
+    if (lo != hi) return true;
+  }
+  return false;
+}
+
+unsigned TruthTable::supportSize() const {
+  unsigned n = 0;
+  for (unsigned v = 0; v < numVars_; ++v) {
+    if (dependsOn(v)) ++n;
+  }
+  return n;
+}
+
+TruthTable TruthTable::fromCover(const Cover& cover) {
+  if (cover.numVars() > kMaxVars) {
+    throw std::invalid_argument("TruthTable::fromCover: too many variables");
+  }
+  TruthTable t(cover.numVars(), 0);
+  for (std::uint64_t row = 0; row < t.rows(); ++row) {
+    if (cover.evaluate(row)) t.bits_ |= std::uint64_t{1} << row;
+  }
+  return t;
+}
+
+std::string TruthTable::initString() const {
+  const unsigned hexDigits = std::max<unsigned>(1, (1u << numVars_) / 4);
+  static const char* kHex = "0123456789ABCDEF";
+  std::string s(hexDigits, '0');
+  for (unsigned d = 0; d < hexDigits; ++d) {
+    const unsigned nibble =
+        static_cast<unsigned>((bits_ >> (4 * (hexDigits - 1 - d))) & 0xF);
+    s[d] = kHex[nibble];
+  }
+  return s;
+}
+
+} // namespace lis::logic

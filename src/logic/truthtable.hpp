@@ -1,0 +1,65 @@
+#pragma once
+// TruthTable: a complete Boolean function of up to 6 variables packed into
+// one 64-bit word. This is the natural representation of a LUT function and
+// is what the technology mapper and HDL emitters exchange.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace lis::logic {
+
+class Cover;
+
+class TruthTable {
+public:
+  static constexpr unsigned kMaxVars = 6;
+
+  TruthTable() : numVars_(0), bits_(0) {}
+  TruthTable(unsigned numVars, std::uint64_t bits);
+
+  static TruthTable constant(bool value, unsigned numVars = 0);
+  /// Projection function: f = variable `var`.
+  static TruthTable identity(unsigned numVars, unsigned var);
+
+  unsigned numVars() const { return numVars_; }
+  std::uint64_t bits() const { return bits_; }
+
+  bool evaluate(std::uint64_t assignment) const {
+    return ((bits_ >> (assignment & mask())) & 1u) != 0;
+  }
+
+  TruthTable operator~() const;
+  TruthTable operator&(const TruthTable& o) const;
+  TruthTable operator|(const TruthTable& o) const;
+  TruthTable operator^(const TruthTable& o) const;
+
+  bool isConstant() const;
+  bool constantValue() const { return (bits_ & 1u) != 0; }
+
+  /// True if the function actually depends on variable `var`.
+  bool dependsOn(unsigned var) const;
+
+  /// Number of variables in the true support.
+  unsigned supportSize() const;
+
+  /// Convert a cover over <=6 variables into a truth table.
+  static TruthTable fromCover(const Cover& cover);
+
+  /// Hex string as Verilog/VHDL LUT INIT constant (2^n bits).
+  std::string initString() const;
+
+  bool operator==(const TruthTable&) const = default;
+
+private:
+  std::uint64_t rows() const { return std::uint64_t{1} << numVars_; }
+  std::uint64_t mask() const { return rows() - 1; }
+  std::uint64_t usedBitsMask() const {
+    return numVars_ == 6 ? ~std::uint64_t{0} : (std::uint64_t{1} << rows()) - 1;
+  }
+
+  unsigned numVars_;
+  std::uint64_t bits_;
+};
+
+} // namespace lis::logic

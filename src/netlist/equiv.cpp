@@ -1,0 +1,199 @@
+#include "netlist/equiv.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+namespace lis::netlist {
+
+namespace {
+
+std::vector<logic::BddRef> buildAllBdds(const Netlist& nl,
+                                        logic::BddManager& mgr) {
+  if (!nl.dffs().empty()) {
+    throw std::invalid_argument("outputBdd: netlist is sequential");
+  }
+  if (nl.inputs().size() > 64) {
+    throw std::invalid_argument("outputBdd: more than 64 inputs");
+  }
+  std::vector<logic::BddRef> node2bdd(nl.nodeCount(), logic::BddManager::kFalse);
+  std::map<NodeId, unsigned> inputVar;
+  for (unsigned i = 0; i < nl.inputs().size(); ++i) {
+    inputVar[nl.inputs()[i]] = i;
+  }
+  for (NodeId id : nl.topoOrder()) {
+    const Node& n = nl.node(id);
+    switch (n.op) {
+      case Op::Input:
+        node2bdd[id] = mgr.var(inputVar.at(id));
+        break;
+      case Op::Const0:
+        node2bdd[id] = logic::BddManager::kFalse;
+        break;
+      case Op::Const1:
+        node2bdd[id] = logic::BddManager::kTrue;
+        break;
+      case Op::Not:
+        node2bdd[id] = mgr.bddNot(node2bdd[n.fanin[0]]);
+        break;
+      case Op::And:
+        node2bdd[id] = mgr.bddAnd(node2bdd[n.fanin[0]], node2bdd[n.fanin[1]]);
+        break;
+      case Op::Or:
+        node2bdd[id] = mgr.bddOr(node2bdd[n.fanin[0]], node2bdd[n.fanin[1]]);
+        break;
+      case Op::Xor:
+        node2bdd[id] = mgr.bddXor(node2bdd[n.fanin[0]], node2bdd[n.fanin[1]]);
+        break;
+      case Op::Mux:
+        node2bdd[id] = mgr.ite(node2bdd[n.fanin[0]], node2bdd[n.fanin[2]],
+                               node2bdd[n.fanin[1]]);
+        break;
+      case Op::Output:
+        node2bdd[id] = node2bdd[n.fanin[0]];
+        break;
+      case Op::RomBit: {
+        // Expand the ROM bit as a multiplexer tree over address BDDs.
+        const Rom& rom = nl.rom(n.romId);
+        logic::BddRef f = logic::BddManager::kFalse;
+        const std::uint64_t depth = rom.words.size();
+        for (std::uint64_t addr = 0; addr < depth; ++addr) {
+          if (((rom.words[addr] >> n.romBit) & 1u) == 0) continue;
+          logic::BddRef minterm = logic::BddManager::kTrue;
+          for (std::size_t i = 0; i < n.fanin.size(); ++i) {
+            const logic::BddRef lit = ((addr >> i) & 1u) != 0
+                                          ? node2bdd[n.fanin[i]]
+                                          : mgr.bddNot(node2bdd[n.fanin[i]]);
+            minterm = mgr.bddAnd(minterm, lit);
+          }
+          f = mgr.bddOr(f, minterm);
+        }
+        node2bdd[id] = f;
+        break;
+      }
+      case Op::Dff:
+        throw std::invalid_argument("outputBdd: netlist is sequential");
+    }
+  }
+  return node2bdd;
+}
+
+} // namespace
+
+logic::BddRef outputBdd(const Netlist& nl, logic::BddManager& mgr,
+                        NodeId output) {
+  auto node2bdd = buildAllBdds(nl, mgr);
+  return node2bdd[output];
+}
+
+EquivResult checkCombEquivalence(const Netlist& a, const Netlist& b) {
+  // Match interfaces by name.
+  auto names = [](const Netlist& nl, const std::vector<NodeId>& ids) {
+    std::vector<std::string> v;
+    v.reserve(ids.size());
+    for (NodeId id : ids) v.push_back(nl.node(id).name);
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  if (names(a, a.inputs()) != names(b, b.inputs()) ||
+      names(a, a.outputs()) != names(b, b.outputs())) {
+    throw std::invalid_argument(
+        "checkCombEquivalence: interface name sets differ");
+  }
+
+  logic::BddManager mgr(static_cast<unsigned>(a.inputs().size()));
+
+  // Variable i = i-th input of `a`; map b's inputs by name to the same vars.
+  std::map<std::string, unsigned> varOfName;
+  for (unsigned i = 0; i < a.inputs().size(); ++i) {
+    varOfName[a.node(a.inputs()[i]).name] = i;
+  }
+
+  // Build b with inputs permuted to a's variable order by constructing a
+  // renamed view: easiest is to build BDDs for b and then compare through a
+  // name-indexed map of output BDDs. The permutation is achieved by giving
+  // b's builder the same manager but remapping its input variable indices.
+  // buildAllBdds assigns var i to inputs()[i], so we instead compare after
+  // reordering: rebuild b's BDDs with a manager whose variable i is
+  // b.inputs()[i], then for equality we need identical orders. To keep the
+  // implementation simple and robust we require matching input order by
+  // name via an index translation netlist walk below.
+  auto bddsA = buildAllBdds(a, mgr);
+
+  // For b, walk manually with variables resolved by name.
+  std::vector<logic::BddRef> node2bdd(b.nodeCount(), logic::BddManager::kFalse);
+  for (NodeId id : b.topoOrder()) {
+    const Node& n = b.node(id);
+    switch (n.op) {
+      case Op::Input:
+        node2bdd[id] = mgr.var(varOfName.at(n.name));
+        break;
+      case Op::Const0:
+        node2bdd[id] = logic::BddManager::kFalse;
+        break;
+      case Op::Const1:
+        node2bdd[id] = logic::BddManager::kTrue;
+        break;
+      case Op::Not:
+        node2bdd[id] = mgr.bddNot(node2bdd[n.fanin[0]]);
+        break;
+      case Op::And:
+        node2bdd[id] = mgr.bddAnd(node2bdd[n.fanin[0]], node2bdd[n.fanin[1]]);
+        break;
+      case Op::Or:
+        node2bdd[id] = mgr.bddOr(node2bdd[n.fanin[0]], node2bdd[n.fanin[1]]);
+        break;
+      case Op::Xor:
+        node2bdd[id] = mgr.bddXor(node2bdd[n.fanin[0]], node2bdd[n.fanin[1]]);
+        break;
+      case Op::Mux:
+        node2bdd[id] = mgr.ite(node2bdd[n.fanin[0]], node2bdd[n.fanin[2]],
+                               node2bdd[n.fanin[1]]);
+        break;
+      case Op::Output:
+        node2bdd[id] = node2bdd[n.fanin[0]];
+        break;
+      case Op::RomBit: {
+        const Rom& rom = b.rom(n.romId);
+        logic::BddRef f = logic::BddManager::kFalse;
+        for (std::uint64_t addr = 0; addr < rom.words.size(); ++addr) {
+          if (((rom.words[addr] >> n.romBit) & 1u) == 0) continue;
+          logic::BddRef minterm = logic::BddManager::kTrue;
+          for (std::size_t i = 0; i < n.fanin.size(); ++i) {
+            const logic::BddRef lit = ((addr >> i) & 1u) != 0
+                                          ? node2bdd[n.fanin[i]]
+                                          : mgr.bddNot(node2bdd[n.fanin[i]]);
+            minterm = mgr.bddAnd(minterm, lit);
+          }
+          f = mgr.bddOr(f, minterm);
+        }
+        node2bdd[id] = f;
+        break;
+      }
+      case Op::Dff:
+        throw std::invalid_argument("checkCombEquivalence: sequential");
+    }
+  }
+
+  // Compare outputs by name.
+  std::map<std::string, logic::BddRef> outA, outB;
+  for (NodeId id : a.outputs()) outA[a.node(id).name] = bddsA[id];
+  for (NodeId id : b.outputs()) outB[b.node(id).name] = node2bdd[id];
+
+  EquivResult result;
+  result.equivalent = true;
+  for (const auto& [name, fa] : outA) {
+    const logic::BddRef fb = outB.at(name);
+    if (fa == fb) continue;
+    result.equivalent = false;
+    result.failingOutput = name;
+    const logic::BddRef diff = mgr.bddXor(fa, fb);
+    std::uint64_t assignment = 0;
+    if (mgr.anySat(diff, assignment)) result.counterexample = assignment;
+    break;
+  }
+  return result;
+}
+
+} // namespace lis::netlist

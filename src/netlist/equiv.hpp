@@ -1,0 +1,34 @@
+#pragma once
+// Combinational equivalence checking: netlist outputs -> BDDs over primary
+// inputs (matched by name), then BDD identity. Only valid for purely
+// combinational netlists; sequential designs are compared by co-simulation
+// (see NetlistSim) in the test suites.
+
+#include <optional>
+#include <string>
+
+#include "logic/bdd.hpp"
+#include "netlist/netlist.hpp"
+
+namespace lis::netlist {
+
+struct EquivResult {
+  bool equivalent = false;
+  /// Name of the first mismatching output, when not equivalent.
+  std::string failingOutput;
+  /// A distinguishing input assignment (bit i = input i of `a`), if found.
+  std::optional<std::uint64_t> counterexample;
+};
+
+/// Check that two combinational netlists with identical input/output name
+/// sets compute the same functions. Throws std::invalid_argument if the
+/// interfaces differ or either netlist has registers, or if there are more
+/// than 64 inputs.
+EquivResult checkCombEquivalence(const Netlist& a, const Netlist& b);
+
+/// Build the BDD of a single output of a combinational netlist; variable i
+/// of the manager corresponds to inputs()[i].
+logic::BddRef outputBdd(const Netlist& nl, logic::BddManager& mgr,
+                        NodeId output);
+
+} // namespace lis::netlist

@@ -1,0 +1,46 @@
+#pragma once
+// NetlistSim: cycle-accurate simulator for the gate-level IR. Used to
+// co-simulate synthesized wrappers against their behavioural models — the
+// main correctness oracle of the synthesis flow.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/buses.hpp"
+#include "netlist/netlist.hpp"
+
+namespace lis::netlist {
+
+class NetlistSim {
+public:
+  explicit NetlistSim(const Netlist& nl);
+
+  /// Load DFF reset values and settle.
+  void reset();
+
+  void setInput(NodeId input, bool value);
+  void setInputBus(std::span<const NodeId> bus, std::uint64_t value);
+
+  /// Re-evaluate combinational logic (topological order, single pass).
+  void settle();
+
+  /// Latch all DFFs from the settled values, then settle again.
+  void clock();
+
+  bool value(NodeId node) const { return values_[node] != 0; }
+  std::uint64_t busValue(std::span<const NodeId> bus) const;
+
+  /// Value of the named output; throws if absent.
+  bool outputValue(const std::string& name) const;
+
+private:
+  void evalNode(NodeId id);
+
+  const Netlist* nl_;
+  std::vector<NodeId> order_;
+  std::vector<char> values_;
+  std::vector<char> dffNext_;
+};
+
+} // namespace lis::netlist

@@ -1,0 +1,46 @@
+#pragma once
+// Module: unit of behaviour in the two-phase cycle simulator.
+//
+// Protocol per simulated cycle:
+//   1. evaluate() is called repeatedly (on all modules) until no wire
+//      changes. evaluate() must be a pure function of input wires and
+//      internal registered state: read wires, write wires, never touch
+//      registers.
+//   2. clockEdge() is called exactly once. It may read wires and update
+//      internal registers, but must not write any wire (writes there would
+//      be lost or ordering-dependent).
+//
+// Clock gating (the heart of latency-insensitive design) is by convention:
+// a gated module checks its enable input inside clockEdge() and holds state
+// when disabled.
+
+#include <string>
+#include <utility>
+
+namespace lis::sim {
+
+class Module {
+public:
+  explicit Module(std::string name) : name_(std::move(name)) {}
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// Combinational behaviour. Must be idempotent at a fixpoint: once inputs
+  /// stop changing, repeated calls must stop changing outputs.
+  virtual void evaluate() = 0;
+
+  /// Sequential behaviour at the rising clock edge.
+  virtual void clockEdge() {}
+
+  /// Synchronous reset of registered state. Called by Simulator::reset().
+  virtual void reset() {}
+
+  const std::string& name() const { return name_; }
+
+private:
+  std::string name_;
+};
+
+} // namespace lis::sim

@@ -1,0 +1,50 @@
+#include "sim/simulator.hpp"
+
+#include "sim/vcd.hpp"
+
+namespace lis::sim {
+
+WireBase::WireBase(Simulator& sim, std::string name, unsigned width)
+    : sim_(&sim), name_(std::move(name)), width_(width) {
+  sim.registerWire(*this);
+}
+
+void WireBase::markChanged() { sim_->markChanged(); }
+
+unsigned Simulator::effectiveSettleLimit() const {
+  if (settleLimit_ != 0) return settleLimit_;
+  // Any acyclic network settles in at most |modules| iterations; leave slack
+  // for chained module-internal stages.
+  return static_cast<unsigned>(modules_.size()) * 4 + 16;
+}
+
+void Simulator::settle() {
+  const unsigned limit = effectiveSettleLimit();
+  for (unsigned iter = 0; iter < limit; ++iter) {
+    changed_ = false;
+    for (Module* m : modules_) m->evaluate();
+    if (!changed_) return;
+  }
+  throw CombinationalLoopError(
+      "combinational settling did not converge after " +
+      std::to_string(limit) + " iterations (combinational loop?)");
+}
+
+void Simulator::reset() {
+  for (Module* m : modules_) m->reset();
+  cycle_ = 0;
+  settle();
+}
+
+void Simulator::step() {
+  settle();
+  if (vcd_ != nullptr) vcd_->sample(cycle_);
+  for (Module* m : modules_) m->clockEdge();
+  ++cycle_;
+}
+
+void Simulator::run(std::uint64_t n) {
+  for (std::uint64_t i = 0; i < n; ++i) step();
+}
+
+} // namespace lis::sim

@@ -1,0 +1,82 @@
+#pragma once
+// Simulator: single-clock, two-phase (settle + edge) cycle simulator.
+//
+// This is the substrate every behavioural model in the repository runs on:
+// pearls (IP cores), shells (synchronization wrappers), relay stations and
+// whole SoCs. It is deliberately not an event-driven kernel: LIS systems are
+// single-clock synchronous, so settling combinational logic to a fixpoint
+// and then clocking every register once per cycle is exact, and is both
+// simpler and faster than a delta-cycle event queue.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/module.hpp"
+#include "sim/wire.hpp"
+
+namespace lis::sim {
+
+class VcdWriter;
+
+/// Thrown when combinational settling fails to reach a fixpoint, i.e. the
+/// model contains a combinational loop (or an evaluate() that is not
+/// idempotent).
+class CombinationalLoopError : public std::runtime_error {
+public:
+  using std::runtime_error::runtime_error;
+};
+
+class Simulator {
+public:
+  Simulator() = default;
+
+  /// Register a module. Registration order is the evaluate() call order
+  /// inside one settle iteration; correctness does not depend on it, only
+  /// the number of settle iterations does.
+  void add(Module& m) { modules_.push_back(&m); }
+
+  /// Called by Wire's constructor.
+  void registerWire(WireBase& w) { wires_.push_back(&w); }
+
+  /// Called by wires when a write changed a value.
+  void markChanged() { changed_ = true; }
+
+  /// Synchronously reset all modules, then settle combinational logic.
+  void reset();
+
+  /// Advance one clock cycle: settle, trace, clock.
+  void step();
+
+  /// Advance n cycles.
+  void run(std::uint64_t n);
+
+  /// Settle combinational logic without clocking (useful after poking
+  /// external inputs mid-test).
+  void settle();
+
+  std::uint64_t cycle() const { return cycle_; }
+
+  const std::vector<WireBase*>& wires() const { return wires_; }
+
+  /// Attach a VCD writer; it is sampled once per step() after settling,
+  /// just before the clock edge. Pass nullptr to detach.
+  void attachVcd(VcdWriter* vcd) { vcd_ = vcd; }
+
+  /// Upper bound on settle iterations before declaring a combinational
+  /// loop. Defaults to a generous bound derived from the module count.
+  void setSettleLimit(unsigned limit) { settleLimit_ = limit; }
+
+private:
+  unsigned effectiveSettleLimit() const;
+
+  std::vector<Module*> modules_;
+  std::vector<WireBase*> wires_;
+  bool changed_ = false;
+  std::uint64_t cycle_ = 0;
+  unsigned settleLimit_ = 0; // 0 = auto
+  VcdWriter* vcd_ = nullptr;
+};
+
+} // namespace lis::sim

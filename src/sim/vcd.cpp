@@ -1,0 +1,63 @@
+#include "sim/vcd.hpp"
+
+#include <stdexcept>
+
+#include "sim/wire.hpp"
+
+namespace lis::sim {
+
+VcdWriter::VcdWriter(std::ostream& out, std::string timescale)
+    : out_(out), timescale_(std::move(timescale)) {}
+
+void VcdWriter::trace(const WireBase& w) {
+  if (headerWritten_) {
+    throw std::logic_error("VcdWriter: cannot add wires after first sample");
+  }
+  wires_.push_back(&w);
+  lastValue_.emplace_back(); // force first emission
+}
+
+std::string VcdWriter::idCode(std::size_t index) {
+  // Printable VCD identifier alphabet: '!' (33) .. '~' (126).
+  std::string id;
+  do {
+    id.push_back(static_cast<char>('!' + index % 94));
+    index /= 94;
+  } while (index != 0);
+  return id;
+}
+
+void VcdWriter::writeHeader() {
+  out_ << "$date repro $end\n";
+  out_ << "$version lis_sp cycle simulator $end\n";
+  out_ << "$timescale " << timescale_ << " $end\n";
+  out_ << "$scope module top $end\n";
+  for (std::size_t i = 0; i < wires_.size(); ++i) {
+    const WireBase& w = *wires_[i];
+    out_ << "$var wire " << w.width() << ' ' << idCode(i) << ' ' << w.name()
+         << " $end\n";
+  }
+  out_ << "$upscope $end\n$enddefinitions $end\n";
+  headerWritten_ = true;
+}
+
+void VcdWriter::sample(std::uint64_t time) {
+  if (!headerWritten_) writeHeader();
+  bool stamped = false;
+  for (std::size_t i = 0; i < wires_.size(); ++i) {
+    std::string bits = wires_[i]->vcdBits();
+    if (bits == lastValue_[i]) continue;
+    if (!stamped) {
+      out_ << '#' << time << '\n';
+      stamped = true;
+    }
+    if (wires_[i]->width() == 1) {
+      out_ << bits << idCode(i) << '\n';
+    } else {
+      out_ << 'b' << bits << ' ' << idCode(i) << '\n';
+    }
+    lastValue_[i] = std::move(bits);
+  }
+}
+
+} // namespace lis::sim

@@ -1,0 +1,48 @@
+#pragma once
+// VcdWriter: IEEE 1364 value-change-dump tracing for the cycle simulator.
+//
+// One VCD time unit is one clock cycle. The writer samples all registered
+// wires after combinational settling, immediately before the clock edge, so
+// a dump shows exactly the values the registers are about to capture.
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace lis::sim {
+
+class WireBase;
+
+class VcdWriter {
+public:
+  /// The stream must outlive the writer. `timescale` is cosmetic.
+  explicit VcdWriter(std::ostream& out, std::string timescale = "1ns");
+
+  /// Add one wire to the trace. All wires must be added before the first
+  /// sample; adding later throws.
+  void trace(const WireBase& w);
+
+  /// Add every wire of a simulator. Convenience for "trace everything".
+  template <typename WireRange>
+  void traceAll(const WireRange& wires) {
+    for (auto* w : wires) trace(*w);
+  }
+
+  /// Emit header (on first call) and value changes for the given timestamp.
+  void sample(std::uint64_t time);
+
+  bool headerWritten() const { return headerWritten_; }
+
+private:
+  void writeHeader();
+  static std::string idCode(std::size_t index);
+
+  std::ostream& out_;
+  std::string timescale_;
+  std::vector<const WireBase*> wires_;
+  std::vector<std::string> lastValue_;
+  bool headerWritten_ = false;
+};
+
+} // namespace lis::sim

@@ -1,0 +1,93 @@
+#pragma once
+// Wire: a named, typed signal in the two-phase cycle simulator.
+//
+// Wires carry values between modules. A combinational settle pass repeatedly
+// calls Module::evaluate() on every module until no wire changes; a wire
+// write that changes the stored value marks the enclosing simulator dirty so
+// the settle loop runs another iteration.
+
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <utility>
+
+namespace lis::sim {
+
+class Simulator;
+
+/// Default bit widths used for VCD tracing, per value type.
+template <typename T> struct DefaultWidth;
+template <> struct DefaultWidth<bool> { static constexpr unsigned value = 1; };
+template <> struct DefaultWidth<std::uint8_t> { static constexpr unsigned value = 8; };
+template <> struct DefaultWidth<std::uint16_t> { static constexpr unsigned value = 16; };
+template <> struct DefaultWidth<std::uint32_t> { static constexpr unsigned value = 32; };
+template <> struct DefaultWidth<std::uint64_t> { static constexpr unsigned value = 64; };
+template <> struct DefaultWidth<std::int32_t> { static constexpr unsigned value = 32; };
+template <> struct DefaultWidth<std::int64_t> { static constexpr unsigned value = 64; };
+
+/// Type-erased base so the simulator and VCD writer can hold heterogeneous
+/// wires. Concrete storage lives in Wire<T>.
+class WireBase {
+public:
+  WireBase(Simulator& sim, std::string name, unsigned width);
+  virtual ~WireBase() = default;
+
+  WireBase(const WireBase&) = delete;
+  WireBase& operator=(const WireBase&) = delete;
+
+  const std::string& name() const { return name_; }
+  unsigned width() const { return width_; }
+
+  /// Current value rendered as a VCD bit string (MSB first, no prefix).
+  virtual std::string vcdBits() const = 0;
+
+protected:
+  /// Tell the owning simulator a value changed during settling.
+  void markChanged();
+
+private:
+  Simulator* sim_;
+  std::string name_;
+  unsigned width_;
+};
+
+/// A typed signal. Reads are always allowed; writes that change the value
+/// re-trigger combinational settling. Values are totally ordered in time by
+/// the simulator's settle/clock protocol, so no double-buffering is needed:
+/// sequential modules must only write wires from evaluate(), never from
+/// clockEdge().
+template <typename T>
+class Wire final : public WireBase {
+  static_assert(std::is_trivially_copyable_v<T>, "wires carry plain values");
+
+public:
+  Wire(Simulator& sim, std::string name, unsigned width = DefaultWidth<T>::value)
+      : WireBase(sim, std::move(name), width) {}
+
+  const T& read() const { return value_; }
+
+  void write(const T& v) {
+    if (!(value_ == v)) {
+      value_ = v;
+      markChanged();
+    }
+  }
+
+  /// Write without dirty-tracking; used by Simulator::reset only.
+  void forceWrite(const T& v) { value_ = v; }
+
+  std::string vcdBits() const override {
+    std::string bits;
+    bits.reserve(width());
+    const auto raw = static_cast<std::uint64_t>(value_);
+    for (unsigned i = width(); i-- > 0;) {
+      bits.push_back(((raw >> i) & 1u) != 0 ? '1' : '0');
+    }
+    return bits;
+  }
+
+private:
+  T value_{};
+};
+
+} // namespace lis::sim

@@ -1,0 +1,189 @@
+#include "techmap/lutmap.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lis::techmap {
+
+using netlist::Netlist;
+using netlist::Node;
+using netlist::NodeId;
+using netlist::Op;
+
+namespace {
+
+bool isGate(Op op) {
+  return op == Op::Not || op == Op::And || op == Op::Or || op == Op::Xor ||
+         op == Op::Mux;
+}
+
+/// Row-parallel truth table of the cone rooted at `root` with frontier
+/// `leafIndex`: each node's function over the <=6 leaf variables is one
+/// 64-bit word (bit r = value under leaf assignment r), computed bottom-up
+/// with bitwise ops. `memo` maps cone-interior nodes to their words.
+std::uint64_t coneTable(const Netlist& nl, NodeId root, unsigned vars,
+                        const std::unordered_map<NodeId, unsigned>& leafIndex,
+                        std::unordered_map<NodeId, std::uint64_t>& memo) {
+  auto leafIt = leafIndex.find(root);
+  if (leafIt != leafIndex.end()) {
+    return logic::TruthTable::identity(vars, leafIt->second).bits();
+  }
+  auto memoIt = memo.find(root);
+  if (memoIt != memo.end()) return memoIt->second;
+
+  const std::uint64_t used =
+      vars == 6 ? ~std::uint64_t{0} : (std::uint64_t{1} << (1u << vars)) - 1;
+  const Node& n = nl.node(root);
+  std::uint64_t v = 0;
+  switch (n.op) {
+    case Op::Const0: v = 0; break;
+    case Op::Const1: v = used; break;
+    case Op::Not:
+      v = ~coneTable(nl, n.fanin[0], vars, leafIndex, memo) & used;
+      break;
+    case Op::And:
+      v = coneTable(nl, n.fanin[0], vars, leafIndex, memo) &
+          coneTable(nl, n.fanin[1], vars, leafIndex, memo);
+      break;
+    case Op::Or:
+      v = coneTable(nl, n.fanin[0], vars, leafIndex, memo) |
+          coneTable(nl, n.fanin[1], vars, leafIndex, memo);
+      break;
+    case Op::Xor:
+      v = coneTable(nl, n.fanin[0], vars, leafIndex, memo) ^
+          coneTable(nl, n.fanin[1], vars, leafIndex, memo);
+      break;
+    case Op::Mux: {
+      const std::uint64_t s = coneTable(nl, n.fanin[0], vars, leafIndex, memo);
+      const std::uint64_t a0 = coneTable(nl, n.fanin[1], vars, leafIndex, memo);
+      const std::uint64_t a1 = coneTable(nl, n.fanin[2], vars, leafIndex, memo);
+      v = (s & a1) | (~s & a0 & used);
+      break;
+    }
+    default:
+      throw std::logic_error("coneTable: non-gate interior node");
+  }
+  memo[root] = v;
+  return v;
+}
+
+} // namespace
+
+MappedNetlist mapToLuts(const Netlist& nl, unsigned k) {
+  if (k < 2 || k > logic::TruthTable::kMaxVars) {
+    throw std::invalid_argument("mapToLuts: k must be in [2,6]");
+  }
+
+  MappedNetlist mapped;
+  mapped.source = &nl;
+  mapped.k = k;
+  mapped.ffCount = nl.dffs().size();
+  for (std::size_t r = 0; r < nl.romCount(); ++r) {
+    mapped.romBits +=
+        nl.rom(static_cast<std::uint32_t>(r)).width *
+        nl.rom(static_cast<std::uint32_t>(r)).words.size();
+  }
+
+  const auto fanout = nl.fanoutCounts();
+  const auto order = nl.topoOrder();
+
+  // cut[i]: frontier of the LUT cone currently rooted at gate i.
+  std::vector<std::vector<NodeId>> cut(nl.nodeCount());
+  std::vector<char> absorbed(nl.nodeCount(), 0);
+
+  for (NodeId id : order) {
+    const Node& n = nl.node(id);
+    if (!isGate(n.op)) continue;
+
+    // Start from the fanins; try to merge each gate fanin's cut when it is
+    // single-fanout (so absorbing it duplicates nothing).
+    std::vector<NodeId> leaves;
+    for (NodeId f : n.fanin) {
+      const bool mergeable =
+          isGate(nl.node(f).op) && fanout[f] == 1 && !cut[f].empty();
+      std::vector<NodeId> candidate = leaves;
+      if (mergeable) {
+        for (NodeId leaf : cut[f]) {
+          if (std::find(candidate.begin(), candidate.end(), leaf) ==
+              candidate.end()) {
+            candidate.push_back(leaf);
+          }
+        }
+      } else {
+        if (std::find(candidate.begin(), candidate.end(), f) ==
+            candidate.end()) {
+          candidate.push_back(f);
+        }
+      }
+      if (mergeable && candidate.size() <= k) {
+        leaves = std::move(candidate);
+        absorbed[f] = 1;
+      } else if (mergeable) {
+        // Could not merge: the fanin becomes a LUT of its own.
+        if (std::find(leaves.begin(), leaves.end(), f) == leaves.end()) {
+          leaves.push_back(f);
+        }
+      } else {
+        leaves = std::move(candidate);
+      }
+    }
+    cut[id] = std::move(leaves);
+  }
+
+  // LUT roots: gates not absorbed into a consumer.
+  // First compute levels for sources.
+  std::vector<unsigned> level(nl.nodeCount(), 0);
+
+  for (NodeId id : order) {
+    const Node& n = nl.node(id);
+    if (n.op == Op::RomBit) {
+      unsigned lvl = 0;
+      for (NodeId f : n.fanin) lvl = std::max(lvl, level[f]);
+      level[id] = lvl + 1;
+      continue;
+    }
+    if (!isGate(n.op)) {
+      if (n.op == Op::Output) level[id] = level[n.fanin[0]];
+      continue;
+    }
+    if (absorbed[id]) continue;
+
+    Lut lut;
+    lut.root = id;
+    lut.leaves = cut[id];
+
+    // Truth table over the leaves.
+    std::unordered_map<NodeId, unsigned> leafIndex;
+    for (unsigned i = 0; i < lut.leaves.size(); ++i) {
+      leafIndex[lut.leaves[i]] = i;
+    }
+    const unsigned vars = static_cast<unsigned>(lut.leaves.size());
+    std::unordered_map<NodeId, std::uint64_t> memo;
+    const std::uint64_t bits = coneTable(nl, id, vars, leafIndex, memo);
+    lut.function = logic::TruthTable(vars, bits);
+
+    unsigned lvl = 0;
+    for (NodeId leaf : lut.leaves) lvl = std::max(lvl, level[leaf]);
+    lut.level = lvl + 1;
+    level[id] = lut.level;
+    mapped.depth = std::max(mapped.depth, lut.level);
+
+    mapped.lutOfRoot[id] = mapped.luts.size();
+    mapped.luts.push_back(std::move(lut));
+  }
+
+  return mapped;
+}
+
+AreaReport areaOf(const MappedNetlist& mapped) {
+  AreaReport a;
+  a.luts = mapped.luts.size();
+  a.ffs = mapped.ffCount;
+  a.slices = std::max((a.luts + 1) / 2, (a.ffs + 1) / 2);
+  a.romBits = mapped.romBits;
+  const std::size_t romLuts = (a.romBits + 15) / 16;
+  a.romEquivalentSlices = (romLuts + 1) / 2;
+  return a;
+}
+
+} // namespace lis::techmap

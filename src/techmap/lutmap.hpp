@@ -1,0 +1,58 @@
+#pragma once
+// LUT technology mapping: cover the combinational gates of a netlist with
+// k-input LUTs (k = 4 by default, matching the 2005-era FPGAs the paper
+// reports slices for). Greedy single-fanout cone collapsing — not
+// depth-optimal, but it reproduces the area/depth *trends* that drive the
+// paper's Table 1, which is the quantity under study.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "logic/truthtable.hpp"
+#include "netlist/netlist.hpp"
+
+namespace lis::techmap {
+
+struct Lut {
+  netlist::NodeId root = netlist::kNoNode;
+  std::vector<netlist::NodeId> leaves; // inputs of the LUT, variable order
+  logic::TruthTable function;          // over `leaves`
+  unsigned level = 0;                  // LUT depth from sequential/primary sources
+};
+
+struct MappedNetlist {
+  const netlist::Netlist* source = nullptr;
+  unsigned k = 4;
+  std::vector<Lut> luts;
+  /// Index into `luts` by root node; nodes absorbed into a LUT are absent.
+  std::unordered_map<netlist::NodeId, std::size_t> lutOfRoot;
+  std::size_t ffCount = 0;
+  std::size_t romBits = 0;
+  unsigned depth = 0; // max LUT level
+
+  bool isLutRoot(netlist::NodeId id) const {
+    return lutOfRoot.find(id) != lutOfRoot.end();
+  }
+};
+
+/// Map all combinational gates to k-LUTs. Throws on k < 2 or k > 6.
+MappedNetlist mapToLuts(const netlist::Netlist& nl, unsigned k = 4);
+
+/// Slice-level area, Virtex-II style: a slice holds 2 LUTs and 2 FFs which
+/// can be used independently, so slices = max(ceil(L/2), ceil(F/2)).
+struct AreaReport {
+  std::size_t luts = 0;
+  std::size_t ffs = 0;
+  std::size_t slices = 0;
+  std::size_t romBits = 0;
+  /// LUT-ROM equivalent slices if the ROM were folded into fabric
+  /// (16 bits per LUT, 2 LUTs per slice); reported separately because the
+  /// paper's constant "24 slices" is the SP datapath with the program
+  /// memory kept in dedicated memory.
+  std::size_t romEquivalentSlices = 0;
+};
+
+AreaReport areaOf(const MappedNetlist& mapped);
+
+} // namespace lis::techmap

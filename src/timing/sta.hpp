@@ -1,0 +1,26 @@
+#pragma once
+// Static timing analysis over a LUT-mapped netlist: longest combinational
+// path between sequential elements (or primary ports), minimum clock period
+// and fmax estimate, plus a human-readable critical path.
+
+#include <string>
+#include <vector>
+
+#include "techmap/lutmap.hpp"
+#include "timing/techparams.hpp"
+
+namespace lis::timing {
+
+struct TimingReport {
+  double criticalPathNs = 0.0; // register-to-register (incl. clk->Q, setup)
+  double minPeriodNs = 0.0;    // criticalPathNs + skew margin
+  double fmaxMHz = 0.0;
+  unsigned logicLevels = 0;    // LUT levels on the critical path
+  std::vector<std::string> criticalPath; // node names / descriptions
+};
+
+/// Analyze a mapped netlist under the given technology parameters.
+TimingReport analyze(const techmap::MappedNetlist& mapped,
+                     const TechParams& params = TechParams{});
+
+} // namespace lis::timing
