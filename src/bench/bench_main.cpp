@@ -1,0 +1,205 @@
+// lis_bench: performance trajectory for the simulation + equivalence stack.
+//
+// Measures scalar vs. 64-way bit-parallel simulation throughput on a large
+// generated netlist, BDD apply throughput, and end-to-end equivalence-check
+// wall time on adder / mux-tree / ROM pairs. Results go to stdout and to a
+// JSON file (argv[1], default "BENCH_sim.json") so successive PRs can track
+// the numbers.
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "logic/bdd.hpp"
+#include "netlist/bitsim.hpp"
+#include "netlist/equiv.hpp"
+#include "netlist/generate.hpp"
+#include "netlist/netlist_sim.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using lis::netlist::BitSim;
+using lis::netlist::Netlist;
+using lis::netlist::NetlistSim;
+using lis::netlist::NodeId;
+namespace gen = lis::netlist::gen;
+
+template <class F>
+double secondsOf(F&& f) {
+  const auto t0 = std::chrono::steady_clock::now();
+  f();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+struct SimBench {
+  std::size_t nodes = 0;
+  double scalarPatternsPerSec = 0;
+  double bitsimPatternsPerSec = 0;
+  double speedup = 0;
+  unsigned bitsimWords = 0;
+  std::uint64_t checksum = 0; // keeps the loops honest
+};
+
+SimBench benchSim() {
+  SimBench r;
+  const Netlist dag = gen::randomDag(64, 8000, 32, /*seed=*/42);
+  r.nodes = dag.nodeCount();
+  const NodeId probe = dag.outputs().front();
+
+  lis::support::SplitMix64 rng(1);
+
+  NetlistSim scalar(dag);
+  const unsigned scalarPatterns = 2048;
+  const double tScalar = secondsOf([&] {
+    for (unsigned p = 0; p < scalarPatterns; ++p) {
+      for (NodeId in : dag.inputs()) scalar.setInput(in, (rng.next() & 1u) != 0);
+      scalar.settle();
+      r.checksum += scalar.value(probe) ? 1 : 0;
+    }
+  });
+  r.scalarPatternsPerSec = scalarPatterns / tScalar;
+
+  const unsigned words = 4;
+  r.bitsimWords = words;
+  BitSim bits(dag, words);
+  const unsigned rounds = 256;
+  const double tBits = secondsOf([&] {
+    for (unsigned round = 0; round < rounds; ++round) {
+      for (NodeId in : dag.inputs()) {
+        for (unsigned w = 0; w < words; ++w) bits.setInputWord(in, w, rng.next());
+      }
+      bits.settle();
+      r.checksum += bits.word(probe, 0) & 1u;
+    }
+  });
+  r.bitsimPatternsPerSec = double(rounds) * 64 * words / tBits;
+  r.speedup = r.bitsimPatternsPerSec / r.scalarPatternsPerSec;
+  return r;
+}
+
+struct BddBench {
+  std::size_t nodes = 0;
+  std::uint64_t applyCalls = 0;
+  double applyPerSec = 0;
+  double buildSeconds = 0;
+};
+
+BddBench benchBdd() {
+  BddBench r;
+  const Netlist add = gen::adder(32);
+  lis::logic::BddManager mgr(static_cast<unsigned>(add.inputs().size()));
+  r.buildSeconds = secondsOf([&] {
+    for (NodeId out : add.outputs()) {
+      (void)lis::netlist::outputBdd(add, mgr, out);
+    }
+  });
+  r.nodes = mgr.nodeCount();
+  r.applyCalls = mgr.stats().applyCalls;
+  r.applyPerSec = double(r.applyCalls) / r.buildSeconds;
+  return r;
+}
+
+struct EquivBench {
+  std::string name;
+  double seconds = 0;
+  bool equivalent = false;
+  bool foundBySimulation = false;
+  bool hasCounterexample = false;
+};
+
+EquivBench benchEquiv(std::string name, const Netlist& a, const Netlist& b) {
+  EquivBench r;
+  r.name = std::move(name);
+  lis::netlist::EquivResult res;
+  r.seconds = secondsOf([&] { res = lis::netlist::checkCombEquivalence(a, b); });
+  r.equivalent = res.equivalent;
+  r.foundBySimulation = res.foundBySimulation;
+  r.hasCounterexample = res.counterexample.has_value();
+  return r;
+}
+
+std::string jsonEquiv(const EquivBench& e) {
+  std::ostringstream os;
+  os << "    {\"name\": \"" << e.name << "\", \"seconds\": " << e.seconds
+     << ", \"equivalent\": " << (e.equivalent ? "true" : "false")
+     << ", \"counterexample_by_sim\": "
+     << (e.foundBySimulation ? "true" : "false")
+     << ", \"has_counterexample\": "
+     << (e.hasCounterexample ? "true" : "false") << "}";
+  return os.str();
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const std::string outPath = argc > 1 ? argv[1] : "BENCH_sim.json";
+
+  const SimBench sim = benchSim();
+  std::printf("sim: %zu nodes, scalar %.0f pat/s, bit-parallel %.0f pat/s "
+              "(%u words), speedup %.1fx\n",
+              sim.nodes, sim.scalarPatternsPerSec, sim.bitsimPatternsPerSec,
+              sim.bitsimWords, sim.speedup);
+
+  const BddBench bdd = benchBdd();
+  std::printf("bdd: adder32 built in %.3fs, %llu applies (%.0f apply/s), "
+              "%zu nodes\n",
+              bdd.buildSeconds,
+              static_cast<unsigned long long>(bdd.applyCalls), bdd.applyPerSec,
+              bdd.nodes);
+
+  std::vector<EquivBench> equivs;
+  equivs.push_back(benchEquiv("adder16_equivalent", gen::adder(16),
+                              gen::adder(16, /*swapOperands=*/true)));
+  equivs.push_back(benchEquiv("adder16_inequivalent", gen::adder(16),
+                              gen::adder(16, false, /*corruptMsb=*/true)));
+  equivs.push_back(benchEquiv(
+      "muxtree16_equivalent", gen::muxTree(4, gen::MuxStyle::Tree),
+      gen::muxTree(4, gen::MuxStyle::SumOfProducts)));
+  equivs.push_back(benchEquiv("rom64x8_equivalent",
+                              gen::romReader(6, 8, /*seed=*/7),
+                              gen::romReader(6, 8, 7, /*asLogic=*/true)));
+  equivs.push_back(benchEquiv("rom64x8_inequivalent",
+                              gen::romReader(6, 8, 7),
+                              gen::romReader(6, 8, 7, false, /*corrupt=*/true)));
+  for (const EquivBench& e : equivs) {
+    std::printf("equiv %-22s %.4fs equivalent=%d by_sim=%d\n", e.name.c_str(),
+                e.seconds, e.equivalent ? 1 : 0, e.foundBySimulation ? 1 : 0);
+  }
+
+  std::ostringstream js;
+  js << "{\n"
+     << "  \"sim\": {\n"
+     << "    \"netlist_nodes\": " << sim.nodes << ",\n"
+     << "    \"scalar_patterns_per_sec\": " << sim.scalarPatternsPerSec
+     << ",\n"
+     << "    \"bitsim_patterns_per_sec\": " << sim.bitsimPatternsPerSec
+     << ",\n"
+     << "    \"bitsim_words\": " << sim.bitsimWords << ",\n"
+     << "    \"speedup\": " << sim.speedup << ",\n"
+     << "    \"checksum\": " << sim.checksum << "\n"
+     << "  },\n"
+     << "  \"bdd\": {\n"
+     << "    \"adder32_build_seconds\": " << bdd.buildSeconds << ",\n"
+     << "    \"apply_calls\": " << bdd.applyCalls << ",\n"
+     << "    \"apply_per_sec\": " << bdd.applyPerSec << ",\n"
+     << "    \"node_count\": " << bdd.nodes << "\n"
+     << "  },\n"
+     << "  \"equiv\": [\n";
+  for (std::size_t i = 0; i < equivs.size(); ++i) {
+    js << jsonEquiv(equivs[i]) << (i + 1 < equivs.size() ? ",\n" : "\n");
+  }
+  js << "  ]\n}\n";
+
+  std::ofstream out(outPath);
+  out << js.str();
+  if (!out) {
+    std::fprintf(stderr, "failed to write %s\n", outPath.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", outPath.c_str());
+  return 0;
+}

@@ -6,28 +6,74 @@
 namespace lis::logic {
 
 namespace {
+
 constexpr std::uint8_t kOpAnd = 0;
 constexpr std::uint8_t kOpOr = 1;
 constexpr std::uint8_t kOpXor = 2;
+
+inline std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+inline std::size_t hash3(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+  return static_cast<std::size_t>(mix64(a * 0x9e3779b97f4a7c15ULL +
+                                        b * 0xbf58476d1ce4e5b9ULL +
+                                        c * 0x94d049bb133111ebULL));
+}
+
 } // namespace
 
-BddManager::BddManager(unsigned numVars) : numVars_(numVars) {
+BddManager::BddManager(unsigned numVars)
+    : numVars_(numVars), unique_(std::size_t{1} << 12, kEmptySlot),
+      computed_(std::size_t{1} << 14) {
   // Terminals occupy slots 0 and 1; their var index is a sentinel beyond
-  // every real variable so ordering logic treats them as deepest.
+  // every real variable so ordering logic treats them as deepest. They are
+  // not entered in the unique table (mkNode never produces them).
+  nodes_.reserve(std::size_t{1} << 12);
   nodes_.push_back({numVars_, kFalse, kFalse});
   nodes_.push_back({numVars_, kTrue, kTrue});
 }
 
 unsigned BddManager::varOf(BddRef f) const { return nodes_[f].var; }
 
+void BddManager::growUnique() {
+  unique_.assign(unique_.size() * 2, kEmptySlot);
+  const std::size_t mask = unique_.size() - 1;
+  for (BddRef ref = 2; ref < nodes_.size(); ++ref) {
+    const Node& n = nodes_[ref];
+    std::size_t slot = hash3(n.var, n.lo, n.hi) & mask;
+    while (unique_[slot] != kEmptySlot) slot = (slot + 1) & mask;
+    unique_[slot] = ref;
+  }
+  // Scale the apply cache with the arena; resizing clears it, which only
+  // costs recomputation.
+  if (computed_.size() < unique_.size()) {
+    computed_.assign(unique_.size(), CacheEntry{});
+  }
+  ++stats_.uniqueGrowths;
+}
+
 BddRef BddManager::mkNode(unsigned var, BddRef lo, BddRef hi) {
   if (lo == hi) return lo;
-  const NodeKey key{var, lo, hi};
-  auto it = unique_.find(key);
-  if (it != unique_.end()) return it->second;
+  if ((nodes_.size() + 1) * 3 > unique_.size() * 2) growUnique();
+  const std::size_t mask = unique_.size() - 1;
+  std::size_t slot = hash3(var, lo, hi) & mask;
+  while (true) {
+    const BddRef ref = unique_[slot];
+    if (ref == kEmptySlot) break;
+    const Node& n = nodes_[ref];
+    if (n.var == var && n.lo == lo && n.hi == hi) return ref;
+    slot = (slot + 1) & mask;
+  }
   nodes_.push_back({var, lo, hi});
   const BddRef ref = static_cast<BddRef>(nodes_.size() - 1);
-  unique_.emplace(key, ref);
+  unique_[slot] = ref;
+  ++stats_.nodesCreated;
   return ref;
 }
 
@@ -69,15 +115,26 @@ BddRef BddManager::apply(std::uint8_t op, BddRef a, BddRef b) {
   BddRef shortcut;
   if (terminalOp(op, a, b, shortcut)) return shortcut;
 
-  // Commutative ops: canonicalize operand order for the computed table.
-  OpKey key{op, a < b ? a : b, a < b ? b : a};
-  auto it = computed_.find(key);
-  if (it != computed_.end()) return it->second;
+  // All three ops are commutative: order the operands so (a,b) and (b,a)
+  // occupy a single cache entry.
+  if (b < a) {
+    const BddRef t = a;
+    a = b;
+    b = t;
+  }
+  ++stats_.applyCalls;
+  {
+    const CacheEntry& e = computed_[hash3(op, a, b) & (computed_.size() - 1)];
+    if (e.a == a && e.b == b && e.op == op) {
+      ++stats_.computedHits;
+      return e.result;
+    }
+  }
 
+  // Copy cofactor refs before recursing: the arena may reallocate.
   const unsigned va = varOf(a);
   const unsigned vb = varOf(b);
   const unsigned top = va < vb ? va : vb;
-
   const BddRef aLo = va == top ? nodes_[a].lo : a;
   const BddRef aHi = va == top ? nodes_[a].hi : a;
   const BddRef bLo = vb == top ? nodes_[b].lo : b;
@@ -86,7 +143,8 @@ BddRef BddManager::apply(std::uint8_t op, BddRef a, BddRef b) {
   const BddRef lo = apply(op, aLo, bLo);
   const BddRef hi = apply(op, aHi, bHi);
   const BddRef result = mkNode(top, lo, hi);
-  computed_.emplace(key, result);
+  // Re-index: the cache may have been resized (cleared) by the recursion.
+  computed_[hash3(op, a, b) & (computed_.size() - 1)] = {a, b, result, op};
   return result;
 }
 

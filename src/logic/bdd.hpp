@@ -1,16 +1,37 @@
 #pragma once
-// BddManager: a small reduced ordered BDD package (unique table + computed
-// table, no complement edges). Used for combinational equivalence checking
-// of synthesized control logic against its specification.
+// BddManager: a small reduced ordered BDD package (no complement edges).
+// Used for combinational equivalence checking of synthesized control logic
+// against its specification.
+//
+// Storage is a flat node arena indexed by BddRef. Both hash tables are
+// open-addressing with power-of-two capacities — no std::unordered_map, no
+// per-entry allocation, no bucket pointer chasing:
+//   * unique table: linear probing over slots that hold node refs; the key
+//     (var, lo, hi) lives in the arena itself. Grows and rehashes when the
+//     arena reaches ~2/3 of capacity. Nodes are never freed, so there are
+//     no tombstones.
+//   * computed (apply) cache: single-probe and deliberately lossy — a
+//     colliding entry is overwritten and a miss just recomputes, which is
+//     the standard BDD-package trade (CUDD/ABC style). Keys are
+//     canonicalized (operands ordered) so commutative calls such as
+//     bddAnd(a,b) and bddAnd(b,a) hit the same entry.
 
+#include <cstddef>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 namespace lis::logic {
 
-/// Handle into the manager's node array. 0 and 1 are the terminal nodes.
+/// Handle into the manager's node arena. 0 and 1 are the terminal nodes.
 using BddRef = std::uint32_t;
+
+/// Operation counters, exposed for benchmarks and cache-behaviour tests.
+struct BddStats {
+  std::uint64_t applyCalls = 0;   // apply() invocations past the terminal cases
+  std::uint64_t computedHits = 0; // apply() calls answered from the cache
+  std::uint64_t nodesCreated = 0;
+  std::uint64_t uniqueGrowths = 0;
+};
 
 class BddManager {
 public:
@@ -21,6 +42,7 @@ public:
 
   unsigned numVars() const { return numVars_; }
   std::size_t nodeCount() const { return nodes_.size(); }
+  const BddStats& stats() const { return stats_; }
 
   BddRef var(unsigned v);
   BddRef nvar(unsigned v);
@@ -50,46 +72,29 @@ private:
     BddRef hi;
   };
 
-  struct NodeKey {
-    unsigned var;
-    BddRef lo;
-    BddRef hi;
-    bool operator==(const NodeKey&) const = default;
-  };
-  struct NodeKeyHash {
-    std::size_t operator()(const NodeKey& k) const {
-      std::size_t h = k.var;
-      h = h * 1000003u + k.lo;
-      h = h * 1000003u + k.hi;
-      return h;
-    }
-  };
+  /// Never a valid node ref: the arena would exhaust memory long before
+  /// holding 2^32 - 1 nodes.
+  static constexpr BddRef kEmptySlot = 0xffffffffu;
 
-  struct OpKey {
-    std::uint8_t op;
-    BddRef a;
-    BddRef b;
-    bool operator==(const OpKey&) const = default;
-  };
-  struct OpKeyHash {
-    std::size_t operator()(const OpKey& k) const {
-      std::size_t h = k.op;
-      h = h * 1000003u + k.a;
-      h = h * 1000003u + k.b;
-      return h;
-    }
+  struct CacheEntry {
+    BddRef a = kEmptySlot;
+    BddRef b = kEmptySlot;
+    BddRef result = 0;
+    std::uint32_t op = 0;
   };
 
   BddRef mkNode(unsigned var, BddRef lo, BddRef hi);
+  void growUnique();
   BddRef apply(std::uint8_t op, BddRef a, BddRef b);
   static bool terminalOp(std::uint8_t op, BddRef a, BddRef b, BddRef& out);
   unsigned varOf(BddRef f) const;
   double satCountRec(BddRef f, std::vector<double>& memo) const;
 
   unsigned numVars_;
-  std::vector<Node> nodes_;
-  std::unordered_map<NodeKey, BddRef, NodeKeyHash> unique_;
-  std::unordered_map<OpKey, BddRef, OpKeyHash> computed_;
+  std::vector<Node> nodes_;        // flat arena; refs are indices
+  std::vector<BddRef> unique_;     // open-addressing slots into the arena
+  std::vector<CacheEntry> computed_; // direct-mapped lossy apply cache
+  BddStats stats_;
 };
 
 } // namespace lis::logic

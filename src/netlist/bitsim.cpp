@@ -1,0 +1,224 @@
+#include "netlist/bitsim.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lis::netlist {
+
+namespace {
+constexpr std::uint64_t kAllLanes = ~std::uint64_t{0};
+
+/// Addresses a RomBit can actually present: limited both by the ROM depth
+/// and by the number of address bits wired to it.
+std::uint64_t reachableDepth(std::uint64_t depth, std::size_t addrBits) {
+  if (addrBits >= 64) return depth;
+  return std::min<std::uint64_t>(depth, std::uint64_t{1} << addrBits);
+}
+} // namespace
+
+BitSim::BitSim(const Netlist& nl, unsigned numWords)
+    : nl_(&nl), numWords_(numWords) {
+  if (numWords == 0) {
+    throw std::invalid_argument("BitSim: numWords must be >= 1");
+  }
+  values_.assign(nl.nodeCount() * std::size_t{numWords_}, 0);
+  dffNext_.assign(nl.dffs().size() * std::size_t{numWords_}, 0);
+
+  const std::vector<NodeId> order = nl.topoOrder();
+  instrs_.reserve(order.size());
+  for (NodeId id : order) {
+    const Node& n = nl.node(id);
+    if (n.op == Op::Input || n.op == Op::Dff || n.op == Op::Const0 ||
+        n.op == Op::Const1) {
+      continue; // sources: driven externally, latched, or set at reset
+    }
+    Instr ins;
+    ins.op = n.op;
+    ins.dst = id;
+    ins.faninBegin = static_cast<std::uint32_t>(fanins_.size());
+    ins.faninCount = static_cast<std::uint32_t>(n.fanin.size());
+    ins.romId = n.romId;
+    ins.romBit = n.romBit;
+    ins.romBitSliced = false;
+    if (n.op == Op::RomBit) {
+      // Shallow ROMs: bit-sliced minterm OR beats a 64-iteration lane
+      // gather; deep ROMs: the other way round.
+      ins.romBitSliced =
+          reachableDepth(nl.rom(n.romId).words.size(), n.fanin.size()) <= 64;
+    }
+    fanins_.insert(fanins_.end(), n.fanin.begin(), n.fanin.end());
+    instrs_.push_back(ins);
+  }
+  reset();
+}
+
+void BitSim::reset() {
+  std::fill(values_.begin(), values_.end(), 0);
+  for (NodeId id = 0; id < static_cast<NodeId>(nl_->nodeCount()); ++id) {
+    if (nl_->node(id).op == Op::Const1) {
+      std::fill_n(val(id), numWords_, kAllLanes);
+    }
+  }
+  for (NodeId id : nl_->dffs()) {
+    if (nl_->node(id).resetValue) std::fill_n(val(id), numWords_, kAllLanes);
+  }
+  settle();
+}
+
+void BitSim::checkInput(NodeId input) const {
+  if (nl_->node(input).op != Op::Input) {
+    throw std::invalid_argument("BitSim::setInput: not an input node");
+  }
+}
+
+void BitSim::setInputWord(NodeId input, unsigned word, std::uint64_t lanes) {
+  checkInput(input);
+  if (word >= numWords_) {
+    throw std::out_of_range("BitSim::setInputWord: word index");
+  }
+  val(input)[word] = lanes;
+}
+
+void BitSim::setInput(NodeId input, std::span<const std::uint64_t> words) {
+  checkInput(input);
+  if (words.size() != numWords_) {
+    throw std::invalid_argument("BitSim::setInput: word count mismatch");
+  }
+  std::copy(words.begin(), words.end(), val(input));
+}
+
+void BitSim::setInputAll(NodeId input, bool value) {
+  checkInput(input);
+  std::fill_n(val(input), numWords_, value ? kAllLanes : 0);
+}
+
+void BitSim::evalRom(const Instr& ins, const NodeId* f,
+                     std::uint64_t* dst) const {
+  const Rom& rom = nl_->rom(ins.romId);
+  const unsigned W = numWords_;
+  const unsigned abits = ins.faninCount;
+  const std::uint64_t depth = rom.words.size();
+  if (ins.romBitSliced) {
+    // out = OR over set addresses of AND_i (addr bit i ? v_i : ~v_i).
+    const std::uint64_t reach = reachableDepth(depth, abits);
+    for (unsigned w = 0; w < W; ++w) {
+      std::uint64_t out = 0;
+      for (std::uint64_t addr = 0; addr < reach; ++addr) {
+        if (((rom.words[addr] >> ins.romBit) & 1u) == 0) continue;
+        std::uint64_t m = kAllLanes;
+        for (unsigned i = 0; i < abits && m != 0; ++i) {
+          const std::uint64_t vi = val(f[i])[w];
+          m &= ((addr >> i) & 1u) != 0 ? vi : ~vi;
+        }
+        out |= m;
+      }
+      dst[w] = out;
+    }
+  } else {
+    // Gather each lane's address; out-of-range addresses read as 0.
+    for (unsigned w = 0; w < W; ++w) {
+      std::uint64_t out = 0;
+      for (unsigned l = 0; l < 64; ++l) {
+        std::uint64_t addr = 0;
+        for (unsigned i = 0; i < abits; ++i) {
+          addr |= ((val(f[i])[w] >> l) & 1u) << i;
+        }
+        if (addr < depth) {
+          out |= ((rom.words[addr] >> ins.romBit) & std::uint64_t{1}) << l;
+        }
+      }
+      dst[w] = out;
+    }
+  }
+}
+
+void BitSim::settle() {
+  const unsigned W = numWords_;
+  std::uint64_t* const v = values_.data();
+  const NodeId* const fan = fanins_.data();
+  for (const Instr& ins : instrs_) {
+    std::uint64_t* dst = v + std::size_t{ins.dst} * W;
+    const NodeId* f = fan + ins.faninBegin;
+    switch (ins.op) {
+      case Op::Not: {
+        const std::uint64_t* a = v + std::size_t{f[0]} * W;
+        for (unsigned w = 0; w < W; ++w) dst[w] = ~a[w];
+        break;
+      }
+      case Op::And: {
+        const std::uint64_t* a = v + std::size_t{f[0]} * W;
+        const std::uint64_t* b = v + std::size_t{f[1]} * W;
+        for (unsigned w = 0; w < W; ++w) dst[w] = a[w] & b[w];
+        break;
+      }
+      case Op::Or: {
+        const std::uint64_t* a = v + std::size_t{f[0]} * W;
+        const std::uint64_t* b = v + std::size_t{f[1]} * W;
+        for (unsigned w = 0; w < W; ++w) dst[w] = a[w] | b[w];
+        break;
+      }
+      case Op::Xor: {
+        const std::uint64_t* a = v + std::size_t{f[0]} * W;
+        const std::uint64_t* b = v + std::size_t{f[1]} * W;
+        for (unsigned w = 0; w < W; ++w) dst[w] = a[w] ^ b[w];
+        break;
+      }
+      case Op::Mux: {
+        const std::uint64_t* s = v + std::size_t{f[0]} * W;
+        const std::uint64_t* a0 = v + std::size_t{f[1]} * W;
+        const std::uint64_t* a1 = v + std::size_t{f[2]} * W;
+        for (unsigned w = 0; w < W; ++w) {
+          dst[w] = (s[w] & a1[w]) | (~s[w] & a0[w]);
+        }
+        break;
+      }
+      case Op::Output: {
+        const std::uint64_t* a = v + std::size_t{f[0]} * W;
+        for (unsigned w = 0; w < W; ++w) dst[w] = a[w];
+        break;
+      }
+      case Op::RomBit:
+        evalRom(ins, f, dst);
+        break;
+      default:
+        break; // sources never enter the instruction stream
+    }
+  }
+}
+
+void BitSim::clock() {
+  const unsigned W = numWords_;
+  const std::vector<NodeId>& dffs = nl_->dffs();
+  for (std::size_t k = 0; k < dffs.size(); ++k) {
+    const Node& n = nl_->node(dffs[k]);
+    const std::uint64_t* q = val(dffs[k]);
+    const std::uint64_t* d = val(n.fanin[0]);
+    std::uint64_t* next = dffNext_.data() + k * W;
+    if (n.hasEnable) {
+      const std::uint64_t* en = val(n.fanin[1]);
+      for (unsigned w = 0; w < W; ++w) {
+        next[w] = (d[w] & en[w]) | (q[w] & ~en[w]);
+      }
+    } else {
+      for (unsigned w = 0; w < W; ++w) next[w] = d[w];
+    }
+  }
+  for (std::size_t k = 0; k < dffs.size(); ++k) {
+    std::copy_n(dffNext_.data() + k * W, W, val(dffs[k]));
+  }
+  settle();
+}
+
+std::uint64_t BitSim::busValue(std::span<const NodeId> bus,
+                               std::size_t laneIdx) const {
+  if (bus.size() > 64) {
+    throw std::invalid_argument("BitSim::busValue: bus wider than 64 bits");
+  }
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < bus.size(); ++i) {
+    if (lane(bus[i], laneIdx)) v |= std::uint64_t{1} << i;
+  }
+  return v;
+}
+
+} // namespace lis::netlist

@@ -1,0 +1,92 @@
+#pragma once
+// BitSim: 64-way bit-parallel simulator for the gate-level IR.
+//
+// Where NetlistSim evaluates one input pattern per settle pass, BitSim packs
+// 64 independent patterns into every uint64_t ("lanes") and, with
+// numWords > 1, simulates 64*numWords patterns per pass. At construction the
+// netlist is flattened into a CSR-style instruction stream in topological
+// order — a structure-of-arrays of {op, dst, fanin-slice} records over one
+// flat fanin array — so the settle loop is a tight dispatch over contiguous
+// memory with no per-node std::vector indirection.
+//
+// Value layout is node-major: values_[node * numWords + w] holds lanes
+// [w*64, (w+1)*64) of `node`, so a gate's word loop streams through
+// consecutive memory. DFF clocking honours per-lane enables. ROM bits are
+// evaluated bit-sliced (OR of address minterms over whole words) when the
+// ROM is shallow, or lane-serial (gather each lane's address) when deep.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace lis::netlist {
+
+class BitSim {
+public:
+  explicit BitSim(const Netlist& nl, unsigned numWords = 1);
+
+  const Netlist& netlist() const { return *nl_; }
+  unsigned numWords() const { return numWords_; }
+  /// Patterns simulated per settle pass (64 * numWords).
+  std::size_t numPatterns() const { return std::size_t{64} * numWords_; }
+
+  /// Load DFF reset values into every lane, then settle.
+  void reset();
+
+  /// Set one 64-lane word of an input. Throws std::invalid_argument if the
+  /// node is not an Input, std::out_of_range if word >= numWords().
+  void setInputWord(NodeId input, unsigned word, std::uint64_t lanes);
+  /// Set all words of an input; words.size() must equal numWords().
+  void setInput(NodeId input, std::span<const std::uint64_t> words);
+  /// Broadcast a scalar value into every lane of an input.
+  void setInputAll(NodeId input, bool value);
+
+  /// Re-evaluate combinational logic (topological order, single pass).
+  void settle();
+
+  /// Latch all DFFs from the settled values (per-lane enables), then settle.
+  void clock();
+
+  std::uint64_t word(NodeId node, unsigned w) const {
+    return values_[std::size_t{node} * numWords_ + w];
+  }
+  bool lane(NodeId node, std::size_t laneIdx) const {
+    return ((word(node, static_cast<unsigned>(laneIdx / 64)) >>
+             (laneIdx % 64)) &
+            1u) != 0;
+  }
+  /// Bus value seen by one lane (LSB-first). Throws std::invalid_argument
+  /// for buses wider than 64 bits.
+  std::uint64_t busValue(std::span<const NodeId> bus, std::size_t laneIdx) const;
+
+private:
+  struct Instr {
+    Op op;
+    NodeId dst;
+    std::uint32_t faninBegin; // slice [faninBegin, faninBegin+faninCount)
+    std::uint32_t faninCount; // of fanins_
+    std::uint32_t romId;      // RomBit only
+    std::uint32_t romBit;     // RomBit only
+    bool romBitSliced;        // RomBit only: eval strategy
+  };
+
+  std::uint64_t* val(NodeId id) {
+    return values_.data() + std::size_t{id} * numWords_;
+  }
+  const std::uint64_t* val(NodeId id) const {
+    return values_.data() + std::size_t{id} * numWords_;
+  }
+  void checkInput(NodeId input) const;
+  void evalRom(const Instr& ins, const NodeId* f, std::uint64_t* dst) const;
+
+  const Netlist* nl_;
+  unsigned numWords_;
+  std::vector<Instr> instrs_;  // combinational nodes in topological order
+  std::vector<NodeId> fanins_; // flat CSR fanin array
+  std::vector<std::uint64_t> values_;  // node-major, numWords_ per node
+  std::vector<std::uint64_t> dffNext_; // dffs().size() * numWords_
+};
+
+} // namespace lis::netlist

@@ -1,32 +1,34 @@
 #include "netlist/equiv.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <map>
 #include <stdexcept>
 #include <vector>
 
+#include "netlist/bitsim.hpp"
+#include "support/rng.hpp"
+
 namespace lis::netlist {
 
-namespace {
-
-std::vector<logic::BddRef> buildAllBdds(const Netlist& nl,
-                                        logic::BddManager& mgr) {
+std::vector<logic::BddRef> buildAllBdds(
+    const Netlist& nl, logic::BddManager& mgr,
+    const std::function<unsigned(NodeId)>& varOfInput) {
   if (!nl.dffs().empty()) {
-    throw std::invalid_argument("outputBdd: netlist is sequential");
+    throw std::invalid_argument("buildAllBdds: netlist is sequential");
   }
   if (nl.inputs().size() > 64) {
-    throw std::invalid_argument("outputBdd: more than 64 inputs");
+    // The counterexample-extraction APIs (evaluate/anySat) encode an
+    // assignment in one uint64_t; wider interfaces would shift past it.
+    throw std::invalid_argument("buildAllBdds: more than 64 inputs");
   }
-  std::vector<logic::BddRef> node2bdd(nl.nodeCount(), logic::BddManager::kFalse);
-  std::map<NodeId, unsigned> inputVar;
-  for (unsigned i = 0; i < nl.inputs().size(); ++i) {
-    inputVar[nl.inputs()[i]] = i;
-  }
+  std::vector<logic::BddRef> node2bdd(nl.nodeCount(),
+                                      logic::BddManager::kFalse);
   for (NodeId id : nl.topoOrder()) {
     const Node& n = nl.node(id);
     switch (n.op) {
       case Op::Input:
-        node2bdd[id] = mgr.var(inputVar.at(id));
+        node2bdd[id] = mgr.var(varOfInput(id));
         break;
       case Op::Const0:
         node2bdd[id] = logic::BddManager::kFalse;
@@ -54,10 +56,15 @@ std::vector<logic::BddRef> buildAllBdds(const Netlist& nl,
         node2bdd[id] = node2bdd[n.fanin[0]];
         break;
       case Op::RomBit: {
-        // Expand the ROM bit as a multiplexer tree over address BDDs.
+        // Expand the ROM bit as a sum of address minterms. Words past what
+        // the wired address bits can select are unreachable and must not be
+        // expanded — the simulators read them as 0 (see BitSim::evalRom).
         const Rom& rom = nl.rom(n.romId);
         logic::BddRef f = logic::BddManager::kFalse;
-        const std::uint64_t depth = rom.words.size();
+        std::uint64_t depth = rom.words.size();
+        if (n.fanin.size() < 64) {
+          depth = std::min(depth, std::uint64_t{1} << n.fanin.size());
+        }
         for (std::uint64_t addr = 0; addr < depth; ++addr) {
           if (((rom.words[addr] >> n.romBit) & 1u) == 0) continue;
           logic::BddRef minterm = logic::BddManager::kTrue;
@@ -73,21 +80,25 @@ std::vector<logic::BddRef> buildAllBdds(const Netlist& nl,
         break;
       }
       case Op::Dff:
-        throw std::invalid_argument("outputBdd: netlist is sequential");
+        throw std::invalid_argument("buildAllBdds: netlist is sequential");
     }
   }
   return node2bdd;
 }
 
-} // namespace
-
 logic::BddRef outputBdd(const Netlist& nl, logic::BddManager& mgr,
                         NodeId output) {
-  auto node2bdd = buildAllBdds(nl, mgr);
+  std::vector<unsigned> varOf(nl.nodeCount(), 0);
+  for (unsigned i = 0; i < nl.inputs().size(); ++i) {
+    varOf[nl.inputs()[i]] = i;
+  }
+  auto node2bdd =
+      buildAllBdds(nl, mgr, [&](NodeId id) { return varOf[id]; });
   return node2bdd[output];
 }
 
-EquivResult checkCombEquivalence(const Netlist& a, const Netlist& b) {
+EquivResult checkCombEquivalence(const Netlist& a, const Netlist& b,
+                                 const EquivOptions& opts) {
   // Match interfaces by name.
   auto names = [](const Netlist& nl, const std::vector<NodeId>& ids) {
     std::vector<std::string> v;
@@ -101,90 +112,79 @@ EquivResult checkCombEquivalence(const Netlist& a, const Netlist& b) {
     throw std::invalid_argument(
         "checkCombEquivalence: interface name sets differ");
   }
-
-  logic::BddManager mgr(static_cast<unsigned>(a.inputs().size()));
-
-  // Variable i = i-th input of `a`; map b's inputs by name to the same vars.
-  std::map<std::string, unsigned> varOfName;
-  for (unsigned i = 0; i < a.inputs().size(); ++i) {
-    varOfName[a.node(a.inputs()[i]).name] = i;
+  if (!a.dffs().empty() || !b.dffs().empty()) {
+    throw std::invalid_argument("checkCombEquivalence: netlist is sequential");
+  }
+  if (a.inputs().size() > 64) {
+    throw std::invalid_argument("checkCombEquivalence: more than 64 inputs");
   }
 
-  // Build b with inputs permuted to a's variable order by constructing a
-  // renamed view: easiest is to build BDDs for b and then compare through a
-  // name-indexed map of output BDDs. The permutation is achieved by giving
-  // b's builder the same manager but remapping its input variable indices.
-  // buildAllBdds assigns var i to inputs()[i], so we instead compare after
-  // reordering: rebuild b's BDDs with a manager whose variable i is
-  // b.inputs()[i], then for equality we need identical orders. To keep the
-  // implementation simple and robust we require matching input order by
-  // name via an index translation netlist walk below.
-  auto bddsA = buildAllBdds(a, mgr);
+  std::map<std::string, NodeId> bInputByName;
+  for (NodeId id : b.inputs()) bInputByName[b.node(id).name] = id;
+  std::map<std::string, NodeId> aOutByName, bOutByName;
+  for (NodeId id : a.outputs()) aOutByName[a.node(id).name] = id;
+  for (NodeId id : b.outputs()) bOutByName[b.node(id).name] = id;
 
-  // For b, walk manually with variables resolved by name.
-  std::vector<logic::BddRef> node2bdd(b.nodeCount(), logic::BddManager::kFalse);
-  for (NodeId id : b.topoOrder()) {
-    const Node& n = b.node(id);
-    switch (n.op) {
-      case Op::Input:
-        node2bdd[id] = mgr.var(varOfName.at(n.name));
-        break;
-      case Op::Const0:
-        node2bdd[id] = logic::BddManager::kFalse;
-        break;
-      case Op::Const1:
-        node2bdd[id] = logic::BddManager::kTrue;
-        break;
-      case Op::Not:
-        node2bdd[id] = mgr.bddNot(node2bdd[n.fanin[0]]);
-        break;
-      case Op::And:
-        node2bdd[id] = mgr.bddAnd(node2bdd[n.fanin[0]], node2bdd[n.fanin[1]]);
-        break;
-      case Op::Or:
-        node2bdd[id] = mgr.bddOr(node2bdd[n.fanin[0]], node2bdd[n.fanin[1]]);
-        break;
-      case Op::Xor:
-        node2bdd[id] = mgr.bddXor(node2bdd[n.fanin[0]], node2bdd[n.fanin[1]]);
-        break;
-      case Op::Mux:
-        node2bdd[id] = mgr.ite(node2bdd[n.fanin[0]], node2bdd[n.fanin[2]],
-                               node2bdd[n.fanin[1]]);
-        break;
-      case Op::Output:
-        node2bdd[id] = node2bdd[n.fanin[0]];
-        break;
-      case Op::RomBit: {
-        const Rom& rom = b.rom(n.romId);
-        logic::BddRef f = logic::BddManager::kFalse;
-        for (std::uint64_t addr = 0; addr < rom.words.size(); ++addr) {
-          if (((rom.words[addr] >> n.romBit) & 1u) == 0) continue;
-          logic::BddRef minterm = logic::BddManager::kTrue;
-          for (std::size_t i = 0; i < n.fanin.size(); ++i) {
-            const logic::BddRef lit = ((addr >> i) & 1u) != 0
-                                          ? node2bdd[n.fanin[i]]
-                                          : mgr.bddNot(node2bdd[n.fanin[i]]);
-            minterm = mgr.bddAnd(minterm, lit);
-          }
-          f = mgr.bddOr(f, minterm);
+  // --- Phase 1: bit-parallel random sweep. Disproving is cheap here; the
+  // expensive BDD machinery below only runs on designs that survive it.
+  if (opts.simWords > 0 && opts.simRounds > 0) {
+    BitSim simA(a, opts.simWords);
+    BitSim simB(b, opts.simWords);
+    support::SplitMix64 rng(opts.seed);
+    for (unsigned round = 0; round < opts.simRounds; ++round) {
+      for (NodeId ia : a.inputs()) {
+        const NodeId ib = bInputByName.at(a.node(ia).name);
+        for (unsigned w = 0; w < opts.simWords; ++w) {
+          const std::uint64_t lanes = rng.next();
+          simA.setInputWord(ia, w, lanes);
+          simB.setInputWord(ib, w, lanes);
         }
-        node2bdd[id] = f;
-        break;
       }
-      case Op::Dff:
-        throw std::invalid_argument("checkCombEquivalence: sequential");
+      simA.settle();
+      simB.settle();
+      for (const auto& [name, idA] : aOutByName) {
+        const NodeId idB = bOutByName.at(name);
+        for (unsigned w = 0; w < opts.simWords; ++w) {
+          const std::uint64_t diff = simA.word(idA, w) ^ simB.word(idB, w);
+          if (diff == 0) continue;
+          const std::size_t laneIdx =
+              std::size_t{w} * 64 +
+              static_cast<unsigned>(std::countr_zero(diff));
+          EquivResult result;
+          result.equivalent = false;
+          result.failingOutput = name;
+          result.foundBySimulation = true;
+          std::uint64_t cex = 0;
+          for (std::size_t i = 0; i < a.inputs().size(); ++i) {
+            if (simA.lane(a.inputs()[i], laneIdx)) {
+              cex |= std::uint64_t{1} << i;
+            }
+          }
+          result.counterexample = cex;
+          return result;
+        }
+      }
     }
   }
 
-  // Compare outputs by name.
-  std::map<std::string, logic::BddRef> outA, outB;
-  for (NodeId id : a.outputs()) outA[a.node(id).name] = bddsA[id];
-  for (NodeId id : b.outputs()) outB[b.node(id).name] = node2bdd[id];
+  // --- Phase 2: BDD proof for the survivors. Variable i = i-th input of
+  // `a`; b's inputs map to the same variables by name.
+  logic::BddManager mgr(static_cast<unsigned>(a.inputs().size()));
+  std::vector<unsigned> varOfA(a.nodeCount(), 0);
+  std::map<std::string, unsigned> varOfName;
+  for (unsigned i = 0; i < a.inputs().size(); ++i) {
+    varOfA[a.inputs()[i]] = i;
+    varOfName[a.node(a.inputs()[i]).name] = i;
+  }
+  auto bddsA = buildAllBdds(a, mgr, [&](NodeId id) { return varOfA[id]; });
+  auto bddsB = buildAllBdds(
+      b, mgr, [&](NodeId id) { return varOfName.at(b.node(id).name); });
 
   EquivResult result;
   result.equivalent = true;
-  for (const auto& [name, fa] : outA) {
-    const logic::BddRef fb = outB.at(name);
+  for (const auto& [name, idA] : aOutByName) {
+    const logic::BddRef fa = bddsA[idA];
+    const logic::BddRef fb = bddsB[bOutByName.at(name)];
     if (fa == fb) continue;
     result.equivalent = false;
     result.failingOutput = name;

@@ -1,16 +1,34 @@
 #pragma once
-// Combinational equivalence checking: netlist outputs -> BDDs over primary
-// inputs (matched by name), then BDD identity. Only valid for purely
-// combinational netlists; sequential designs are compared by co-simulation
-// (see NetlistSim) in the test suites.
+// Combinational equivalence checking, in two phases:
+//
+//   1. A random-pattern 64-way bit-parallel simulation sweep (BitSim over
+//      both netlists with name-matched inputs driven identically). Any
+//      mismatching output word immediately yields a concrete counterexample
+//      — inequivalent designs are almost always refuted here without a
+//      single BDD node being built.
+//   2. A BDD identity proof (outputs as BDDs over name-matched primary
+//      inputs) for designs that survive the sweep.
+//
+// Only valid for purely combinational netlists; sequential designs are
+// compared by co-simulation (see NetlistSim) in the test suites.
 
+#include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "logic/bdd.hpp"
 #include "netlist/netlist.hpp"
 
 namespace lis::netlist {
+
+struct EquivOptions {
+  /// 64 * simWords random patterns per sweep round. 0 disables the sweep.
+  unsigned simWords = 4;
+  unsigned simRounds = 4;
+  std::uint64_t seed = 0x51f0a11ed5ee7ULL;
+};
 
 struct EquivResult {
   bool equivalent = false;
@@ -18,13 +36,25 @@ struct EquivResult {
   std::string failingOutput;
   /// A distinguishing input assignment (bit i = input i of `a`), if found.
   std::optional<std::uint64_t> counterexample;
+  /// True when the counterexample came out of the simulation sweep, i.e.
+  /// the BDD phase was never entered.
+  bool foundBySimulation = false;
 };
 
 /// Check that two combinational netlists with identical input/output name
 /// sets compute the same functions. Throws std::invalid_argument if the
 /// interfaces differ or either netlist has registers, or if there are more
 /// than 64 inputs.
-EquivResult checkCombEquivalence(const Netlist& a, const Netlist& b);
+EquivResult checkCombEquivalence(const Netlist& a, const Netlist& b,
+                                 const EquivOptions& opts = {});
+
+/// Build BDDs for every node of a combinational netlist; returns one BddRef
+/// per node. `varOfInput` resolves an Input node to its manager variable
+/// index (this is what lets two netlists with differently ordered inputs
+/// share one variable space). Throws on sequential netlists.
+std::vector<logic::BddRef> buildAllBdds(
+    const Netlist& nl, logic::BddManager& mgr,
+    const std::function<unsigned(NodeId)>& varOfInput);
 
 /// Build the BDD of a single output of a combinational netlist; variable i
 /// of the manager corresponds to inputs()[i].

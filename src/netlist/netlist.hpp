@@ -100,7 +100,8 @@ public:
   /// Declare a ROM; returns its id.
   std::uint32_t addRom(unsigned width, std::vector<std::uint64_t> words,
                        std::string name);
-  /// One output bit of a ROM. `addr` is LSB-first.
+  /// One output bit of a ROM. `addr` is LSB-first; at most 64 address bits
+  /// (throws std::invalid_argument beyond that).
   NodeId mkRomBit(std::uint32_t romId, std::uint32_t bit,
                   std::span<const NodeId> addr);
 

@@ -4,105 +4,20 @@
 
 namespace lis::netlist {
 
-NetlistSim::NetlistSim(const Netlist& nl)
-    : nl_(&nl),
-      order_(nl.topoOrder()),
-      values_(nl.nodeCount(), 0),
-      dffNext_(nl.nodeCount(), 0) {
-  reset();
-}
-
-void NetlistSim::reset() {
-  std::fill(values_.begin(), values_.end(), 0);
-  for (NodeId id : nl_->dffs()) {
-    values_[id] = nl_->node(id).resetValue ? 1 : 0;
+void NetlistSim::setInputBus(std::span<const NodeId> bus,
+                             std::uint64_t value) {
+  if (bus.size() > 64) {
+    throw std::invalid_argument(
+        "NetlistSim::setInputBus: bus wider than 64 bits");
   }
-  settle();
-}
-
-void NetlistSim::setInput(NodeId input, bool value) {
-  if (nl_->node(input).op != Op::Input) {
-    throw std::invalid_argument("NetlistSim::setInput: not an input node");
-  }
-  values_[input] = value ? 1 : 0;
-}
-
-void NetlistSim::setInputBus(std::span<const NodeId> bus, std::uint64_t value) {
   for (std::size_t i = 0; i < bus.size(); ++i) {
     setInput(bus[i], ((value >> i) & 1u) != 0);
   }
 }
 
-void NetlistSim::evalNode(NodeId id) {
-  const Node& n = nl_->node(id);
-  switch (n.op) {
-    case Op::Input:
-    case Op::Dff:
-      break; // externally driven / latched state
-    case Op::Const0:
-      values_[id] = 0;
-      break;
-    case Op::Const1:
-      values_[id] = 1;
-      break;
-    case Op::Not:
-      values_[id] = values_[n.fanin[0]] != 0 ? 0 : 1;
-      break;
-    case Op::And:
-      values_[id] = (values_[n.fanin[0]] & values_[n.fanin[1]]) != 0 ? 1 : 0;
-      break;
-    case Op::Or:
-      values_[id] = (values_[n.fanin[0]] | values_[n.fanin[1]]) != 0 ? 1 : 0;
-      break;
-    case Op::Xor:
-      values_[id] = (values_[n.fanin[0]] ^ values_[n.fanin[1]]) != 0 ? 1 : 0;
-      break;
-    case Op::Mux:
-      values_[id] =
-          values_[n.fanin[0]] != 0 ? values_[n.fanin[2]] : values_[n.fanin[1]];
-      break;
-    case Op::Output:
-      values_[id] = values_[n.fanin[0]];
-      break;
-    case Op::RomBit: {
-      std::uint64_t addr = 0;
-      for (std::size_t i = 0; i < n.fanin.size(); ++i) {
-        if (values_[n.fanin[i]] != 0) addr |= std::uint64_t{1} << i;
-      }
-      const Rom& rom = nl_->rom(n.romId);
-      const std::uint64_t word =
-          addr < rom.words.size() ? rom.words[addr] : 0;
-      values_[id] = ((word >> n.romBit) & 1u) != 0 ? 1 : 0;
-      break;
-    }
-  }
-}
-
-void NetlistSim::settle() {
-  for (NodeId id : order_) evalNode(id);
-}
-
-void NetlistSim::clock() {
-  for (NodeId id : nl_->dffs()) {
-    const Node& n = nl_->node(id);
-    const bool enabled = !n.hasEnable || values_[n.fanin[1]] != 0;
-    dffNext_[id] = enabled ? values_[n.fanin[0]] : values_[id];
-  }
-  for (NodeId id : nl_->dffs()) values_[id] = dffNext_[id];
-  settle();
-}
-
-std::uint64_t NetlistSim::busValue(std::span<const NodeId> bus) const {
-  std::uint64_t v = 0;
-  for (std::size_t i = 0; i < bus.size(); ++i) {
-    if (value(bus[i])) v |= std::uint64_t{1} << i;
-  }
-  return v;
-}
-
 bool NetlistSim::outputValue(const std::string& name) const {
-  for (NodeId id : nl_->outputs()) {
-    if (nl_->node(id).name == name) return value(id);
+  for (NodeId id : bits_.netlist().outputs()) {
+    if (bits_.netlist().node(id).name == name) return value(id);
   }
   throw std::invalid_argument("NetlistSim::outputValue: no output named " +
                               name);

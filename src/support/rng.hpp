@@ -1,0 +1,31 @@
+#pragma once
+// Small deterministic PRNG shared by the equivalence sweep, the benchmark
+// harness and the randomized tests. Reproducibility matters more than
+// statistical strength here, so a fixed-seed SplitMix64 beats <random>
+// (whose distributions are implementation-defined).
+
+#include <cstdint>
+
+namespace lis::support {
+
+class SplitMix64 {
+public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform-ish value in [0, bound); bound must be non-zero.
+  std::uint64_t below(std::uint64_t bound) { return next() % bound; }
+
+  bool flip() { return (next() & 1u) != 0; }
+
+private:
+  std::uint64_t state_;
+};
+
+} // namespace lis::support

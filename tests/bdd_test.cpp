@@ -1,0 +1,135 @@
+#include "logic/bdd.hpp"
+
+#include <set>
+
+#include "support/rng.hpp"
+#include "test_util.hpp"
+
+using lis::logic::BddManager;
+using lis::logic::BddRef;
+
+namespace {
+
+void testBasics() {
+  BddManager mgr(4);
+  const BddRef x = mgr.var(0);
+  const BddRef y = mgr.var(1);
+
+  CHECK_EQ(mgr.bddAnd(x, BddManager::kTrue), x);
+  CHECK_EQ(mgr.bddAnd(x, BddManager::kFalse), BddManager::kFalse);
+  CHECK_EQ(mgr.bddOr(x, BddManager::kFalse), x);
+  CHECK_EQ(mgr.bddOr(x, BddManager::kTrue), BddManager::kTrue);
+  CHECK_EQ(mgr.bddXor(x, x), BddManager::kFalse);
+  CHECK_EQ(mgr.bddNot(BddManager::kFalse), BddManager::kTrue);
+  CHECK_EQ(mgr.bddNot(mgr.bddNot(x)), x);
+  CHECK_EQ(mgr.nvar(0), mgr.bddNot(x));
+
+  // evaluate over all 4 assignments of (x, y).
+  const BddRef f = mgr.bddAnd(x, mgr.bddNot(y));
+  CHECK(!mgr.evaluate(f, 0b00));
+  CHECK(mgr.evaluate(f, 0b01));  // x=1, y=0
+  CHECK(!mgr.evaluate(f, 0b10));
+  CHECK(!mgr.evaluate(f, 0b11));
+}
+
+void testCommutativeCache() {
+  BddManager mgr(4);
+  const BddRef x = mgr.var(0);
+  const BddRef y = mgr.var(1);
+
+  const BddRef f1 = mgr.bddAnd(x, y);
+  const std::size_t nodesAfter = mgr.nodeCount();
+  const std::uint64_t hitsAfter = mgr.stats().computedHits;
+
+  // The swapped call must be answered from the same cache entry: identical
+  // result, at least one new hit, and no new nodes.
+  const BddRef f2 = mgr.bddAnd(y, x);
+  CHECK_EQ(f1, f2);
+  CHECK(mgr.stats().computedHits > hitsAfter);
+  CHECK_EQ(mgr.nodeCount(), nodesAfter);
+
+  const BddRef g1 = mgr.bddXor(x, y);
+  const BddRef g2 = mgr.bddXor(y, x);
+  CHECK_EQ(g1, g2);
+  const BddRef h1 = mgr.bddOr(x, y);
+  const BddRef h2 = mgr.bddOr(y, x);
+  CHECK_EQ(h1, h2);
+}
+
+void testCanonicity() {
+  BddManager mgr(8);
+  const BddRef a = mgr.var(0);
+  const BddRef b = mgr.var(1);
+  const BddRef c = mgr.var(2);
+
+  // Structurally different, functionally equal builds must converge on the
+  // same ref (that is what makes BDD equivalence a pointer compare).
+  const BddRef maj1 =
+      mgr.bddOr(mgr.bddOr(mgr.bddAnd(a, b), mgr.bddAnd(a, c)),
+                mgr.bddAnd(b, c));
+  const BddRef maj2 = mgr.ite(a, mgr.bddOr(b, c), mgr.bddAnd(b, c));
+  CHECK_EQ(maj1, maj2);
+
+  const BddRef x1 = mgr.bddXor(mgr.bddXor(a, b), c);
+  const BddRef x2 = mgr.bddXor(a, mgr.bddXor(b, c));
+  CHECK_EQ(x1, x2);
+}
+
+void testSatCountAnySatRestrict() {
+  BddManager mgr(8);
+  const BddRef x = mgr.var(0);
+  const BddRef y = mgr.var(1);
+
+  const BddRef f = mgr.bddOr(x, y); // 3/4 of 2^8 assignments
+  CHECK_EQ(static_cast<std::uint64_t>(mgr.satCount(f)), 192u);
+  CHECK_EQ(static_cast<std::uint64_t>(mgr.satCount(BddManager::kTrue)), 256u);
+  CHECK_EQ(static_cast<std::uint64_t>(mgr.satCount(BddManager::kFalse)), 0u);
+
+  std::uint64_t assignment = 0;
+  CHECK(!mgr.anySat(BddManager::kFalse, assignment));
+  const BddRef g = mgr.bddAnd(x, y);
+  CHECK(mgr.anySat(g, assignment));
+  CHECK(mgr.evaluate(g, assignment));
+
+  CHECK_EQ(mgr.restrict(g, 0, true), y);
+  CHECK_EQ(mgr.restrict(g, 0, false), BddManager::kFalse);
+  CHECK_EQ(mgr.restrict(g, 1, true), x);
+}
+
+void testGrowthStress() {
+  // Build the characteristic function of a random 16-bit codeword set. The
+  // arena grows well past the initial table capacity, exercising rehashing,
+  // and membership must survive it exactly.
+  BddManager mgr(16);
+  lis::support::SplitMix64 rng(99);
+  std::set<std::uint64_t> members;
+  BddRef f = BddManager::kFalse;
+  for (int i = 0; i < 1500; ++i) {
+    const std::uint64_t m = rng.next() & 0xffffu;
+    members.insert(m);
+    BddRef minterm = BddManager::kTrue;
+    for (unsigned v = 0; v < 16; ++v) {
+      minterm = mgr.bddAnd(minterm,
+                           ((m >> v) & 1u) != 0 ? mgr.var(v) : mgr.nvar(v));
+    }
+    f = mgr.bddOr(f, minterm);
+  }
+  CHECK(mgr.stats().uniqueGrowths > 0);
+  CHECK_EQ(static_cast<std::uint64_t>(mgr.satCount(f)), members.size());
+  for (int i = 0; i < 4000; ++i) {
+    const std::uint64_t probe = rng.next() & 0xffffu;
+    CHECK_EQ(mgr.evaluate(f, probe) ? 1 : 0,
+             members.count(probe) != 0 ? 1 : 0);
+  }
+}
+
+} // namespace
+
+int main() {
+  testBasics();
+  testCommutativeCache();
+  testCanonicity();
+  testSatCountAnySatRestrict();
+  testGrowthStress();
+  return testExit();
+}

@@ -1,0 +1,103 @@
+#include "netlist/netlist_sim.hpp"
+
+#include <stdexcept>
+
+#include "netlist/buses.hpp"
+#include "test_util.hpp"
+
+using namespace lis::netlist;
+
+namespace {
+
+void testCounter() {
+  Netlist nl("counter");
+  BusBuilder bb(nl);
+  const NodeId en = nl.addInput("en");
+  Bus regs = bb.registerBus(8, 0x2A, "cnt");
+  bb.connectRegister(regs, bb.incrementer(regs), en);
+  bb.outputBus("q", regs);
+
+  NetlistSim sim(nl);
+  CHECK_EQ(sim.busValue(regs), 0x2Au);
+
+  sim.setInput(en, true);
+  sim.settle();
+  for (int i = 0; i < 5; ++i) sim.clock();
+  CHECK_EQ(sim.busValue(regs), 0x2Fu);
+
+  sim.setInput(en, false);
+  sim.settle();
+  for (int i = 0; i < 3; ++i) sim.clock();
+  CHECK_EQ(sim.busValue(regs), 0x2Fu); // held
+
+  sim.reset();
+  CHECK_EQ(sim.busValue(regs), 0x2Au);
+}
+
+void testRom() {
+  Netlist nl("rom");
+  BusBuilder bb(nl);
+  Bus addr = bb.inputBus("addr", 2);
+  const std::uint32_t rom = nl.addRom(8, {0x11, 0x22, 0x33, 0x00}, "r");
+  Bus data = bb.romRead(rom, addr);
+  bb.outputBus("data", data);
+
+  NetlistSim sim(nl);
+  const std::uint64_t expect[] = {0x11, 0x22, 0x33, 0x00};
+  for (std::uint64_t a = 0; a < 4; ++a) {
+    sim.setInputBus(addr, a);
+    sim.settle();
+    CHECK_EQ(sim.busValue(data), expect[a]);
+  }
+}
+
+void testWideBusGuard() {
+  Netlist nl("wide");
+  BusBuilder bb(nl);
+  Bus wide = bb.inputBus("w", 65);
+  NetlistSim sim(nl);
+  CHECK_THROWS(sim.setInputBus(wide, 0), std::invalid_argument);
+  CHECK_THROWS(sim.busValue(wide), std::invalid_argument);
+
+  // A full 64-bit bus is still fine end to end.
+  Netlist nl64("w64");
+  BusBuilder bb64(nl64);
+  Bus bus = bb64.inputBus("v", 64);
+  bb64.outputBus("o", bus);
+  NetlistSim sim64(nl64);
+  sim64.setInputBus(bus, 0x8000000000000001ull);
+  sim64.settle();
+  CHECK_EQ(sim64.busValue(bus), 0x8000000000000001ull);
+}
+
+void testRomAddressGuard() {
+  Netlist nl("romguard");
+  BusBuilder bb(nl);
+  Bus wide = bb.inputBus("a", 65);
+  const std::uint32_t rom = nl.addRom(1, {1, 0}, "r");
+  CHECK_THROWS(nl.mkRomBit(rom, 0, wide), std::invalid_argument);
+}
+
+void testErrors() {
+  Netlist nl("errs");
+  const NodeId a = nl.addInput("a");
+  const NodeId o = nl.addOutput("o", nl.mkNot(a));
+  (void)o;
+  NetlistSim sim(nl);
+  CHECK_THROWS(sim.setInput(o, true), std::invalid_argument);
+  sim.setInput(a, false);
+  sim.settle();
+  CHECK(sim.outputValue("o"));
+  CHECK_THROWS(sim.outputValue("nope"), std::invalid_argument);
+}
+
+} // namespace
+
+int main() {
+  testCounter();
+  testRom();
+  testWideBusGuard();
+  testRomAddressGuard();
+  testErrors();
+  return testExit();
+}

@@ -1,0 +1,54 @@
+#pragma once
+// Minimal check macros for the ctest-registered unit tests: no framework
+// dependency, a failing check prints its location and the binary exits
+// non-zero from testExit().
+
+#include <cstdio>
+
+inline int g_failures = 0;
+
+#define CHECK(cond)                                                        \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::printf("FAIL %s:%d: %s\n", __FILE__, __LINE__, #cond);          \
+      ++g_failures;                                                        \
+    }                                                                      \
+  } while (0)
+
+#define CHECK_EQ(a, b)                                                     \
+  do {                                                                     \
+    const auto va_ = (a);                                                  \
+    const auto vb_ = (b);                                                  \
+    if (!(va_ == vb_)) {                                                   \
+      std::printf("FAIL %s:%d: %s == %s (lhs=%llu rhs=%llu)\n", __FILE__,  \
+                  __LINE__, #a, #b,                                        \
+                  static_cast<unsigned long long>(va_),                    \
+                  static_cast<unsigned long long>(vb_));                   \
+      ++g_failures;                                                        \
+    }                                                                      \
+  } while (0)
+
+#define CHECK_THROWS(expr, Ex)                                             \
+  do {                                                                     \
+    bool caught_ = false;                                                  \
+    try {                                                                  \
+      (void)(expr);                                                       \
+    } catch (const Ex&) {                                                  \
+      caught_ = true;                                                      \
+    } catch (...) {                                                        \
+    }                                                                      \
+    if (!caught_) {                                                        \
+      std::printf("FAIL %s:%d: expected %s from %s\n", __FILE__, __LINE__, \
+                  #Ex, #expr);                                             \
+      ++g_failures;                                                        \
+    }                                                                      \
+  } while (0)
+
+inline int testExit() {
+  if (g_failures != 0) {
+    std::printf("%d check(s) failed\n", g_failures);
+    return 1;
+  }
+  std::printf("OK\n");
+  return 0;
+}
