@@ -12,12 +12,15 @@
 #include <sstream>
 #include <string>
 
+#include "lis/wrapper.hpp"
 #include "logic/bdd.hpp"
 #include "netlist/bitsim.hpp"
 #include "netlist/equiv.hpp"
 #include "netlist/generate.hpp"
 #include "netlist/netlist_sim.hpp"
 #include "support/rng.hpp"
+#include "techmap/lutmap.hpp"
+#include "timing/sta.hpp"
 
 namespace {
 
@@ -37,6 +40,7 @@ double secondsOf(F&& f) {
 
 struct SimBench {
   std::size_t nodes = 0;
+  std::size_t gates = 0;
   double scalarPatternsPerSec = 0;
   double bitsimPatternsPerSec = 0;
   double speedup = 0;
@@ -48,6 +52,7 @@ SimBench benchSim() {
   SimBench r;
   const Netlist dag = gen::randomDag(64, 8000, 32, /*seed=*/42);
   r.nodes = dag.nodeCount();
+  r.gates = dag.stats().gates;
   const NodeId probe = dag.outputs().front();
 
   lis::support::SplitMix64 rng(1);
@@ -122,6 +127,72 @@ EquivBench benchEquiv(std::string name, const Netlist& a, const Netlist& b) {
   return r;
 }
 
+// Table-1-style numbers for the wrapper synthesis flow: area (LUT/FF/
+// slice via lutmap), fmax (via STA) and two-level control cost per channel
+// configuration and state encoding.
+struct WrapperBench {
+  unsigned inputs = 0;
+  unsigned outputs = 0;
+  unsigned relayDepth = 0;
+  const char* encoding = "";
+  std::size_t gates = 0;
+  std::size_t dffs = 0;
+  std::size_t luts = 0;
+  std::size_t ffs = 0;
+  std::size_t slices = 0;
+  unsigned lutDepth = 0;
+  double fmaxMHz = 0;
+  std::size_t sopCubes = 0;
+  std::size_t sopLiterals = 0;
+  double synthSeconds = 0;
+};
+
+WrapperBench benchWrapper(unsigned numIn, unsigned numOut, unsigned depth,
+                          lis::sync::Encoding enc) {
+  namespace sync = lis::sync;
+  WrapperBench r;
+  r.inputs = numIn;
+  r.outputs = numOut;
+  r.relayDepth = depth;
+  r.encoding = sync::encodingName(enc);
+
+  sync::WrapperConfig cfg;
+  cfg.numInputs = numIn;
+  cfg.numOutputs = numOut;
+  cfg.relayDepth = depth;
+  cfg.encoding = enc;
+  sync::Wrapper w;
+  r.synthSeconds = secondsOf([&] { w = sync::buildWrapper(cfg); });
+
+  const lis::netlist::NetlistStats st = w.netlist.stats();
+  r.gates = st.gates;
+  r.dffs = st.dffs;
+  r.sopCubes = w.control.cubesAfter;
+  r.sopLiterals = w.control.literalsAfter;
+
+  const auto mapped = lis::techmap::mapToLuts(w.netlist, 4);
+  const auto area = lis::techmap::areaOf(mapped);
+  r.luts = area.luts;
+  r.ffs = area.ffs;
+  r.slices = area.slices;
+  r.lutDepth = mapped.depth;
+  r.fmaxMHz = lis::timing::analyze(mapped).fmaxMHz;
+  return r;
+}
+
+std::string jsonWrapper(const WrapperBench& b) {
+  std::ostringstream os;
+  os << "    {\"inputs\": " << b.inputs << ", \"outputs\": " << b.outputs
+     << ", \"relay_depth\": " << b.relayDepth << ", \"encoding\": \""
+     << b.encoding << "\", \"gates\": " << b.gates << ", \"dffs\": " << b.dffs
+     << ", \"luts\": " << b.luts << ", \"ffs\": " << b.ffs
+     << ", \"slices\": " << b.slices << ", \"lut_depth\": " << b.lutDepth
+     << ", \"fmax_mhz\": " << b.fmaxMHz << ", \"sop_cubes\": " << b.sopCubes
+     << ", \"sop_literals\": " << b.sopLiterals
+     << ", \"synth_seconds\": " << b.synthSeconds << "}";
+  return os.str();
+}
+
 std::string jsonEquiv(const EquivBench& e) {
   std::ostringstream os;
   os << "    {\"name\": \"" << e.name << "\", \"seconds\": " << e.seconds
@@ -139,10 +210,10 @@ int main(int argc, char** argv) {
   const std::string outPath = argc > 1 ? argv[1] : "BENCH_sim.json";
 
   const SimBench sim = benchSim();
-  std::printf("sim: %zu nodes, scalar %.0f pat/s, bit-parallel %.0f pat/s "
-              "(%u words), speedup %.1fx\n",
-              sim.nodes, sim.scalarPatternsPerSec, sim.bitsimPatternsPerSec,
-              sim.bitsimWords, sim.speedup);
+  std::printf("sim: %zu nodes (%zu gates), scalar %.0f pat/s, bit-parallel "
+              "%.0f pat/s (%u words), speedup %.1fx\n",
+              sim.nodes, sim.gates, sim.scalarPatternsPerSec,
+              sim.bitsimPatternsPerSec, sim.bitsimWords, sim.speedup);
 
   const BddBench bdd = benchBdd();
   std::printf("bdd: adder32 built in %.3fs, %llu applies (%.0f apply/s), "
@@ -170,10 +241,29 @@ int main(int argc, char** argv) {
                 e.seconds, e.equivalent ? 1 : 0, e.foundBySimulation ? 1 : 0);
   }
 
+  std::vector<WrapperBench> wrappers;
+  const struct {
+    unsigned in, out;
+  } shapes[] = {{1, 1}, {2, 1}, {2, 2}, {3, 1}};
+  for (const auto& shape : shapes) {
+    for (lis::sync::Encoding enc :
+         {lis::sync::Encoding::OneHot, lis::sync::Encoding::Binary}) {
+      wrappers.push_back(benchWrapper(shape.in, shape.out, 2, enc));
+    }
+  }
+  for (const WrapperBench& b : wrappers) {
+    std::printf("wrapper %ux%u d%u %-6s %4zu LUT %4zu FF %4zu slices "
+                "depth %u fmax %.1f MHz (%zu cubes, %zu literals, %.3fs)\n",
+                b.inputs, b.outputs, b.relayDepth, b.encoding, b.luts, b.ffs,
+                b.slices, b.lutDepth, b.fmaxMHz, b.sopCubes, b.sopLiterals,
+                b.synthSeconds);
+  }
+
   std::ostringstream js;
   js << "{\n"
      << "  \"sim\": {\n"
      << "    \"netlist_nodes\": " << sim.nodes << ",\n"
+     << "    \"netlist_gates\": " << sim.gates << ",\n"
      << "    \"scalar_patterns_per_sec\": " << sim.scalarPatternsPerSec
      << ",\n"
      << "    \"bitsim_patterns_per_sec\": " << sim.bitsimPatternsPerSec
@@ -191,6 +281,11 @@ int main(int argc, char** argv) {
      << "  \"equiv\": [\n";
   for (std::size_t i = 0; i < equivs.size(); ++i) {
     js << jsonEquiv(equivs[i]) << (i + 1 < equivs.size() ? ",\n" : "\n");
+  }
+  js << "  ],\n"
+     << "  \"wrapper\": [\n";
+  for (std::size_t i = 0; i < wrappers.size(); ++i) {
+    js << jsonWrapper(wrappers[i]) << (i + 1 < wrappers.size() ? ",\n" : "\n");
   }
   js << "  ]\n}\n";
 

@@ -1,0 +1,179 @@
+#include "lis/cosim.hpp"
+
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "lis/behavioral.hpp"
+#include "netlist/netlist_sim.hpp"
+#include "sim/simulator.hpp"
+#include "support/rng.hpp"
+
+namespace lis::sync {
+
+namespace {
+
+std::string cyc(std::uint64_t cycle, const std::string& what) {
+  std::ostringstream os;
+  os << "cycle " << cycle << ": " << what;
+  return os.str();
+}
+
+} // namespace
+
+CosimResult cosimWrapper(const WrapperConfig& cfg, const CosimOptions& opts) {
+  Wrapper w = buildWrapper(cfg);
+  netlist::NetlistSim gate(w.netlist);
+
+  // Behavioural fleet. Wires are owned here; modules reference them.
+  sim::Simulator beh;
+  auto boolWire = [&](const std::string& name) {
+    return std::make_unique<sim::Wire<bool>>(beh, name);
+  };
+  auto dataWire = [&](const std::string& name) {
+    return std::make_unique<sim::Wire<std::uint64_t>>(beh, name,
+                                                      cfg.dataWidth);
+  };
+  std::vector<std::unique_ptr<sim::Wire<bool>>> bools;
+  std::vector<std::unique_ptr<sim::Wire<std::uint64_t>>> datas;
+
+  ShellModel::Io io;
+  for (unsigned i = 0; i < cfg.numInputs; ++i) {
+    const std::string n = "in" + std::to_string(i);
+    bools.push_back(boolWire(n + "_valid"));
+    io.inValid.push_back(bools.back().get());
+    datas.push_back(dataWire(n + "_data"));
+    io.inData.push_back(datas.back().get());
+    bools.push_back(boolWire(n + "_stop"));
+    io.inStop.push_back(bools.back().get());
+    datas.push_back(dataWire(n + "_pearl"));
+    io.pearlIn.push_back(datas.back().get());
+  }
+  bools.push_back(boolWire("fire"));
+  io.pearlFire = bools.back().get();
+  datas.push_back(dataWire("pearl_out"));
+  io.pearlOut = datas.back().get();
+
+  // Per output channel: shell->relay link wires and wrapper-level ports.
+  std::vector<sim::Wire<bool>*> outValid, outStop;
+  std::vector<sim::Wire<std::uint64_t>*> outData;
+  std::vector<std::unique_ptr<RelayStationModel>> relays;
+  for (unsigned j = 0; j < cfg.numOutputs; ++j) {
+    const std::string n = "out" + std::to_string(j);
+    bools.push_back(boolWire(n + "_link_valid"));
+    sim::Wire<bool>& linkValid = *bools.back();
+    io.outValid.push_back(&linkValid);
+    datas.push_back(dataWire(n + "_link_data"));
+    sim::Wire<std::uint64_t>& linkData = *datas.back();
+    io.outData.push_back(&linkData);
+    bools.push_back(boolWire(n + "_link_stop"));
+    sim::Wire<bool>& linkStop = *bools.back();
+    io.outStop.push_back(&linkStop);
+
+    bools.push_back(boolWire(n + "_valid"));
+    outValid.push_back(bools.back().get());
+    datas.push_back(dataWire(n + "_data"));
+    outData.push_back(datas.back().get());
+    bools.push_back(boolWire(n + "_stop"));
+    outStop.push_back(bools.back().get());
+
+    relays.push_back(std::make_unique<RelayStationModel>(
+        "rs" + std::to_string(j), cfg.relayDepth, linkValid, linkData,
+        linkStop, *outValid.back(), *outData.back(), *outStop.back()));
+  }
+
+  ShellModel shell("shell", cfg.dataWidth, io);
+  PearlModel pearl("pearl", cfg.dataWidth, *io.pearlFire, io.pearlIn,
+                   *io.pearlOut);
+  beh.add(shell);
+  beh.add(pearl);
+  for (auto& rs : relays) beh.add(*rs);
+  if (opts.vcd != nullptr) {
+    opts.vcd->traceAll(beh.wires());
+    beh.attachVcd(opts.vcd);
+  }
+
+  gate.reset();
+  beh.reset();
+
+  support::SplitMix64 rng(opts.seed);
+  const std::uint64_t mask = widthMask(cfg.dataWidth);
+
+  // Persistent LIS sources: once a token is offered, valid and data are
+  // held until the transfer completes (valid && !stop) — the behaviour of
+  // a real upstream shell or relay station. This is what exercises the
+  // offer-under-stop path of the shell control.
+  std::vector<bool> pending(cfg.numInputs, false);
+  std::vector<std::uint64_t> pendingData(cfg.numInputs, 0);
+
+  CosimResult result;
+  for (std::uint64_t cycle = 0; cycle < opts.cycles; ++cycle) {
+    // Re-settle the behavioural side so its wires reflect the post-clock
+    // register state (Simulator::step clocks *after* settling, so wires are
+    // one phase stale here; the gate side re-settles inside clock()). The
+    // stop outputs are Moore, so sources may then read them before
+    // offering tokens.
+    beh.settle();
+    for (unsigned i = 0; i < cfg.numInputs; ++i) {
+      const bool stopGate = gate.value(w.ports.inStop[i]);
+      const bool stopBeh = io.inStop[i]->read();
+      if (stopGate != stopBeh) {
+        result.mismatch = cyc(cycle, "in" + std::to_string(i) + "_stop: gate=" +
+                                         std::to_string(stopGate) +
+                                         " behavioural=" +
+                                         std::to_string(stopBeh));
+        return result;
+      }
+      if (!pending[i] && rng.below(100) < opts.offerPercent) {
+        pending[i] = true;
+        pendingData[i] = rng.next() & mask;
+      }
+      const bool valid = pending[i];
+      gate.setInput(w.ports.inValid[i], valid);
+      gate.setInputBus(w.ports.inData[i], pendingData[i]);
+      io.inValid[i]->write(valid);
+      io.inData[i]->write(pendingData[i]);
+      if (valid && !stopBeh) pending[i] = false; // transfer completes
+    }
+    for (unsigned j = 0; j < cfg.numOutputs; ++j) {
+      const bool stall = rng.below(100) < opts.stallPercent;
+      gate.setInput(w.ports.outStop[j], stall);
+      outStop[j]->write(stall);
+    }
+
+    gate.settle();
+    beh.settle();
+
+    for (unsigned j = 0; j < cfg.numOutputs; ++j) {
+      const bool vGate = gate.value(w.ports.outValid[j]);
+      const bool vBeh = outValid[j]->read();
+      if (vGate != vBeh) {
+        result.mismatch = cyc(cycle, "out" + std::to_string(j) + "_valid: gate=" +
+                                         std::to_string(vGate) +
+                                         " behavioural=" + std::to_string(vBeh));
+        return result;
+      }
+      if (vGate) {
+        const std::uint64_t dGate = gate.busValue(w.ports.outData[j]);
+        const std::uint64_t dBeh = outData[j]->read();
+        if (dGate != dBeh) {
+          std::ostringstream os;
+          os << "out" << j << "_data: gate=0x" << std::hex << dGate
+             << " behavioural=0x" << dBeh;
+          result.mismatch = cyc(cycle, os.str());
+          return result;
+        }
+        if (!outStop[j]->read()) ++result.tokens;
+      }
+    }
+
+    gate.clock();
+    beh.step();
+    ++result.cyclesRun;
+  }
+  result.fires = shell.fires();
+  result.ok = true;
+  return result;
+}
+
+} // namespace lis::sync

@@ -1,0 +1,40 @@
+#pragma once
+// Co-simulation oracle: drive the synthesized wrapper netlist (scalar
+// NetlistSim view over BitSim) and the behavioural model fleet (ShellModel
+// + PearlModel + one RelayStationModel per output channel) with identical
+// randomized stall patterns, and check cycle-accurate agreement of every
+// protocol output. Sources respect the LIS protocol: a token is only
+// offered when the wrapper's (Moore) stop output is low.
+
+#include <cstdint>
+#include <string>
+
+#include "lis/wrapper.hpp"
+#include "sim/vcd.hpp"
+
+namespace lis::sync {
+
+struct CosimOptions {
+  std::uint64_t cycles = 1500;
+  std::uint64_t seed = 0xC0517;
+  unsigned offerPercent = 70; // P(source offers a token), per channel/cycle
+  unsigned stallPercent = 30; // P(sink asserts stop), per channel/cycle
+  /// Optional trace of the behavioural side (attached to its Simulator,
+  /// all wires traced). Must not have sampled yet.
+  sim::VcdWriter* vcd = nullptr;
+};
+
+struct CosimResult {
+  bool ok = false;
+  std::uint64_t cyclesRun = 0;
+  std::uint64_t fires = 0;  // pearl activations (behavioural count)
+  std::uint64_t tokens = 0; // tokens delivered across all output channels
+  std::string mismatch;     // first disagreement, empty when ok
+};
+
+/// Build the wrapper for `cfg` and co-simulate it against the behavioural
+/// models for opts.cycles cycles.
+CosimResult cosimWrapper(const WrapperConfig& cfg,
+                         const CosimOptions& opts = {});
+
+} // namespace lis::sync

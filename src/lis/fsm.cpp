@@ -1,0 +1,253 @@
+#include "lis/fsm.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lis::sync {
+
+namespace {
+
+std::string bitString(std::uint64_t value, unsigned bits) {
+  std::string s;
+  for (unsigned i = bits; i-- > 0;) {
+    s.push_back(((value >> i) & 1u) != 0 ? '1' : '0');
+  }
+  return s;
+}
+
+std::string cat(const char* prefix, std::string suffix) {
+  std::string s(prefix);
+  s += suffix;
+  return s;
+}
+
+logic::Cube mintermCube(unsigned numVars, std::uint64_t assignment) {
+  logic::Cube c(numVars);
+  for (unsigned v = 0; v < numVars; ++v) {
+    c.setLiteral(v, ((assignment >> v) & 1u) != 0 ? logic::Cube::Literal::Pos
+                                                  : logic::Cube::Literal::Neg);
+  }
+  return c;
+}
+
+} // namespace
+
+void FsmSpec::validate() const {
+  if (states.empty()) throw std::invalid_argument(name + ": no states");
+  if (resetState >= numStates()) {
+    throw std::invalid_argument(name + ": reset state out of range");
+  }
+  if (moore.size() != states.size()) {
+    throw std::invalid_argument(name + ": moore value per state required");
+  }
+  if (mooreOutputs.size() > 64 || mealyOutputs.size() > 64) {
+    throw std::invalid_argument(name + ": more than 64 outputs");
+  }
+  if (inputs.size() > 16) {
+    throw std::invalid_argument(name + ": more than 16 condition inputs");
+  }
+  for (const FsmTransition& t : transitions) {
+    if (t.from >= numStates() || t.to >= numStates()) {
+      throw std::invalid_argument(name + ": transition state out of range");
+    }
+    if (t.guard.numVars() != numInputs()) {
+      throw std::invalid_argument(name + ": guard variable count mismatch");
+    }
+  }
+  // Completeness and determinism: every (state, minterm) hit exactly once.
+  // Each transition's guard marks the minterms it covers (enumerating only
+  // the don't-care subsets), so the total cost is linear in the covered
+  // minterm count instead of states * 2^inputs * transitions — shellFsm(4,8)
+  // has 65536 transitions and must stay fast.
+  const std::uint64_t minterms = std::uint64_t{1} << numInputs();
+  std::vector<std::vector<const FsmTransition*>> byState(numStates());
+  for (const FsmTransition& t : transitions) byState[t.from].push_back(&t);
+  std::vector<std::uint8_t> hits(minterms);
+  auto fail = [&](unsigned s, std::uint64_t m, const char* what) {
+    std::string msg = name;
+    msg += ": state ";
+    msg += states[s];
+    msg += " minterm ";
+    msg += bitString(m, numInputs());
+    msg += what;
+    throw std::invalid_argument(msg);
+  };
+  for (unsigned s = 0; s < numStates(); ++s) {
+    std::fill(hits.begin(), hits.end(), 0);
+    for (const FsmTransition* t : byState[s]) {
+      std::uint64_t fixed = 0;
+      std::uint64_t dcMask = 0;
+      bool empty = false;
+      for (unsigned v = 0; v < numInputs(); ++v) {
+        switch (t->guard.literal(v)) {
+          case logic::Cube::Literal::Pos: fixed |= std::uint64_t{1} << v; break;
+          case logic::Cube::Literal::DontCare:
+            dcMask |= std::uint64_t{1} << v;
+            break;
+          case logic::Cube::Literal::Neg: break;
+          default: empty = true; break;
+        }
+      }
+      if (empty) continue; // covers nothing
+      std::uint64_t sub = 0;
+      do {
+        const std::uint64_t m = fixed | sub;
+        if (hits[m]++ != 0) fail(s, m, " ambiguous");
+        sub = (sub - dcMask) & dcMask;
+      } while (sub != 0);
+    }
+    for (std::uint64_t m = 0; m < minterms; ++m) {
+      if (hits[m] == 0) fail(s, m, " unmatched");
+    }
+  }
+}
+
+FsmSpec::Step FsmSpec::step(unsigned state, std::uint64_t inputAssignment) const {
+  for (const FsmTransition& t : transitions) {
+    if (t.from == state && t.guard.evaluate(inputAssignment)) {
+      return Step{t.to, t.mealy};
+    }
+  }
+  throw std::logic_error(name + ": no transition (spec not validated?)");
+}
+
+FsmSpec shellFsm(unsigned numInputs, unsigned numOutputs) {
+  if (numInputs == 0 || numInputs > 4 || numOutputs == 0 || numOutputs > 8) {
+    throw std::invalid_argument("shellFsm: supported sizes are 1..4 inputs, 1..8 outputs");
+  }
+  FsmSpec spec;
+  spec.name = "shell";
+  spec.name += std::to_string(numInputs);
+  spec.name += 'x';
+  spec.name += std::to_string(numOutputs);
+  for (unsigned i = 0; i < numInputs; ++i) {
+    spec.inputs.push_back(cat("v", std::to_string(i)));
+  }
+  for (unsigned j = 0; j < numOutputs; ++j) {
+    spec.inputs.push_back(cat("stop", std::to_string(j)));
+  }
+  for (unsigned i = 0; i < numInputs; ++i) {
+    spec.mooreOutputs.push_back(cat("stopo", std::to_string(i)));
+  }
+  spec.mealyOutputs.push_back("fire");
+  for (unsigned i = 0; i < numInputs; ++i) {
+    spec.mealyOutputs.push_back(cat("cap", std::to_string(i)));
+  }
+
+  // Transitions are emitted as cubes, not minterms — the guard structure
+  // is what keeps two-level minimization tractable at the larger channel
+  // counts (a 4x8 shell has 2^12 input minterms per state).
+  //
+  // Token rule per channel: firing consumes the buffered token when
+  // present, the fresh one otherwise; a fresh token that cannot fire is
+  // captured into the free buffer. A token offered while the buffer is
+  // full (stopo asserted) is NOT a transfer — the upstream must hold it
+  // and re-offer, so it is never captured; capturing it would duplicate
+  // the token when the upstream (e.g. a relay station) keeps valid
+  // asserted under stop. Consequence: on fire the buffers always drain
+  // (next state 0) and nothing is captured, so the whole fire region of a
+  // state is ONE cube: v<i>=1 for unbuffered channels, every stop<j>=0.
+  const unsigned numVars = numInputs + numOutputs;
+  const unsigned numStates = 1u << numInputs;
+  for (unsigned buf = 0; buf < numStates; ++buf) {
+    spec.states.push_back(cat("b", bitString(buf, numInputs)));
+    spec.moore.push_back(buf); // stopo<i> = buffer i occupied
+
+    FsmTransition fire;
+    fire.from = buf;
+    fire.guard = logic::Cube(numVars);
+    for (unsigned i = 0; i < numInputs; ++i) {
+      if (((buf >> i) & 1u) == 0) {
+        fire.guard.setLiteral(i, logic::Cube::Literal::Pos);
+      }
+    }
+    for (unsigned j = 0; j < numOutputs; ++j) {
+      fire.guard.setLiteral(numInputs + j, logic::Cube::Literal::Neg);
+    }
+    fire.to = 0;
+    fire.mealy = 1; // fire, no captures
+    spec.transitions.push_back(std::move(fire));
+
+    // Non-fire: exact valid pattern V; buffers accumulate B ∪ V, fresh
+    // tokens into free buffers are captured. When all channels are ready
+    // the no-fire condition "some stop high" is covered by M disjoint
+    // prefix cubes (stop<0..j-1>=0, stop<j>=1); otherwise stops are free.
+    for (unsigned v = 0; v < numStates; ++v) {
+      const unsigned nextBuf = buf | v;
+      std::uint64_t mealy = 0;
+      for (unsigned i = 0; i < numInputs; ++i) {
+        if (((v >> i) & 1u) != 0 && ((buf >> i) & 1u) == 0) {
+          mealy |= std::uint64_t{1} << (1 + i);
+        }
+      }
+      const bool allReady = nextBuf == numStates - 1;
+      FsmTransition base;
+      base.from = buf;
+      base.guard = logic::Cube(numVars);
+      for (unsigned i = 0; i < numInputs; ++i) {
+        base.guard.setLiteral(i, ((v >> i) & 1u) != 0
+                                     ? logic::Cube::Literal::Pos
+                                     : logic::Cube::Literal::Neg);
+      }
+      base.to = nextBuf;
+      base.mealy = mealy;
+      if (!allReady) {
+        spec.transitions.push_back(std::move(base));
+        continue;
+      }
+      for (unsigned j = 0; j < numOutputs; ++j) {
+        FsmTransition t = base;
+        for (unsigned jj = 0; jj < j; ++jj) {
+          t.guard.setLiteral(numInputs + jj, logic::Cube::Literal::Neg);
+        }
+        t.guard.setLiteral(numInputs + j, logic::Cube::Literal::Pos);
+        spec.transitions.push_back(std::move(t));
+      }
+    }
+  }
+  spec.validate();
+  return spec;
+}
+
+FsmSpec relayFsm(unsigned depth) {
+  if (depth == 0 || depth > 8) {
+    throw std::invalid_argument("relayFsm: depth must be in 1..8");
+  }
+  FsmSpec spec;
+  spec.name = cat("relay", std::to_string(depth));
+  spec.inputs = {"v", "stop"};
+  spec.mooreOutputs = {"vout", "stopo"};
+  spec.mealyOutputs.push_back("pop");
+  for (unsigned k = 0; k < depth; ++k) {
+    spec.mealyOutputs.push_back(cat("we", std::to_string(k)));
+  }
+  for (unsigned cnt = 0; cnt <= depth; ++cnt) {
+    spec.states.push_back(cat("c", std::to_string(cnt)));
+    std::uint64_t moore = 0;
+    if (cnt > 0) moore |= 1u;      // vout
+    if (cnt == depth) moore |= 2u; // stopo
+    spec.moore.push_back(moore);
+    for (std::uint64_t m = 0; m < 4; ++m) {
+      const bool valid = (m & 1u) != 0;
+      const bool stop = (m & 2u) != 0;
+      const bool pop = cnt > 0 && !stop;
+      const bool push = valid && cnt < depth;
+      const unsigned next = cnt + (push ? 1u : 0u) - (pop ? 1u : 0u);
+      std::uint64_t mealy = pop ? 1u : 0u;
+      if (push) {
+        const unsigned slot = cnt - (pop ? 1u : 0u);
+        mealy |= std::uint64_t{1} << (1 + slot);
+      }
+      FsmTransition t;
+      t.from = cnt;
+      t.guard = mintermCube(2, m);
+      t.to = next;
+      t.mealy = mealy;
+      spec.transitions.push_back(std::move(t));
+    }
+  }
+  spec.validate();
+  return spec;
+}
+
+} // namespace lis::sync

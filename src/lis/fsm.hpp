@@ -1,0 +1,80 @@
+#pragma once
+// Protocol/FSM specification layer for latency-insensitive synchronization
+// wrappers.
+//
+// An FsmSpec is a symbolic Mealy/Moore machine: named abstract states, named
+// condition inputs, and transitions guarded by cubes over those inputs. The
+// two concrete machines of the DATE'05 wrapper flow are provided as
+// builders:
+//
+//   shellFsm(N, M)  control of a shell around a pearl with N input and M
+//                   output channels. Abstract state = which of the N
+//                   one-place input buffers hold a pending token. The pearl
+//                   fires exactly when every input channel has a token
+//                   (fresh or buffered) and no output channel is stalled.
+//   relayFsm(d)     control of a relay station of capacity d: abstract
+//                   state = occupancy count, with per-slot write enables and
+//                   a shift (pop) strobe as Mealy outputs.
+//
+// Moore outputs (functions of state only) are kept separate from Mealy
+// outputs (functions of state and inputs): the synthesizer emits Moore
+// logic before the transition logic exists, which is what lets mutually
+// dependent wrappers (shell stop <-> relay stop) be composed without
+// combinational construction cycles.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "logic/cube.hpp"
+
+namespace lis::sync {
+
+struct FsmTransition {
+  unsigned from = 0;
+  logic::Cube guard{0}; // over FsmSpec::inputs (variable i = inputs[i])
+  unsigned to = 0;
+  std::uint64_t mealy = 0; // bit i = value of mealyOutputs[i]
+};
+
+struct FsmSpec {
+  std::string name;
+  std::vector<std::string> inputs;
+  std::vector<std::string> mooreOutputs;
+  std::vector<std::string> mealyOutputs;
+  std::vector<std::string> states;
+  std::vector<std::uint64_t> moore; // per state, bit i = mooreOutputs[i]
+  unsigned resetState = 0;
+  std::vector<FsmTransition> transitions;
+
+  unsigned numStates() const { return static_cast<unsigned>(states.size()); }
+  unsigned numInputs() const { return static_cast<unsigned>(inputs.size()); }
+
+  /// Structural well-formedness: indices in range, guards over the right
+  /// variable count, and for every (state, input minterm) exactly one
+  /// matching transition. Throws std::invalid_argument.
+  void validate() const;
+
+  /// Behavioural single step (the reference the synthesized logic is
+  /// checked against): bit i of `inputAssignment` = inputs[i].
+  struct Step {
+    unsigned next = 0;
+    std::uint64_t mealy = 0;
+  };
+  Step step(unsigned state, std::uint64_t inputAssignment) const;
+};
+
+/// Shell control FSM for numInputs input channels and numOutputs output
+/// channels. Inputs: v0..v{N-1} (channel valid), stop0..stop{M-1}
+/// (downstream stop). Moore outputs: stopo<i> (buffer i full -> stall
+/// upstream). Mealy outputs: fire (pearl clock enable / output valid),
+/// cap<i> (capture channel i data into buffer i).
+FsmSpec shellFsm(unsigned numInputs, unsigned numOutputs);
+
+/// Relay-station control FSM of capacity `depth` (>= 1). Inputs: v
+/// (upstream valid), stop (downstream stop). Moore outputs: vout (non
+/// empty), stopo (full). Mealy outputs: pop (shift toward the head),
+/// we<k> (write incoming token into slot k).
+FsmSpec relayFsm(unsigned depth);
+
+} // namespace lis::sync

@@ -1,0 +1,297 @@
+#include "lis/synth.hpp"
+
+#include <stdexcept>
+
+namespace lis::sync {
+
+using logic::Cover;
+using logic::Cube;
+using netlist::Bus;
+using netlist::BusBuilder;
+using netlist::Netlist;
+using netlist::NodeId;
+
+const char* encodingName(Encoding e) {
+  return e == Encoding::OneHot ? "onehot" : "binary";
+}
+
+unsigned stateBitsFor(const FsmSpec& spec, Encoding enc) {
+  if (enc == Encoding::OneHot) return spec.numStates();
+  return BusBuilder::bitsFor(spec.numStates() - 1);
+}
+
+std::uint64_t stateCode(const FsmSpec& spec, Encoding enc, unsigned state) {
+  if (state >= spec.numStates()) {
+    throw std::out_of_range("stateCode: state out of range");
+  }
+  if (enc == Encoding::OneHot) return std::uint64_t{1} << state;
+  return state;
+}
+
+void FsmSynthStats::accumulate(const logic::MinimizeStats& m) {
+  ++functions;
+  cubesBefore += m.cubesBefore;
+  cubesAfter += m.cubesAfter;
+  literalsBefore += m.literalsBefore;
+  literalsAfter += m.literalsAfter;
+}
+
+void FsmSynthStats::accumulate(const FsmSynthStats& other) {
+  functions += other.functions;
+  cubesBefore += other.cubesBefore;
+  cubesAfter += other.cubesAfter;
+  literalsBefore += other.literalsBefore;
+  literalsAfter += other.literalsAfter;
+}
+
+namespace {
+
+/// Cube fixing the state variables (vars [0, stateBits)) to `code`; all
+/// other variables don't-care.
+Cube codeCube(std::uint64_t code, unsigned stateBits, unsigned totalVars) {
+  Cube c(totalVars);
+  for (unsigned b = 0; b < stateBits; ++b) {
+    c.setLiteral(b, ((code >> b) & 1u) != 0 ? Cube::Literal::Pos
+                                            : Cube::Literal::Neg);
+  }
+  return c;
+}
+
+/// Don't-care set: every state-variable assignment that is not the code of
+/// any state. One-hot: the all-zero word plus every word with >= 2 bits set
+/// (covered pairwise). Binary: the unused tail of the code space.
+Cover invalidCodeCover(const FsmSpec& spec, Encoding enc, unsigned stateBits,
+                       unsigned totalVars) {
+  Cover dc(totalVars);
+  if (enc == Encoding::OneHot) {
+    dc.add(codeCube(0, stateBits, totalVars));
+    for (unsigned i = 0; i < stateBits; ++i) {
+      for (unsigned j = i + 1; j < stateBits; ++j) {
+        Cube c(totalVars);
+        c.setLiteral(i, Cube::Literal::Pos);
+        c.setLiteral(j, Cube::Literal::Pos);
+        dc.add(std::move(c));
+      }
+    }
+  } else {
+    const std::uint64_t codes = std::uint64_t{1} << stateBits;
+    for (std::uint64_t code = spec.numStates(); code < codes; ++code) {
+      dc.add(codeCube(code, stateBits, totalVars));
+    }
+  }
+  return dc;
+}
+
+/// Emit a minimized cover as sum-of-products gates. `vars[i]` drives cover
+/// variable i; `notCache` shares inverters across the functions of one FSM.
+NodeId emitSop(Netlist& nl, const Cover& cover, std::span<const NodeId> vars,
+               std::vector<NodeId>& notCache) {
+  if (cover.empty()) return nl.constant(false);
+  std::vector<NodeId> terms;
+  terms.reserve(cover.size());
+  for (const Cube& cube : cover.cubes()) {
+    std::vector<NodeId> lits;
+    for (unsigned v = 0; v < cover.numVars(); ++v) {
+      switch (cube.literal(v)) {
+        case Cube::Literal::Pos:
+          lits.push_back(vars[v]);
+          break;
+        case Cube::Literal::Neg:
+          if (notCache[v] == netlist::kNoNode) notCache[v] = nl.mkNot(vars[v]);
+          lits.push_back(notCache[v]);
+          break;
+        default:
+          break;
+      }
+    }
+    terms.push_back(lits.empty() ? nl.constant(true) : nl.andTree(lits));
+  }
+  return nl.orTree(terms);
+}
+
+NodeId minimizeAndEmit(Netlist& nl, const Cover& onset, const Cover& dcset,
+                       std::span<const NodeId> vars,
+                       std::vector<NodeId>& notCache, FsmSynthStats* stats) {
+  logic::MinimizeStats ms;
+  const Cover minimized = logic::minimize(onset, dcset, &ms);
+  if (stats != nullptr) stats->accumulate(ms);
+  return emitSop(nl, minimized, vars, notCache);
+}
+
+} // namespace
+
+std::unordered_map<std::string, NodeId> buildMooreLogic(
+    const FsmSpec& spec, Encoding enc, Netlist& nl,
+    std::span<const NodeId> stateCodeNodes, FsmSynthStats* stats) {
+  const unsigned stateBits = stateBitsFor(spec, enc);
+  if (stateCodeNodes.size() != stateBits) {
+    throw std::invalid_argument("buildMooreLogic: state-code width mismatch");
+  }
+  const Cover dc = invalidCodeCover(spec, enc, stateBits, stateBits);
+  std::vector<NodeId> notCache(stateBits, netlist::kNoNode);
+
+  std::unordered_map<std::string, NodeId> out;
+  for (std::size_t o = 0; o < spec.mooreOutputs.size(); ++o) {
+    Cover onset(stateBits);
+    for (unsigned s = 0; s < spec.numStates(); ++s) {
+      if (((spec.moore[s] >> o) & 1u) != 0) {
+        onset.add(codeCube(stateCode(spec, enc, s), stateBits, stateBits));
+      }
+    }
+    out[spec.mooreOutputs[o]] =
+        minimizeAndEmit(nl, onset, dc, stateCodeNodes, notCache, stats);
+  }
+  return out;
+}
+
+TransitionLogic buildTransitionLogic(const FsmSpec& spec, Encoding enc,
+                                     Netlist& nl,
+                                     std::span<const NodeId> stateCodeNodes,
+                                     std::span<const NodeId> inputNodes,
+                                     FsmSynthStats* stats) {
+  const unsigned stateBits = stateBitsFor(spec, enc);
+  if (stateCodeNodes.size() != stateBits ||
+      inputNodes.size() != spec.inputs.size()) {
+    throw std::invalid_argument("buildTransitionLogic: node span mismatch");
+  }
+  const unsigned totalVars = stateBits + spec.numInputs();
+  const Cover dc = invalidCodeCover(spec, enc, stateBits, totalVars);
+
+  // One onset per next-state bit and per Mealy output, filled in a single
+  // pass over the transitions.
+  std::vector<Cover> nextOnset(stateBits, Cover(totalVars));
+  std::vector<Cover> mealyOnset(spec.mealyOutputs.size(), Cover(totalVars));
+  for (const FsmTransition& t : spec.transitions) {
+    Cube c = codeCube(stateCode(spec, enc, t.from), stateBits, totalVars);
+    for (unsigned v = 0; v < spec.numInputs(); ++v) {
+      c.setLiteral(stateBits + v, t.guard.literal(v));
+    }
+    const std::uint64_t toCode = stateCode(spec, enc, t.to);
+    for (unsigned b = 0; b < stateBits; ++b) {
+      if (((toCode >> b) & 1u) != 0) nextOnset[b].add(c);
+    }
+    for (std::size_t o = 0; o < spec.mealyOutputs.size(); ++o) {
+      if (((t.mealy >> o) & 1u) != 0) mealyOnset[o].add(c);
+    }
+  }
+
+  std::vector<NodeId> vars(stateCodeNodes.begin(), stateCodeNodes.end());
+  vars.insert(vars.end(), inputNodes.begin(), inputNodes.end());
+  std::vector<NodeId> notCache(totalVars, netlist::kNoNode);
+
+  TransitionLogic out;
+  out.nextState.resize(stateBits);
+  for (unsigned b = 0; b < stateBits; ++b) {
+    out.nextState[b] =
+        minimizeAndEmit(nl, nextOnset[b], dc, vars, notCache, stats);
+  }
+  for (std::size_t o = 0; o < spec.mealyOutputs.size(); ++o) {
+    out.mealy[spec.mealyOutputs[o]] =
+        minimizeAndEmit(nl, mealyOnset[o], dc, vars, notCache, stats);
+  }
+  return out;
+}
+
+FsmInstance::FsmInstance(const FsmSpec& spec, Encoding enc, Netlist& nl,
+                         std::string prefix)
+    : spec_(&spec), enc_(enc), nl_(&nl) {
+  spec.validate();
+  BusBuilder bb(nl);
+  regs_ = bb.registerBus(stateBitsFor(spec, enc),
+                         stateCode(spec, enc, spec.resetState),
+                         prefix + "_s");
+  moore_ = buildMooreLogic(spec, enc, nl, regs_, &stats_);
+}
+
+void FsmInstance::elaborate(std::span<const NodeId> inputNodes) {
+  if (elaborated_) throw std::logic_error("FsmInstance: already elaborated");
+  TransitionLogic t =
+      buildTransitionLogic(*spec_, enc_, *nl_, regs_, inputNodes, &stats_);
+  BusBuilder bb(*nl_);
+  bb.connectRegister(regs_, t.nextState);
+  mealy_ = std::move(t.mealy);
+  elaborated_ = true;
+}
+
+NodeId FsmInstance::moore(const std::string& name) const {
+  auto it = moore_.find(name);
+  if (it == moore_.end()) {
+    throw std::invalid_argument("FsmInstance: unknown Moore output " + name);
+  }
+  return it->second;
+}
+
+NodeId FsmInstance::mealy(const std::string& name) const {
+  if (!elaborated_) {
+    throw std::logic_error("FsmInstance: mealy() before elaborate()");
+  }
+  auto it = mealy_.find(name);
+  if (it == mealy_.end()) {
+    throw std::invalid_argument("FsmInstance: unknown Mealy output " + name);
+  }
+  return it->second;
+}
+
+Netlist fsmTransitionNetlist(const FsmSpec& spec, Encoding enc) {
+  spec.validate();
+  Netlist nl(spec.name + "_trans_" + encodingName(enc));
+  BusBuilder bb(nl);
+
+  const unsigned indexBits = BusBuilder::bitsFor(spec.numStates() - 1);
+  const Bus index = bb.inputBus("s", indexBits);
+  Bus inputs(spec.numInputs());
+  for (unsigned v = 0; v < spec.numInputs(); ++v) {
+    inputs[v] = nl.addInput(spec.inputs[v]);
+  }
+
+  // Decode the abstract index into this encoding's state code, and remember
+  // which indices name a real state.
+  const unsigned stateBits = stateBitsFor(spec, enc);
+  std::vector<NodeId> isState(spec.numStates());
+  for (unsigned s = 0; s < spec.numStates(); ++s) {
+    isState[s] = bb.eqConst(index, s);
+  }
+  const NodeId valid = nl.orTree(isState);
+  Bus code(stateBits);
+  if (enc == Encoding::Binary) {
+    code = index; // binary code == abstract index, same width
+  } else {
+    for (unsigned s = 0; s < spec.numStates(); ++s) code[s] = isState[s];
+  }
+
+  auto moore = buildMooreLogic(spec, enc, nl, code, nullptr);
+  TransitionLogic trans =
+      buildTransitionLogic(spec, enc, nl, code, inputs, nullptr);
+
+  // Re-encode the next state as an abstract index. Binary: the code is the
+  // index. One-hot: index bit b = OR of the one-hot bits of states with bit
+  // b set in their index.
+  Bus nextIndex(indexBits);
+  if (enc == Encoding::Binary) {
+    nextIndex = trans.nextState;
+  } else {
+    for (unsigned b = 0; b < indexBits; ++b) {
+      std::vector<NodeId> terms;
+      for (unsigned s = 0; s < spec.numStates(); ++s) {
+        if (((s >> b) & 1u) != 0) terms.push_back(trans.nextState[s]);
+      }
+      nextIndex[b] = terms.empty() ? nl.constant(false) : nl.orTree(terms);
+    }
+  }
+
+  // Out-of-range indices would exercise the don't-care logic, which differs
+  // between encodings by construction; force everything to 0 there so the
+  // two netlists agree on the full Boolean input space.
+  for (unsigned b = 0; b < indexBits; ++b) {
+    nl.addOutput("ns_" + std::to_string(b), nl.mkAnd(valid, nextIndex[b]));
+  }
+  for (const std::string& name : spec.mooreOutputs) {
+    nl.addOutput("o_" + name, nl.mkAnd(valid, moore.at(name)));
+  }
+  for (const std::string& name : spec.mealyOutputs) {
+    nl.addOutput("o_" + name, nl.mkAnd(valid, trans.mealy.at(name)));
+  }
+  return nl;
+}
+
+} // namespace lis::sync

@@ -1,0 +1,196 @@
+#include "lis/wrapper.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace lis::sync {
+
+using netlist::Bus;
+using netlist::BusBuilder;
+using netlist::Netlist;
+using netlist::NodeId;
+
+namespace {
+
+std::string chan(const char* base, unsigned idx, const char* suffix) {
+  return std::string(base) + std::to_string(idx) + suffix;
+}
+
+/// Input buffers + pearl stub. Returns the pearl result bus (`base`):
+/// sum of the selected per-channel operands plus the gated accumulator.
+Bus buildShellDatapath(BusBuilder& bb, const WrapperConfig& cfg,
+                       FsmInstance& ctl, const std::vector<Bus>& inData) {
+  Bus sum;
+  for (unsigned i = 0; i < cfg.numInputs; ++i) {
+    Bus buf = bb.registerBus(cfg.dataWidth, 0, chan("buf", i, ""));
+    bb.connectRegister(buf, inData[i], ctl.mealy(chan("cap", i, "")));
+    // The buffer-occupied state bit doubles as the operand select: a full
+    // buffer holds the token the pearl must consume this fire.
+    const NodeId sel = ctl.moore(chan("stopo", i, ""));
+    const Bus operand = bb.mux(sel, inData[i], buf);
+    sum = i == 0 ? operand : bb.adder(sum, operand);
+  }
+  Bus acc = bb.registerBus(cfg.dataWidth, 0, "acc");
+  const Bus base = bb.adder(acc, sum);
+  bb.connectRegister(acc, base, ctl.mealy("fire"));
+  return base;
+}
+
+/// Relay-station data slots: a shift FIFO whose head is slot 0. The FSM's
+/// pop output shifts toward the head, we<k> writes the incoming token into
+/// slot k; slots are clock-gated when neither applies.
+Bus buildRelayDatapath(Netlist& nl, BusBuilder& bb, unsigned width,
+                       unsigned depth, FsmInstance& rs, const Bus& din,
+                       const std::string& prefix) {
+  std::vector<Bus> slot(depth);
+  for (unsigned k = 0; k < depth; ++k) {
+    slot[k] = bb.registerBus(width, 0, prefix + "_q" + std::to_string(k));
+  }
+  const NodeId pop = rs.mealy("pop");
+  for (unsigned k = 0; k < depth; ++k) {
+    const Bus shifted =
+        k + 1 < depth ? bb.mux(pop, slot[k], slot[k + 1]) : slot[k];
+    const NodeId we = rs.mealy("we" + std::to_string(k));
+    const Bus next = bb.mux(we, shifted, din);
+    bb.connectRegister(slot[k], next, nl.mkOr(we, pop));
+  }
+  return slot[0];
+}
+
+void checkConfig(const WrapperConfig& cfg) {
+  if (cfg.dataWidth == 0 || cfg.dataWidth > 64) {
+    throw std::invalid_argument("wrapper: dataWidth must be in 1..64");
+  }
+}
+
+} // namespace
+
+Wrapper buildShell(const WrapperConfig& cfg) {
+  checkConfig(cfg);
+  Wrapper w{Netlist("shell_n" + std::to_string(cfg.numInputs) + "m" +
+                    std::to_string(cfg.numOutputs) + "_" +
+                    encodingName(cfg.encoding)),
+            {}, {}};
+  Netlist& nl = w.netlist;
+  BusBuilder bb(nl);
+  WrapperPorts& p = w.ports;
+
+  for (unsigned i = 0; i < cfg.numInputs; ++i) {
+    p.inValid.push_back(nl.addInput(chan("in", i, "_valid")));
+    p.inData.push_back(bb.inputBus(chan("in", i, "_data"), cfg.dataWidth));
+  }
+  for (unsigned j = 0; j < cfg.numOutputs; ++j) {
+    p.outStop.push_back(nl.addInput(chan("out", j, "_stop")));
+  }
+
+  const FsmSpec spec = shellFsm(cfg.numInputs, cfg.numOutputs);
+  FsmInstance ctl(spec, cfg.encoding, nl, "ctl");
+  std::vector<NodeId> cond = p.inValid;
+  cond.insert(cond.end(), p.outStop.begin(), p.outStop.end());
+  ctl.elaborate(cond);
+
+  const Bus base = buildShellDatapath(bb, cfg, ctl, p.inData);
+  for (unsigned i = 0; i < cfg.numInputs; ++i) {
+    p.inStop.push_back(
+        nl.addOutput(chan("in", i, "_stop"), ctl.moore(chan("stopo", i, ""))));
+  }
+  const NodeId fire = ctl.mealy("fire");
+  for (unsigned j = 0; j < cfg.numOutputs; ++j) {
+    p.outValid.push_back(nl.addOutput(chan("out", j, "_valid"), fire));
+    const Bus tagged = bb.xorBus(base, bb.constant(j, cfg.dataWidth));
+    p.outData.push_back(bb.outputBus(chan("out", j, "_data"), tagged));
+  }
+  w.control = ctl.stats();
+  return w;
+}
+
+Wrapper buildRelayStation(unsigned dataWidth, unsigned depth, Encoding enc) {
+  WrapperConfig check;
+  check.dataWidth = dataWidth;
+  checkConfig(check);
+  Wrapper w{Netlist("relay_d" + std::to_string(depth) + "_" +
+                    encodingName(enc)),
+            {}, {}};
+  Netlist& nl = w.netlist;
+  BusBuilder bb(nl);
+  WrapperPorts& p = w.ports;
+
+  p.inValid.push_back(nl.addInput("in_valid"));
+  p.inData.push_back(bb.inputBus("in_data", dataWidth));
+  p.outStop.push_back(nl.addInput("out_stop"));
+
+  const FsmSpec spec = relayFsm(depth);
+  FsmInstance rs(spec, enc, nl, "rs");
+  const NodeId cond[] = {p.inValid[0], p.outStop[0]};
+  rs.elaborate(cond);
+  const Bus head =
+      buildRelayDatapath(nl, bb, dataWidth, depth, rs, p.inData[0], "rs");
+
+  p.inStop.push_back(nl.addOutput("in_stop", rs.moore("stopo")));
+  p.outValid.push_back(nl.addOutput("out_valid", rs.moore("vout")));
+  p.outData.push_back(bb.outputBus("out_data", head));
+  w.control = rs.stats();
+  return w;
+}
+
+Wrapper buildWrapper(const WrapperConfig& cfg) {
+  checkConfig(cfg);
+  Wrapper w{Netlist("wrapper_n" + std::to_string(cfg.numInputs) + "m" +
+                    std::to_string(cfg.numOutputs) + "d" +
+                    std::to_string(cfg.relayDepth) + "_" +
+                    encodingName(cfg.encoding)),
+            {}, {}};
+  Netlist& nl = w.netlist;
+  BusBuilder bb(nl);
+  WrapperPorts& p = w.ports;
+
+  for (unsigned i = 0; i < cfg.numInputs; ++i) {
+    p.inValid.push_back(nl.addInput(chan("in", i, "_valid")));
+    p.inData.push_back(bb.inputBus(chan("in", i, "_data"), cfg.dataWidth));
+  }
+  for (unsigned j = 0; j < cfg.numOutputs; ++j) {
+    p.outStop.push_back(nl.addInput(chan("out", j, "_stop")));
+  }
+
+  // Phase 1 for every FSM first: shells stall on relay-station occupancy
+  // and relay stations fill from the shell's fire strobe, but both cross
+  // signals are Moore, so creating all state registers + Moore logic up
+  // front breaks the construction cycle.
+  const FsmSpec shellSpec = shellFsm(cfg.numInputs, cfg.numOutputs);
+  const FsmSpec relaySpec = relayFsm(cfg.relayDepth);
+  FsmInstance ctl(shellSpec, cfg.encoding, nl, "ctl");
+  std::vector<FsmInstance> relays;
+  relays.reserve(cfg.numOutputs);
+  for (unsigned j = 0; j < cfg.numOutputs; ++j) {
+    relays.emplace_back(relaySpec, cfg.encoding, nl, chan("rs", j, ""));
+  }
+
+  std::vector<NodeId> cond = p.inValid;
+  for (unsigned j = 0; j < cfg.numOutputs; ++j) {
+    cond.push_back(relays[j].moore("stopo"));
+  }
+  ctl.elaborate(cond);
+
+  const Bus base = buildShellDatapath(bb, cfg, ctl, p.inData);
+  for (unsigned i = 0; i < cfg.numInputs; ++i) {
+    p.inStop.push_back(
+        nl.addOutput(chan("in", i, "_stop"), ctl.moore(chan("stopo", i, ""))));
+  }
+
+  const NodeId fire = ctl.mealy("fire");
+  w.control = ctl.stats();
+  for (unsigned j = 0; j < cfg.numOutputs; ++j) {
+    const NodeId rsCond[] = {fire, p.outStop[j]};
+    relays[j].elaborate(rsCond);
+    const Bus tagged = bb.xorBus(base, bb.constant(j, cfg.dataWidth));
+    const Bus head = buildRelayDatapath(nl, bb, cfg.dataWidth, cfg.relayDepth,
+                                        relays[j], tagged, chan("rs", j, ""));
+    p.outValid.push_back(
+        nl.addOutput(chan("out", j, "_valid"), relays[j].moore("vout")));
+    p.outData.push_back(bb.outputBus(chan("out", j, "_data"), head));
+    w.control.accumulate(relays[j].stats());
+  }
+  return w;
+}
+
+} // namespace lis::sync

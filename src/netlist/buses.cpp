@@ -20,11 +20,13 @@ Bus BusBuilder::inputBus(const std::string& name, unsigned width) {
   return bus;
 }
 
-void BusBuilder::outputBus(const std::string& name,
-                           std::span<const NodeId> bus) {
+Bus BusBuilder::outputBus(const std::string& name,
+                          std::span<const NodeId> bus) {
+  Bus out(bus.size());
   for (std::size_t i = 0; i < bus.size(); ++i) {
-    nl_->addOutput(name + "_" + std::to_string(i), bus[i]);
+    out[i] = nl_->addOutput(name + "_" + std::to_string(i), bus[i]);
   }
+  return out;
 }
 
 Bus BusBuilder::registerBus(unsigned width, std::uint64_t resetValue,

@@ -24,9 +24,11 @@ public:
   /// Constant bus of the given width.
   Bus constant(std::uint64_t value, unsigned width);
 
-  /// Named input/output port buses (name_0, name_1, ...).
+  /// Named input/output port buses (name_0, name_1, ...). outputBus returns
+  /// the created Output nodes so callers can read the bus back out of a
+  /// simulation.
   Bus inputBus(const std::string& name, unsigned width);
-  void outputBus(const std::string& name, std::span<const NodeId> bus);
+  Bus outputBus(const std::string& name, std::span<const NodeId> bus);
 
   /// A bank of DFFs sharing an enable; data inputs are wired later with
   /// connectRegister (sequential loops need the Q values first).

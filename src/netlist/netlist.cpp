@@ -208,13 +208,11 @@ NetlistStats Netlist::stats() const {
   s.dffs = dffs_.size();
   for (const Node& n : nodes_) {
     switch (n.op) {
-      case Op::Not:
-      case Op::And:
-      case Op::Or:
-      case Op::Xor:
-      case Op::Mux:
-        ++s.gates;
-        break;
+      case Op::Not: ++s.nots; ++s.gates; break;
+      case Op::And: ++s.ands; ++s.gates; break;
+      case Op::Or: ++s.ors; ++s.gates; break;
+      case Op::Xor: ++s.xors; ++s.gates; break;
+      case Op::Mux: ++s.muxes; ++s.gates; break;
       default:
         break;
     }

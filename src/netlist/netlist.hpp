@@ -64,7 +64,12 @@ struct Rom {
 struct NetlistStats {
   std::size_t inputs = 0;
   std::size_t outputs = 0;
-  std::size_t gates = 0; // Not/And/Or/Xor/Mux
+  std::size_t gates = 0; // Not/And/Or/Xor/Mux (sum of the by-type counts)
+  std::size_t nots = 0;
+  std::size_t ands = 0;
+  std::size_t ors = 0;
+  std::size_t xors = 0;
+  std::size_t muxes = 0;
   std::size_t dffs = 0;
   std::size_t romBits = 0; // total ROM storage bits
 };

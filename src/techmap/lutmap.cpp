@@ -95,37 +95,47 @@ MappedNetlist mapToLuts(const Netlist& nl, unsigned k) {
     const Node& n = nl.node(id);
     if (!isGate(n.op)) continue;
 
-    // Start from the fanins; try to merge each gate fanin's cut when it is
-    // single-fanout (so absorbing it duplicates nothing).
+    // The mandatory frontier is every distinct fanin; then collapse
+    // single-fanout gate fanins (absorbing them duplicates nothing) by
+    // replacing the fanin with its own frontier, but only while the cut
+    // stays within k — collapsing first and appending later fanins could
+    // silently overflow the LUT input bound.
     std::vector<NodeId> leaves;
+    for (NodeId f : n.fanin) {
+      if (std::find(leaves.begin(), leaves.end(), f) == leaves.end()) {
+        leaves.push_back(f);
+      }
+    }
     for (NodeId f : n.fanin) {
       const bool mergeable =
           isGate(nl.node(f).op) && fanout[f] == 1 && !cut[f].empty();
-      std::vector<NodeId> candidate = leaves;
-      if (mergeable) {
-        for (NodeId leaf : cut[f]) {
-          if (std::find(candidate.begin(), candidate.end(), leaf) ==
-              candidate.end()) {
-            candidate.push_back(leaf);
-          }
-        }
-      } else {
-        if (std::find(candidate.begin(), candidate.end(), f) ==
+      if (!mergeable) continue;
+      if (std::find(leaves.begin(), leaves.end(), f) == leaves.end()) {
+        continue; // duplicate fanin, already merged
+      }
+      std::vector<NodeId> candidate;
+      candidate.reserve(leaves.size() + cut[f].size());
+      for (NodeId leaf : leaves) {
+        if (leaf != f) candidate.push_back(leaf);
+      }
+      for (NodeId leaf : cut[f]) {
+        if (std::find(candidate.begin(), candidate.end(), leaf) ==
             candidate.end()) {
-          candidate.push_back(f);
+          candidate.push_back(leaf);
         }
       }
-      if (mergeable && candidate.size() <= k) {
+      if (candidate.size() <= k) {
         leaves = std::move(candidate);
         absorbed[f] = 1;
-      } else if (mergeable) {
-        // Could not merge: the fanin becomes a LUT of its own.
-        if (std::find(leaves.begin(), leaves.end(), f) == leaves.end()) {
-          leaves.push_back(f);
-        }
-      } else {
-        leaves = std::move(candidate);
       }
+    }
+    if (leaves.size() > k) {
+      // Only possible when the gate's own distinct-fanin frontier exceeds
+      // k and no merge shrank it (a 3-input Mux at k=2 whose cones share
+      // no support); refuse rather than emit an oversized LUT.
+      throw std::invalid_argument(
+          "mapToLuts: cone rooted at " + std::string(opName(n.op)) + " (n" +
+          std::to_string(id) + ") needs more than k inputs");
     }
     cut[id] = std::move(leaves);
   }

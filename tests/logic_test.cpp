@@ -1,0 +1,191 @@
+// Unit tests for logic/cube, logic/cover and logic/minimize: algebraic
+// operations, tautology/containment, and the espresso-lite loop's key
+// contracts — idempotence, onset/dcset containment, and known-optimal
+// results on small examples.
+
+#include <cstdio>
+
+#include "logic/cover.hpp"
+#include "logic/cube.hpp"
+#include "logic/minimize.hpp"
+#include "support/rng.hpp"
+#include "test_util.hpp"
+
+using lis::logic::Cover;
+using lis::logic::Cube;
+using lis::logic::MinimizeStats;
+using lis::logic::minimize;
+
+namespace {
+
+void testCubeOps() {
+  const Cube a = Cube::fromString("1-0");
+  CHECK_EQ(a.numVars(), 3u);
+  CHECK_EQ(a.literalCount(), 2u);
+  CHECK(a.literal(0) == Cube::Literal::Pos);
+  CHECK(a.literal(1) == Cube::Literal::DontCare);
+  CHECK(a.literal(2) == Cube::Literal::Neg);
+  CHECK(a.evaluate(0b001));  // var0=1, var2=0
+  CHECK(!a.evaluate(0b101)); // var2=1
+  CHECK(a.toString() == "1-0");
+
+  const Cube b = Cube::fromString("1-1");
+  CHECK_EQ(a.distance(b), 1u);
+  const Cube cons = a.consensus(b);
+  CHECK(cons.toString() == "1--");
+  CHECK(cons.contains(a));
+  CHECK(cons.contains(b));
+  CHECK(!a.contains(cons));
+
+  const Cube inter = a.intersect(Cube::fromString("11-"));
+  CHECK(inter.toString() == "110");
+  CHECK(a.intersect(b).isEmpty());
+  CHECK(Cube(4).isTautology());
+  CHECK_EQ(Cube::fromString("--").distance(Cube::fromString("00")), 0u);
+}
+
+void testCoverBasics() {
+  // f = a | !a = tautology over one split variable.
+  CHECK(Cover::fromStrings(2, {"1-", "0-"}).isTautology());
+  CHECK(!Cover::fromStrings(2, {"1-", "-0"}).isTautology()); // misses 01
+  CHECK(Cover::fromStrings(2, {"1-", "-1", "00"}).isTautology());
+
+  const Cover c = Cover::fromStrings(3, {"11-", "0-1"});
+  CHECK(c.containsCube(Cube::fromString("111")));
+  CHECK(!c.containsCube(Cube::fromString("1--")));
+  CHECK(c.evaluate(0b011)); // a=1 b=1
+  CHECK(!c.evaluate(0b010));
+
+  const Cover cof = c.cofactor(0, true); // a=1: keeps 11- as -1-
+  CHECK_EQ(cof.size(), 1u);
+  CHECK(cof.evaluate(0b010));
+
+  Cover absorb = Cover::fromStrings(2, {"1-", "11", "1-"});
+  absorb.removeAbsorbed();
+  CHECK_EQ(absorb.size(), 1u);
+  CHECK_EQ(absorb.literalCount(), 1u);
+}
+
+void testMinimizeKnownOptimal() {
+  // All three minterms of OR: optimal cover is {1-, -1}, 2 literals.
+  MinimizeStats st;
+  const Cover orOpt =
+      minimize(Cover::fromStrings(2, {"10", "01", "11"}), &st);
+  CHECK_EQ(orOpt.size(), 2u);
+  CHECK_EQ(orOpt.literalCount(), 2u);
+  CHECK_EQ(st.cubesBefore, 3u);
+  CHECK_EQ(st.cubesAfter, 2u);
+  CHECK(st.iterations >= 1);
+
+  // XOR is already optimal: nothing may merge.
+  const Cover xorOpt = minimize(Cover::fromStrings(2, {"10", "01"}));
+  CHECK_EQ(xorOpt.size(), 2u);
+  CHECK_EQ(xorOpt.literalCount(), 4u);
+
+  // Don't-cares unlock the single-literal solution.
+  const Cover dcOpt = minimize(Cover::fromStrings(2, {"11"}),
+                               Cover::fromStrings(2, {"10"}));
+  CHECK_EQ(dcOpt.size(), 1u);
+  CHECK_EQ(dcOpt.literalCount(), 1u);
+
+  // The classic 3-var consensus example: f = ab + a'c + bc; bc is
+  // redundant and must be dropped.
+  const Cover irr = minimize(Cover::fromStrings(3, {"11-", "0-1", "-11"}));
+  CHECK_EQ(irr.size(), 2u);
+
+  // A full minterm square collapses to the tautology cube.
+  const Cover taut = minimize(Cover::fromStrings(2, {"00", "01", "10", "11"}));
+  CHECK_EQ(taut.size(), 1u);
+  CHECK_EQ(taut.literalCount(), 0u);
+}
+
+Cover randomCover(unsigned numVars, unsigned numCubes,
+                  lis::support::SplitMix64& rng) {
+  Cover c(numVars);
+  for (unsigned i = 0; i < numCubes; ++i) {
+    Cube cube(numVars);
+    for (unsigned v = 0; v < numVars; ++v) {
+      switch (rng.below(3)) {
+        case 0: cube.setLiteral(v, Cube::Literal::Neg); break;
+        case 1: cube.setLiteral(v, Cube::Literal::Pos); break;
+        default: break; // don't-care
+      }
+    }
+    c.add(std::move(cube));
+  }
+  return c;
+}
+
+// The two semantic contracts of minimize(): the result covers every care
+// onset minterm (onset ∖ dcset; overlap is free to drop, espresso-style),
+// and nothing outside onset ∪ dcset. Checked exhaustively.
+void testContainmentRandomized() {
+  lis::support::SplitMix64 rng(0x10a1c);
+  for (unsigned round = 0; round < 40; ++round) {
+    const unsigned numVars = 3 + static_cast<unsigned>(rng.below(4)); // 3..6
+    const Cover onset = randomCover(numVars, 2 + (round % 10), rng);
+    const Cover dcset = randomCover(numVars, round % 4, rng);
+    MinimizeStats st;
+    const Cover result = minimize(onset, dcset, &st);
+    for (std::uint64_t a = 0; a < (std::uint64_t{1} << numVars); ++a) {
+      if (onset.evaluate(a) && !dcset.evaluate(a)) CHECK(result.evaluate(a));
+      if (result.evaluate(a)) CHECK(onset.evaluate(a) || dcset.evaluate(a));
+    }
+    CHECK(st.literalsAfter <= st.literalsBefore);
+    CHECK(st.cubesAfter <= st.cubesBefore);
+  }
+}
+
+// Fixed-point: minimizing a minimized cover changes nothing.
+void testIdempotence() {
+  lis::support::SplitMix64 rng(0xf1f0);
+  for (unsigned round = 0; round < 25; ++round) {
+    const unsigned numVars = 4 + static_cast<unsigned>(rng.below(3));
+    const Cover onset = randomCover(numVars, 3 + (round % 8), rng);
+    const Cover dcset = randomCover(numVars, round % 3, rng);
+    const Cover once = minimize(onset, dcset);
+    const Cover twice = minimize(once, dcset);
+    CHECK_EQ(twice.size(), once.size());
+    CHECK_EQ(twice.literalCount(), once.literalCount());
+    for (std::uint64_t a = 0; a < (std::uint64_t{1} << numVars); ++a) {
+      CHECK_EQ(once.evaluate(a), twice.evaluate(a));
+    }
+  }
+}
+
+// Exposed passes keep their individual contracts.
+void testPasses() {
+  using lis::logic::expandPass;
+  using lis::logic::irredundant;
+  using lis::logic::mergePass;
+
+  const Cover onset = Cover::fromStrings(3, {"110", "111"});
+  const Cover none(3);
+  const Cover expanded = expandPass(onset, none);
+  // Each cube may only grow (literals drop), staying inside the onset.
+  for (const Cube& c : expanded.cubes()) CHECK(onset.containsCube(c));
+  CHECK(expanded.literalCount() <= onset.literalCount());
+
+  const Cover merged = mergePass(onset, onset);
+  CHECK_EQ(merged.size(), 1u);
+  CHECK(merged.cubes()[0].toString() == "11-");
+
+  const Cover red = Cover::fromStrings(3, {"11-", "0-1", "-11"});
+  const Cover irr = irredundant(red, none);
+  CHECK_EQ(irr.size(), 2u);
+  for (std::uint64_t a = 0; a < 8; ++a) {
+    CHECK_EQ(irr.evaluate(a), red.evaluate(a));
+  }
+}
+
+} // namespace
+
+int main() {
+  testCubeOps();
+  testCoverBasics();
+  testMinimizeKnownOptimal();
+  testContainmentRandomized();
+  testIdempotence();
+  testPasses();
+  return testExit();
+}
