@@ -1,17 +1,25 @@
-// lis_bench: performance trajectory for the simulation + equivalence stack.
+// lis_bench: performance trajectory for the simulation + equivalence +
+// synthesis stack.
 //
 // Measures scalar vs. 64-way bit-parallel simulation throughput on a large
-// generated netlist, BDD apply throughput, and end-to-end equivalence-check
-// wall time on adder / mux-tree / ROM pairs. Results go to stdout and to a
-// JSON file (argv[1], default "BENCH_sim.json") so successive PRs can track
-// the numbers.
+// generated netlist, BDD apply throughput, end-to-end equivalence-check
+// wall time on adder / mux-tree / ROM pairs, and — through the flow::
+// Pipeline — synthesis/map/STA numbers for the wrapper configurations and
+// whole-system topologies (chain / fork / join). Results go to stdout and
+// to a JSON file (argv[1], default "BENCH_sim.json") so successive PRs can
+// track the numbers; CI gates on the wrapper section via
+// tools/check_bench_regression.py.
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
 
+#include "flow/design.hpp"
+#include "flow/pipeline.hpp"
+#include "lis/system.hpp"
 #include "lis/wrapper.hpp"
 #include "logic/bdd.hpp"
 #include "netlist/bitsim.hpp"
@@ -19,8 +27,6 @@
 #include "netlist/generate.hpp"
 #include "netlist/netlist_sim.hpp"
 #include "support/rng.hpp"
-#include "techmap/lutmap.hpp"
-#include "timing/sta.hpp"
 
 namespace {
 
@@ -127,6 +133,20 @@ EquivBench benchEquiv(std::string name, const Netlist& a, const Netlist& b) {
   return r;
 }
 
+// Run the standard synth → map → sta pipeline over a Design and bail out
+// loudly if any pass fails — a broken flow must fail the bench (and CI).
+void runSynthFlow(lis::flow::Design& d) {
+  lis::flow::Pipeline pipe;
+  pipe.synthesizeControl().mapLuts(4).sta();
+  if (!pipe.run(d)) {
+    for (const auto& diag : pipe.diagnostics()) {
+      std::fprintf(stderr, "%s [%s]: %s\n", severityName(diag.severity),
+                   diag.pass.c_str(), diag.message.c_str());
+    }
+    std::exit(1);
+  }
+}
+
 // Table-1-style numbers for the wrapper synthesis flow: area (LUT/FF/
 // slice via lutmap), fmax (via STA) and two-level control cost per channel
 // configuration and state encoding.
@@ -161,22 +181,58 @@ WrapperBench benchWrapper(unsigned numIn, unsigned numOut, unsigned depth,
   cfg.numOutputs = numOut;
   cfg.relayDepth = depth;
   cfg.encoding = enc;
-  sync::Wrapper w;
-  r.synthSeconds = secondsOf([&] { w = sync::buildWrapper(cfg); });
+  lis::flow::Design d(cfg);
+  runSynthFlow(d);
 
-  const lis::netlist::NetlistStats st = w.netlist.stats();
+  const lis::netlist::NetlistStats st = d.netlist().stats();
   r.gates = st.gates;
   r.dffs = st.dffs;
-  r.sopCubes = w.control.cubesAfter;
-  r.sopLiterals = w.control.literalsAfter;
+  r.sopCubes = d.controlStats()->cubesAfter;
+  r.sopLiterals = d.controlStats()->literalsAfter;
+  r.luts = d.area().luts;
+  r.ffs = d.area().ffs;
+  r.slices = d.area().slices;
+  r.lutDepth = d.mapped().depth;
+  r.fmaxMHz = d.timing().fmaxMHz;
+  r.synthSeconds = d.stageSeconds("synthesize");
+  return r;
+}
 
-  const auto mapped = lis::techmap::mapToLuts(w.netlist, 4);
-  const auto area = lis::techmap::areaOf(mapped);
-  r.luts = area.luts;
-  r.ffs = area.ffs;
-  r.slices = area.slices;
-  r.lutDepth = mapped.depth;
-  r.fmaxMHz = lis::timing::analyze(mapped).fmaxMHz;
+// System-scale numbers: the canonical topologies through the same flow, so
+// later PRs can track synthesis cost and area/fmax as networks grow.
+struct SystemBench {
+  std::string topology;
+  const char* encoding = "";
+  std::size_t pearls = 0;
+  std::size_t gates = 0;
+  std::size_t dffs = 0;
+  std::size_t luts = 0;
+  std::size_t ffs = 0;
+  std::size_t slices = 0;
+  double fmaxMHz = 0;
+  double synthSeconds = 0;
+  double mapSeconds = 0;
+  double staSeconds = 0;
+};
+
+SystemBench benchSystem(const lis::sync::SystemSpec& spec) {
+  SystemBench r;
+  r.topology = spec.name;
+  r.encoding = lis::sync::encodingName(spec.encoding);
+  r.pearls = spec.pearls.size();
+
+  lis::flow::Design d(spec);
+  runSynthFlow(d);
+  const lis::netlist::NetlistStats st = d.netlist().stats();
+  r.gates = st.gates;
+  r.dffs = st.dffs;
+  r.luts = d.area().luts;
+  r.ffs = d.area().ffs;
+  r.slices = d.area().slices;
+  r.fmaxMHz = d.timing().fmaxMHz;
+  r.synthSeconds = d.stageSeconds("synthesize");
+  r.mapSeconds = d.stageSeconds("map");
+  r.staSeconds = d.stageSeconds("sta");
   return r;
 }
 
@@ -190,6 +246,19 @@ std::string jsonWrapper(const WrapperBench& b) {
      << ", \"fmax_mhz\": " << b.fmaxMHz << ", \"sop_cubes\": " << b.sopCubes
      << ", \"sop_literals\": " << b.sopLiterals
      << ", \"synth_seconds\": " << b.synthSeconds << "}";
+  return os.str();
+}
+
+std::string jsonSystem(const SystemBench& b) {
+  std::ostringstream os;
+  os << "    {\"topology\": \"" << b.topology << "\", \"encoding\": \""
+     << b.encoding << "\", \"pearls\": " << b.pearls
+     << ", \"gates\": " << b.gates << ", \"dffs\": " << b.dffs
+     << ", \"luts\": " << b.luts << ", \"ffs\": " << b.ffs
+     << ", \"slices\": " << b.slices << ", \"fmax_mhz\": " << b.fmaxMHz
+     << ", \"synth_seconds\": " << b.synthSeconds
+     << ", \"map_seconds\": " << b.mapSeconds
+     << ", \"sta_seconds\": " << b.staSeconds << "}";
   return os.str();
 }
 
@@ -259,6 +328,21 @@ int main(int argc, char** argv) {
                 b.synthSeconds);
   }
 
+  std::vector<SystemBench> systems;
+  for (lis::sync::Encoding enc :
+       {lis::sync::Encoding::OneHot, lis::sync::Encoding::Binary}) {
+    systems.push_back(benchSystem(lis::sync::chainSpec(3, 1, enc)));
+    systems.push_back(benchSystem(lis::sync::forkSpec(enc)));
+    systems.push_back(benchSystem(lis::sync::joinSpec(enc)));
+  }
+  for (const SystemBench& b : systems) {
+    std::printf("system %-12s %-6s %zu pearls %4zu LUT %4zu FF %4zu slices "
+                "fmax %.1f MHz (synth %.3fs, map %.3fs, sta %.3fs)\n",
+                b.topology.c_str(), b.encoding, b.pearls, b.luts, b.ffs,
+                b.slices, b.fmaxMHz, b.synthSeconds, b.mapSeconds,
+                b.staSeconds);
+  }
+
   std::ostringstream js;
   js << "{\n"
      << "  \"sim\": {\n"
@@ -286,6 +370,11 @@ int main(int argc, char** argv) {
      << "  \"wrapper\": [\n";
   for (std::size_t i = 0; i < wrappers.size(); ++i) {
     js << jsonWrapper(wrappers[i]) << (i + 1 < wrappers.size() ? ",\n" : "\n");
+  }
+  js << "  ],\n"
+     << "  \"system\": [\n";
+  for (std::size_t i = 0; i < systems.size(); ++i) {
+    js << jsonSystem(systems[i]) << (i + 1 < systems.size() ? ",\n" : "\n");
   }
   js << "  ]\n}\n";
 

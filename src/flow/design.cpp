@@ -1,0 +1,121 @@
+#include "flow/design.hpp"
+
+#include <chrono>
+#include <utility>
+
+namespace lis::flow {
+
+namespace {
+
+class StageTimer {
+public:
+  StageTimer(std::map<std::string, double>& times, const char* stage)
+      : times_(&times), stage_(stage),
+        t0_(std::chrono::steady_clock::now()) {}
+  ~StageTimer() {
+    const auto t1 = std::chrono::steady_clock::now();
+    (*times_)[stage_] = std::chrono::duration<double>(t1 - t0_).count();
+  }
+
+private:
+  std::map<std::string, double>* times_;
+  const char* stage_;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+} // namespace
+
+Design::Design(sync::WrapperConfig cfg) : cfg_(std::move(cfg)) {
+  name_ = "wrapper_n" + std::to_string(cfg_->numInputs) + "m" +
+          std::to_string(cfg_->numOutputs) + "d" +
+          std::to_string(cfg_->relayDepth) + "_" +
+          sync::encodingName(cfg_->encoding);
+}
+
+Design::Design(sync::SystemSpec spec) : spec_(std::move(spec)) {
+  name_ = spec_->name + "_" + sync::encodingName(spec_->encoding);
+}
+
+Design::Design(netlist::Netlist prebuilt)
+    : prebuilt_(std::make_unique<netlist::Netlist>(std::move(prebuilt))) {
+  name_ = prebuilt_->name();
+}
+
+const netlist::Netlist* Design::netlistPtr() const {
+  if (prebuilt_ != nullptr) return prebuilt_.get();
+  if (wrapper_ != nullptr) return &wrapper_->netlist;
+  if (system_ != nullptr) return &system_->netlist;
+  return nullptr;
+}
+
+void Design::synthesize() {
+  StageTimer timer(times_, "synthesize");
+  if (cfg_) {
+    wrapper_ = std::make_unique<sync::Wrapper>(sync::buildWrapper(*cfg_));
+  } else {
+    system_ = std::make_unique<sync::System>(sync::buildSystem(*spec_));
+  }
+}
+
+const netlist::Netlist& Design::netlist() {
+  if (netlistPtr() == nullptr) synthesize();
+  return *netlistPtr();
+}
+
+const sync::Wrapper* Design::wrapper() {
+  if (cfg_ && wrapper_ == nullptr) synthesize();
+  return wrapper_.get();
+}
+
+const sync::System* Design::system() {
+  if (spec_ && system_ == nullptr) synthesize();
+  return system_.get();
+}
+
+const sync::WrapperPorts* Design::wrapperPorts() {
+  return wrapper() != nullptr ? &wrapper_->ports : nullptr;
+}
+
+const sync::SystemPorts* Design::systemPorts() {
+  return system() != nullptr ? &system_->ports : nullptr;
+}
+
+const sync::FsmSynthStats* Design::controlStats() {
+  if (wrapper() != nullptr) return &wrapper_->control;
+  if (system() != nullptr) return &system_->control;
+  return nullptr;
+}
+
+const techmap::MappedNetlist& Design::mapped(unsigned k) {
+  if (!mapped_ || mappedK_ != k) {
+    const netlist::Netlist& nl = netlist();
+    StageTimer timer(times_, "map");
+    mapped_ = techmap::mapToLuts(nl, k);
+    mappedK_ = k;
+    area_.reset();
+    timing_.reset();
+  }
+  return *mapped_;
+}
+
+const techmap::AreaReport& Design::area(unsigned k) {
+  const techmap::MappedNetlist& m = mapped(k);
+  if (!area_) area_ = techmap::areaOf(m);
+  return *area_;
+}
+
+const timing::TimingReport& Design::timing(const timing::TechParams& params) {
+  if (!timing_) {
+    const techmap::MappedNetlist& m = mapped(mappedK_ == 0 ? 4 : mappedK_);
+    StageTimer timer(times_, "sta");
+    timing_ = timing::analyze(m, params);
+  }
+  return *timing_;
+}
+
+double Design::stageSeconds(std::string_view stage) const {
+  const auto it = times_.find(std::string(stage));
+  return it == times_.end() ? 0.0 : it->second;
+}
+
+} // namespace lis::flow

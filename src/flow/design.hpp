@@ -1,0 +1,120 @@
+#pragma once
+// flow::Design — the artifact container the pass pipeline operates on.
+//
+// A Design is backed by one of three sources: a WrapperConfig (the single
+// shell + relay composition), a SystemSpec (an arbitrary LIS topology), or
+// a prebuilt netlist (generators, hand-built test circuits). Every derived
+// artifact — synthesized netlist, LUT mapping, area report, timing report,
+// FSM minimization stats — is computed lazily on first access, cached, and
+// wall-timed, so passes stay cheap to reorder and a Report pass only pays
+// for what earlier passes (or direct accessor calls) actually produced.
+//
+// Invalidation: remapping with a different k drops the area and timing
+// caches; the netlist, once synthesized, is immutable for the Design's
+// lifetime (it lives behind a unique_ptr so MappedNetlist::source stays
+// valid across moves).
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "lis/cosim.hpp"
+#include "lis/system.hpp"
+#include "lis/wrapper.hpp"
+#include "netlist/netlist.hpp"
+#include "techmap/lutmap.hpp"
+#include "timing/sta.hpp"
+#include "timing/techparams.hpp"
+
+namespace lis::flow {
+
+class Design {
+public:
+  explicit Design(sync::WrapperConfig cfg);
+  explicit Design(sync::SystemSpec spec);
+  explicit Design(netlist::Netlist prebuilt);
+
+  Design(const Design&) = delete;
+  Design& operator=(const Design&) = delete;
+  Design(Design&&) = default;
+  Design& operator=(Design&&) = default;
+
+  const std::string& name() const { return name_; }
+
+  /// Non-null for the corresponding backing source.
+  const sync::WrapperConfig* wrapperConfig() const {
+    return cfg_ ? &*cfg_ : nullptr;
+  }
+  const sync::SystemSpec* systemSpec() const {
+    return spec_ ? &*spec_ : nullptr;
+  }
+
+  // --- lazily computed artifacts ----------------------------------------
+  /// Synthesized (or prebuilt) netlist. Throws what the builder throws on
+  /// an invalid spec.
+  const netlist::Netlist& netlist();
+  /// The whole synthesized composition (netlist + ports + stats); null for
+  /// the other backing kinds. Synthesizes on demand. This is what lets the
+  /// Cosim pass drive the cached netlist instead of rebuilding it.
+  const sync::Wrapper* wrapper();
+  const sync::System* system();
+  /// Wrapper/system port map; null for prebuilt designs.
+  const sync::WrapperPorts* wrapperPorts();
+  const sync::SystemPorts* systemPorts();
+  /// Aggregated FSM minimization stats; null for prebuilt designs.
+  const sync::FsmSynthStats* controlStats();
+
+  /// k-LUT mapping. A different k than the cached one remaps and drops the
+  /// area/timing caches.
+  const techmap::MappedNetlist& mapped(unsigned k = 4);
+  const techmap::AreaReport& area(unsigned k = 4);
+  /// Timing under `params`. Cached until the mapping changes; the params
+  /// of the first call after a (re)map stick — pass them through the Sta
+  /// pass to change them.
+  const timing::TimingReport& timing(const timing::TechParams& params = {});
+
+  bool hasNetlist() const { return netlistPtr() != nullptr; }
+  bool hasMapped() const { return mapped_.has_value(); }
+  bool hasTiming() const { return timing_.has_value(); }
+  unsigned mappedK() const { return mappedK_; }
+
+  // --- pass-produced artifacts ------------------------------------------
+  const sync::CosimResult* cosimResult() const {
+    return cosim_ ? &*cosim_ : nullptr;
+  }
+  void setCosimResult(sync::CosimResult r) { cosim_ = std::move(r); }
+  const std::string& reportJson() const { return reportJson_; }
+  void setReportJson(std::string json) { reportJson_ = std::move(json); }
+  const std::string& verilog() const { return verilog_; }
+  void setVerilog(std::string v) { verilog_ = std::move(v); }
+
+  /// Wall time spent producing an artifact ("synthesize", "map", "sta");
+  /// 0 when it has not been computed.
+  double stageSeconds(std::string_view stage) const;
+  const std::map<std::string, double>& stageTimes() const { return times_; }
+
+private:
+  void synthesize();
+  const netlist::Netlist* netlistPtr() const;
+
+  std::string name_;
+  std::optional<sync::WrapperConfig> cfg_;
+  std::optional<sync::SystemSpec> spec_;
+  // Exactly one of these holds the netlist once built; unique_ptrs keep
+  // its address stable across Design moves (MappedNetlist::source).
+  std::unique_ptr<netlist::Netlist> prebuilt_;
+  std::unique_ptr<sync::Wrapper> wrapper_;
+  std::unique_ptr<sync::System> system_;
+  std::optional<techmap::MappedNetlist> mapped_;
+  unsigned mappedK_ = 0;
+  std::optional<techmap::AreaReport> area_;
+  std::optional<timing::TimingReport> timing_;
+  std::optional<sync::CosimResult> cosim_;
+  std::string reportJson_;
+  std::string verilog_;
+  std::map<std::string, double> times_;
+};
+
+} // namespace lis::flow

@@ -1,0 +1,289 @@
+#include "flow/pipeline.hpp"
+
+#include <chrono>
+#include <exception>
+#include <set>
+#include <sstream>
+
+#include "lis/fsm.hpp"
+#include "lis/synth.hpp"
+#include "netlist/equiv.hpp"
+#include "netlist/verilog.hpp"
+
+namespace lis::flow {
+
+const char* severityName(Severity s) {
+  switch (s) {
+    case Severity::Note: return "note";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "?";
+}
+
+void PassContext::note(std::string message) {
+  diags_->push_back({Severity::Note, pass_, std::move(message)});
+}
+
+void PassContext::warning(std::string message) {
+  diags_->push_back({Severity::Warning, pass_, std::move(message)});
+}
+
+void PassContext::error(std::string message) {
+  diags_->push_back({Severity::Error, pass_, std::move(message)});
+  failed_ = true;
+}
+
+void PassContext::metric(std::string key, double value) {
+  metrics_->emplace_back(std::move(key), value);
+}
+
+void SynthesizeControl::run(Design& design, PassContext& ctx) {
+  const netlist::Netlist& nl = design.netlist();
+  const netlist::NetlistStats st = nl.stats();
+  ctx.metric("gates", static_cast<double>(st.gates));
+  ctx.metric("dffs", static_cast<double>(st.dffs));
+  if (const sync::FsmSynthStats* fs = design.controlStats()) {
+    ctx.metric("sop_functions", static_cast<double>(fs->functions));
+    ctx.metric("sop_cubes", static_cast<double>(fs->cubesAfter));
+    ctx.metric("sop_literals", static_cast<double>(fs->literalsAfter));
+  } else {
+    ctx.note(design.name() + ": prebuilt netlist, nothing to synthesize");
+  }
+}
+
+void MapLuts::run(Design& design, PassContext& ctx) {
+  const techmap::MappedNetlist& mapped = design.mapped(k_);
+  const techmap::AreaReport& area = design.area(k_);
+  ctx.metric("k", static_cast<double>(k_));
+  ctx.metric("luts", static_cast<double>(area.luts));
+  ctx.metric("ffs", static_cast<double>(area.ffs));
+  ctx.metric("slices", static_cast<double>(area.slices));
+  ctx.metric("lut_depth", static_cast<double>(mapped.depth));
+}
+
+void Sta::run(Design& design, PassContext& ctx) {
+  if (!design.hasMapped()) {
+    ctx.warning("sta before map-luts: mapping with default k");
+  }
+  const timing::TimingReport& rep = design.timing(params_);
+  ctx.metric("fmax_mhz", rep.fmaxMHz);
+  ctx.metric("critical_path_ns", rep.criticalPathNs);
+  ctx.metric("logic_levels", static_cast<double>(rep.logicLevels));
+}
+
+void ProveEncodingEquiv::run(Design& design, PassContext& ctx) {
+  // Collect the distinct FSM specs the design's control was built from.
+  // The transition function is independent of the reset state, so seeded
+  // relays prove together with their unseeded twins.
+  std::vector<sync::FsmSpec> specs;
+  if (const sync::WrapperConfig* cfg = design.wrapperConfig()) {
+    specs.push_back(sync::shellFsm(cfg->numInputs, cfg->numOutputs));
+    specs.push_back(sync::relayFsm(cfg->relayDepth));
+  } else if (const sync::SystemSpec* spec = design.systemSpec()) {
+    std::set<std::pair<unsigned, unsigned>> shells;
+    std::set<unsigned> relays;
+    for (const sync::PearlSpec& p : spec->pearls) {
+      if (shells.insert({p.numInputs, p.numOutputs}).second) {
+        specs.push_back(sync::shellFsm(p.numInputs, p.numOutputs));
+      }
+    }
+    for (const sync::ChannelSpec& ch : spec->channels) {
+      if (ch.relays > 0 && relays.insert(ch.relayDepth).second) {
+        specs.push_back(sync::relayFsm(ch.relayDepth));
+      }
+    }
+  } else {
+    ctx.note(design.name() + ": prebuilt netlist has no control spec");
+    return;
+  }
+
+  for (const sync::FsmSpec& spec : specs) {
+    const netlist::Netlist oneHot =
+        sync::fsmTransitionNetlist(spec, sync::Encoding::OneHot);
+    const netlist::Netlist binary =
+        sync::fsmTransitionNetlist(spec, sync::Encoding::Binary);
+    const netlist::EquivResult res =
+        netlist::checkCombEquivalence(oneHot, binary);
+    if (!res.equivalent) {
+      ctx.error(spec.name + ": one-hot and binary control differ at output " +
+                res.failingOutput);
+      return;
+    }
+  }
+  ctx.metric("proofs", static_cast<double>(specs.size()));
+}
+
+void Cosim::run(Design& design, PassContext& ctx) {
+  // Drive the design's cached synthesis (building it on first access)
+  // rather than re-running buildWrapper/buildSystem inside the oracle.
+  sync::CosimResult r;
+  if (const sync::WrapperConfig* cfg = design.wrapperConfig()) {
+    r = sync::cosimWrapper(*design.wrapper(), *cfg, options_);
+  } else if (const sync::SystemSpec* spec = design.systemSpec()) {
+    r = sync::cosimSystem(*design.system(), *spec, options_);
+  } else {
+    ctx.note(design.name() + ": prebuilt netlist has no behavioural model");
+    return;
+  }
+  ctx.metric("cycles", static_cast<double>(r.cyclesRun));
+  ctx.metric("fires", static_cast<double>(r.fires));
+  ctx.metric("tokens", static_cast<double>(r.tokens));
+  const bool ok = r.ok;
+  const std::string mismatch = r.mismatch;
+  design.setCosimResult(std::move(r));
+  if (!ok) ctx.error("co-simulation mismatch: " + mismatch);
+}
+
+namespace {
+
+void jsonEscape(std::ostringstream& os, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      default: os << c; break;
+    }
+  }
+}
+
+} // namespace
+
+void Report::run(Design& design, PassContext& ctx) {
+  const netlist::Netlist& nl = design.netlist();
+  const netlist::NetlistStats st = nl.stats();
+  std::ostringstream os;
+  os << "{\n  \"design\": \"";
+  jsonEscape(os, design.name());
+  os << "\",\n  \"netlist\": {\"nodes\": " << nl.nodeCount()
+     << ", \"gates\": " << st.gates << ", \"dffs\": " << st.dffs
+     << ", \"inputs\": " << st.inputs << ", \"outputs\": " << st.outputs
+     << ", \"rom_bits\": " << st.romBits << "}";
+  if (const sync::FsmSynthStats* fs = design.controlStats()) {
+    os << ",\n  \"control\": {\"functions\": " << fs->functions
+       << ", \"cubes\": " << fs->cubesAfter
+       << ", \"literals\": " << fs->literalsAfter << "}";
+  }
+  if (design.hasMapped()) {
+    const techmap::AreaReport& area = design.area(design.mappedK());
+    os << ",\n  \"area\": {\"k\": " << design.mappedK()
+       << ", \"luts\": " << area.luts << ", \"ffs\": " << area.ffs
+       << ", \"slices\": " << area.slices << "}";
+  }
+  if (design.hasTiming()) {
+    const timing::TimingReport& rep = design.timing();
+    os << ",\n  \"timing\": {\"fmax_mhz\": " << rep.fmaxMHz
+       << ", \"critical_path_ns\": " << rep.criticalPathNs
+       << ", \"logic_levels\": " << rep.logicLevels << "}";
+  }
+  if (const sync::CosimResult* r = design.cosimResult()) {
+    os << ",\n  \"cosim\": {\"ok\": " << (r->ok ? "true" : "false")
+       << ", \"cycles\": " << r->cyclesRun << ", \"fires\": " << r->fires
+       << ", \"tokens\": " << r->tokens << "}";
+  }
+  os << ",\n  \"stage_seconds\": {";
+  bool first = true;
+  for (const auto& [stage, seconds] : design.stageTimes()) {
+    os << (first ? "" : ", ") << "\"" << stage << "\": " << seconds;
+    first = false;
+  }
+  os << "}\n}\n";
+  design.setReportJson(os.str());
+  ctx.metric("report_bytes", static_cast<double>(design.reportJson().size()));
+  if (options_.verilog) {
+    design.setVerilog(netlist::emitVerilog(nl));
+    ctx.metric("verilog_bytes", static_cast<double>(design.verilog().size()));
+  }
+}
+
+Pipeline& Pipeline::add(std::unique_ptr<Pass> pass) {
+  passes_.push_back(std::move(pass));
+  return *this;
+}
+
+Pipeline& Pipeline::synthesizeControl() {
+  return add(std::make_unique<SynthesizeControl>());
+}
+
+Pipeline& Pipeline::mapLuts(unsigned k) {
+  return add(std::make_unique<MapLuts>(k));
+}
+
+Pipeline& Pipeline::sta(const timing::TechParams& params) {
+  return add(std::make_unique<Sta>(params));
+}
+
+Pipeline& Pipeline::proveEncodingEquiv() {
+  return add(std::make_unique<ProveEncodingEquiv>());
+}
+
+Pipeline& Pipeline::cosim(const sync::CosimOptions& options) {
+  return add(std::make_unique<Cosim>(options));
+}
+
+Pipeline& Pipeline::report(const ReportOptions& options) {
+  return add(std::make_unique<Report>(options));
+}
+
+bool Pipeline::run(Design& design) {
+  records_.clear();
+  diagnostics_.clear();
+  ok_ = true;
+  for (const std::unique_ptr<Pass>& pass : passes_) {
+    PassRecord rec;
+    rec.name = pass->name();
+    PassContext ctx(rec.name, diagnostics_, rec.metrics);
+    const auto t0 = std::chrono::steady_clock::now();
+    try {
+      pass->run(design, ctx);
+    } catch (const std::exception& e) {
+      ctx.error(e.what());
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    rec.seconds = std::chrono::duration<double>(t1 - t0).count();
+    rec.ok = !ctx.failed();
+    records_.push_back(std::move(rec));
+    if (ctx.failed()) {
+      ok_ = false;
+      return false;
+    }
+  }
+  return true;
+}
+
+const PassRecord* Pipeline::record(const std::string& passName) const {
+  for (const PassRecord& rec : records_) {
+    if (rec.name == passName) return &rec;
+  }
+  return nullptr;
+}
+
+std::string Pipeline::json() const {
+  std::ostringstream os;
+  os << "{\n  \"ok\": " << (ok_ ? "true" : "false") << ",\n  \"passes\": [";
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const PassRecord& rec = records_[i];
+    os << (i == 0 ? "\n" : ",\n") << "    {\"name\": \"" << rec.name
+       << "\", \"seconds\": " << rec.seconds
+       << ", \"ok\": " << (rec.ok ? "true" : "false") << ", \"metrics\": {";
+    for (std::size_t m = 0; m < rec.metrics.size(); ++m) {
+      os << (m == 0 ? "" : ", ") << "\"" << rec.metrics[m].first
+         << "\": " << rec.metrics[m].second;
+    }
+    os << "}}";
+  }
+  os << "\n  ],\n  \"diagnostics\": [";
+  for (std::size_t i = 0; i < diagnostics_.size(); ++i) {
+    const Diagnostic& d = diagnostics_[i];
+    os << (i == 0 ? "\n" : ",\n") << "    {\"severity\": \""
+       << severityName(d.severity) << "\", \"pass\": \"" << d.pass
+       << "\", \"message\": \"";
+    jsonEscape(os, d.message);
+    os << "\"}";
+  }
+  os << "\n  ]\n}\n";
+  return os.str();
+}
+
+} // namespace lis::flow

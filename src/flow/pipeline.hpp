@@ -1,0 +1,168 @@
+#pragma once
+// flow::Pipeline — uniform pass objects over flow::Design, in the spirit of
+// parameterized pass structs in mature logic-synthesis codebases: each pass
+// carries its options as plain data, reports through one diagnostic
+// channel, and contributes named numeric metrics to a per-pass record that
+// the pipeline can serialize as JSON.
+//
+// Passes:
+//   SynthesizeControl      spec -> netlist (FSM encode + minimize + datapath)
+//   MapLuts{k}             netlist -> k-LUT cover
+//   Sta{TechParams}        mapped netlist -> timing report
+//   ProveEncodingEquiv     one-hot == binary control proof per FSM spec
+//   Cosim{CosimOptions}    randomized-stall co-simulation oracle
+//   Report                 design artifacts -> JSON (+ optional Verilog)
+//
+// Pipeline::run executes the passes in order, wall-times each, and stops at
+// the first pass that reports an error (exceptions become error
+// diagnostics). The per-pass records and diagnostics survive for
+// inspection and JSON emission.
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "flow/design.hpp"
+#include "lis/cosim.hpp"
+#include "timing/techparams.hpp"
+
+namespace lis::flow {
+
+enum class Severity { Note, Warning, Error };
+
+const char* severityName(Severity s);
+
+struct Diagnostic {
+  Severity severity = Severity::Note;
+  std::string pass;
+  std::string message;
+};
+
+/// The error/diagnostic and metric channel handed to each pass.
+class PassContext {
+public:
+  void note(std::string message);
+  void warning(std::string message);
+  /// Marks the pass (and the pipeline run) as failed.
+  void error(std::string message);
+  /// Named numeric result, kept in the pass record and emitted as JSON.
+  void metric(std::string key, double value);
+  bool failed() const { return failed_; }
+
+private:
+  friend class Pipeline;
+  PassContext(std::string pass, std::vector<Diagnostic>& diags,
+              std::vector<std::pair<std::string, double>>& metrics)
+      : pass_(std::move(pass)), diags_(&diags), metrics_(&metrics) {}
+
+  std::string pass_;
+  std::vector<Diagnostic>* diags_;
+  std::vector<std::pair<std::string, double>>* metrics_;
+  bool failed_ = false;
+};
+
+class Pass {
+public:
+  virtual ~Pass() = default;
+  virtual std::string name() const = 0;
+  virtual void run(Design& design, PassContext& ctx) = 0;
+};
+
+struct PassRecord {
+  std::string name;
+  double seconds = 0;
+  bool ok = false;
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
+class SynthesizeControl final : public Pass {
+public:
+  std::string name() const override { return "synthesize-control"; }
+  void run(Design& design, PassContext& ctx) override;
+};
+
+class MapLuts final : public Pass {
+public:
+  explicit MapLuts(unsigned k = 4) : k_(k) {}
+  std::string name() const override { return "map-luts"; }
+  void run(Design& design, PassContext& ctx) override;
+
+private:
+  unsigned k_;
+};
+
+class Sta final : public Pass {
+public:
+  explicit Sta(timing::TechParams params = {}) : params_(params) {}
+  std::string name() const override { return "sta"; }
+  void run(Design& design, PassContext& ctx) override;
+
+private:
+  timing::TechParams params_;
+};
+
+class ProveEncodingEquiv final : public Pass {
+public:
+  std::string name() const override { return "prove-encoding-equiv"; }
+  void run(Design& design, PassContext& ctx) override;
+};
+
+class Cosim final : public Pass {
+public:
+  explicit Cosim(sync::CosimOptions options = {}) : options_(options) {}
+  std::string name() const override { return "cosim"; }
+  void run(Design& design, PassContext& ctx) override;
+
+private:
+  sync::CosimOptions options_;
+};
+
+struct ReportOptions {
+  bool verilog = false; // also emit structural Verilog into the design
+};
+
+class Report final : public Pass {
+public:
+  explicit Report(ReportOptions options = {}) : options_(options) {}
+  std::string name() const override { return "report"; }
+  void run(Design& design, PassContext& ctx) override;
+
+private:
+  ReportOptions options_;
+};
+
+class Pipeline {
+public:
+  Pipeline& add(std::unique_ptr<Pass> pass);
+
+  // Fluent builders for the standard passes.
+  Pipeline& synthesizeControl();
+  Pipeline& mapLuts(unsigned k = 4);
+  Pipeline& sta(const timing::TechParams& params = {});
+  Pipeline& proveEncodingEquiv();
+  Pipeline& cosim(const sync::CosimOptions& options = {});
+  Pipeline& report(const ReportOptions& options = {});
+
+  /// Run every pass in order against `design`; stops at the first failing
+  /// pass. Records and diagnostics are reset per run. Returns overall
+  /// success.
+  bool run(Design& design);
+
+  const std::vector<PassRecord>& records() const { return records_; }
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  /// Record of a pass by name (nullptr when it did not run).
+  const PassRecord* record(const std::string& passName) const;
+  bool ok() const { return ok_; }
+
+  /// Pass records + diagnostics of the last run as a JSON object.
+  std::string json() const;
+
+private:
+  std::vector<std::unique_ptr<Pass>> passes_;
+  std::vector<PassRecord> records_;
+  std::vector<Diagnostic> diagnostics_;
+  bool ok_ = false;
+};
+
+} // namespace lis::flow

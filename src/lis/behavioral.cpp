@@ -91,11 +91,16 @@ RelayStationModel::RelayStationModel(std::string name, unsigned depth,
                                      sim::Wire<bool>& inStop,
                                      sim::Wire<bool>& outValid,
                                      sim::Wire<std::uint64_t>& outData,
-                                     sim::Wire<bool>& outStop)
-    : Module(std::move(name)), depth_(depth), inValid_(&inValid),
-      inData_(&inData), inStop_(&inStop), outValid_(&outValid),
-      outData_(&outData), outStop_(&outStop) {
+                                     sim::Wire<bool>& outStop,
+                                     unsigned initialTokens)
+    : Module(std::move(name)), depth_(depth), initialTokens_(initialTokens),
+      inValid_(&inValid), inData_(&inData), inStop_(&inStop),
+      outValid_(&outValid), outData_(&outData), outStop_(&outStop) {
   if (depth == 0) throw std::invalid_argument("RelayStationModel: depth 0");
+  if (initialTokens > depth) {
+    throw std::invalid_argument(
+        "RelayStationModel: more initial tokens than capacity");
+  }
 }
 
 void RelayStationModel::evaluate() {
@@ -112,6 +117,8 @@ void RelayStationModel::clockEdge() {
   if (push) fifo_.push_back(incoming);
 }
 
-void RelayStationModel::reset() { fifo_.clear(); }
+void RelayStationModel::reset() {
+  fifo_.assign(initialTokens_, 0);
+}
 
 } // namespace lis::sync

@@ -92,6 +92,10 @@ private:
 };
 
 /// Relay station of the given capacity: a FIFO with Moore valid/stop.
+/// `initialTokens` slots start occupied with zero-valued tokens after
+/// reset — the seed tokens that make cyclic (back-pressure ring) systems
+/// live. Mirrors a synthesized relay whose FSM resets to occupancy
+/// `initialTokens` with cleared data slots.
 class RelayStationModel : public sim::Module {
 public:
   RelayStationModel(std::string name, unsigned depth,
@@ -100,7 +104,8 @@ public:
                     sim::Wire<bool>& inStop,   // written (Moore)
                     sim::Wire<bool>& outValid, // written (Moore)
                     sim::Wire<std::uint64_t>& outData, // written
-                    sim::Wire<bool>& outStop); // read
+                    sim::Wire<bool>& outStop,  // read
+                    unsigned initialTokens = 0);
 
   void evaluate() override;
   void clockEdge() override;
@@ -110,6 +115,7 @@ public:
 
 private:
   unsigned depth_;
+  unsigned initialTokens_;
   sim::Wire<bool>* inValid_;
   sim::Wire<std::uint64_t>* inData_;
   sim::Wire<bool>* inStop_;

@@ -22,7 +22,11 @@ std::string cyc(std::uint64_t cycle, const std::string& what) {
 } // namespace
 
 CosimResult cosimWrapper(const WrapperConfig& cfg, const CosimOptions& opts) {
-  Wrapper w = buildWrapper(cfg);
+  return cosimWrapper(buildWrapper(cfg), cfg, opts);
+}
+
+CosimResult cosimWrapper(const Wrapper& w, const WrapperConfig& cfg,
+                         const CosimOptions& opts) {
   netlist::NetlistSim gate(w.netlist);
 
   // Behavioural fleet. Wires are owned here; modules reference them.
@@ -107,6 +111,7 @@ CosimResult cosimWrapper(const WrapperConfig& cfg, const CosimOptions& opts) {
   std::vector<std::uint64_t> pendingData(cfg.numInputs, 0);
 
   CosimResult result;
+  result.tokensPerOutput.assign(cfg.numOutputs, 0);
   for (std::uint64_t cycle = 0; cycle < opts.cycles; ++cycle) {
     // Re-settle the behavioural side so its wires reflect the post-clock
     // register state (Simulator::step clocks *after* settling, so wires are
@@ -163,7 +168,10 @@ CosimResult cosimWrapper(const WrapperConfig& cfg, const CosimOptions& opts) {
           result.mismatch = cyc(cycle, os.str());
           return result;
         }
-        if (!outStop[j]->read()) ++result.tokens;
+        if (!outStop[j]->read()) {
+          ++result.tokens;
+          ++result.tokensPerOutput[j];
+        }
       }
     }
 
@@ -172,6 +180,187 @@ CosimResult cosimWrapper(const WrapperConfig& cfg, const CosimOptions& opts) {
     ++result.cyclesRun;
   }
   result.fires = shell.fires();
+  result.ok = true;
+  return result;
+}
+
+CosimResult cosimSystem(const SystemSpec& spec, const CosimOptions& opts) {
+  return cosimSystem(buildSystem(spec), spec, opts);
+}
+
+CosimResult cosimSystem(const System& sys, const SystemSpec& spec,
+                        const CosimOptions& opts) {
+  netlist::NetlistSim gate(sys.netlist);
+
+  // Behavioural reference network mirroring the topology. A channel with d
+  // relay stations has d+1 wire stages (valid/data/stop triples); stage 0
+  // is the source side, stage d the sink side. A relay-free channel is one
+  // shared stage, so an upstream shell's output wires simply *are* the
+  // downstream shell's input wires.
+  sim::Simulator beh;
+  std::vector<std::unique_ptr<sim::Wire<bool>>> bools;
+  std::vector<std::unique_ptr<sim::Wire<std::uint64_t>>> datas;
+  auto boolWire = [&](const std::string& name) {
+    bools.push_back(std::make_unique<sim::Wire<bool>>(beh, name));
+    return bools.back().get();
+  };
+  auto dataWire = [&](const std::string& name) {
+    datas.push_back(std::make_unique<sim::Wire<std::uint64_t>>(
+        beh, name, spec.dataWidth));
+    return datas.back().get();
+  };
+
+  struct Stage {
+    sim::Wire<bool>* valid;
+    sim::Wire<std::uint64_t>* data;
+    sim::Wire<bool>* stop;
+  };
+  std::vector<std::vector<Stage>> stages(spec.channels.size());
+  std::vector<std::unique_ptr<RelayStationModel>> relayModels;
+  for (std::size_t c = 0; c < spec.channels.size(); ++c) {
+    const ChannelSpec& ch = spec.channels[c];
+    for (unsigned s = 0; s <= ch.relays; ++s) {
+      const std::string n =
+          "ch" + std::to_string(c) + "_s" + std::to_string(s);
+      stages[c].push_back(
+          {boolWire(n + "_valid"), dataWire(n + "_data"),
+           boolWire(n + "_stop")});
+    }
+    for (unsigned k = 0; k < ch.relays; ++k) {
+      const bool seeded = k >= ch.relays - ch.initialTokens;
+      relayModels.push_back(std::make_unique<RelayStationModel>(
+          "ch" + std::to_string(c) + "_rs" + std::to_string(k),
+          ch.relayDepth, *stages[c][k].valid, *stages[c][k].data,
+          *stages[c][k].stop, *stages[c][k + 1].valid, *stages[c][k + 1].data,
+          *stages[c][k + 1].stop, seeded ? 1u : 0u));
+    }
+  }
+
+  // Port-to-channel lookups.
+  std::vector<std::vector<std::size_t>> inChan(spec.pearls.size());
+  std::vector<std::vector<std::size_t>> outChan(spec.pearls.size());
+  for (std::size_t p = 0; p < spec.pearls.size(); ++p) {
+    inChan[p].assign(spec.pearls[p].numInputs, 0);
+    outChan[p].assign(spec.pearls[p].numOutputs, 0);
+  }
+  for (std::size_t c = 0; c < spec.channels.size(); ++c) {
+    const ChannelSpec& ch = spec.channels[c];
+    if (ch.fromPearl >= 0) outChan[ch.fromPearl][ch.fromPort] = c;
+    if (ch.toPearl >= 0) inChan[ch.toPearl][ch.toPort] = c;
+  }
+
+  std::vector<std::unique_ptr<ShellModel>> shellModels;
+  std::vector<std::unique_ptr<PearlModel>> pearlModels;
+  for (std::size_t p = 0; p < spec.pearls.size(); ++p) {
+    const PearlSpec& ps = spec.pearls[p];
+    ShellModel::Io io;
+    for (unsigned i = 0; i < ps.numInputs; ++i) {
+      const Stage& sink = stages[inChan[p][i]].back();
+      io.inValid.push_back(sink.valid);
+      io.inData.push_back(sink.data);
+      io.inStop.push_back(sink.stop);
+      io.pearlIn.push_back(
+          dataWire(ps.name + "_pearl" + std::to_string(i)));
+    }
+    io.pearlFire = boolWire(ps.name + "_fire");
+    io.pearlOut = dataWire(ps.name + "_out");
+    for (unsigned j = 0; j < ps.numOutputs; ++j) {
+      const Stage& src = stages[outChan[p][j]].front();
+      io.outValid.push_back(src.valid);
+      io.outData.push_back(src.data);
+      io.outStop.push_back(src.stop);
+    }
+    pearlModels.push_back(std::make_unique<PearlModel>(
+        ps.name, spec.dataWidth, *io.pearlFire, io.pearlIn, *io.pearlOut));
+    shellModels.push_back(std::make_unique<ShellModel>(
+        ps.name + "_shell", spec.dataWidth, std::move(io)));
+  }
+  for (auto& m : shellModels) beh.add(*m);
+  for (auto& m : pearlModels) beh.add(*m);
+  for (auto& m : relayModels) beh.add(*m);
+  if (opts.vcd != nullptr) {
+    opts.vcd->traceAll(beh.wires());
+    beh.attachVcd(opts.vcd);
+  }
+
+  gate.reset();
+  beh.reset();
+
+  support::SplitMix64 rng(opts.seed);
+  const std::uint64_t mask = widthMask(spec.dataWidth);
+  const std::vector<std::size_t> extIn = spec.externalInputs();
+  const std::vector<std::size_t> extOut = spec.externalOutputs();
+
+  std::vector<bool> pending(extIn.size(), false);
+  std::vector<std::uint64_t> pendingData(extIn.size(), 0);
+
+  CosimResult result;
+  result.tokensPerOutput.assign(extOut.size(), 0);
+  for (std::uint64_t cycle = 0; cycle < opts.cycles; ++cycle) {
+    beh.settle(); // see cosimWrapper: expose post-clock Moore stop outputs
+    for (std::size_t k = 0; k < extIn.size(); ++k) {
+      const Stage& src = stages[extIn[k]].front();
+      const bool stopGate = gate.value(sys.ports.inStop[k]);
+      const bool stopBeh = src.stop->read();
+      if (stopGate != stopBeh) {
+        result.mismatch = cyc(cycle, "in" + std::to_string(k) + "_stop: gate=" +
+                                         std::to_string(stopGate) +
+                                         " behavioural=" +
+                                         std::to_string(stopBeh));
+        return result;
+      }
+      if (!pending[k] && rng.below(100) < opts.offerPercent) {
+        pending[k] = true;
+        pendingData[k] = rng.next() & mask;
+      }
+      const bool valid = pending[k];
+      gate.setInput(sys.ports.inValid[k], valid);
+      gate.setInputBus(sys.ports.inData[k], pendingData[k]);
+      src.valid->write(valid);
+      src.data->write(pendingData[k]);
+      if (valid && !stopBeh) pending[k] = false; // transfer completes
+    }
+    for (std::size_t k = 0; k < extOut.size(); ++k) {
+      const bool stall = rng.below(100) < opts.stallPercent;
+      gate.setInput(sys.ports.outStop[k], stall);
+      stages[extOut[k]].back().stop->write(stall);
+    }
+
+    gate.settle();
+    beh.settle();
+
+    for (std::size_t k = 0; k < extOut.size(); ++k) {
+      const Stage& sink = stages[extOut[k]].back();
+      const bool vGate = gate.value(sys.ports.outValid[k]);
+      const bool vBeh = sink.valid->read();
+      if (vGate != vBeh) {
+        result.mismatch = cyc(cycle, "out" + std::to_string(k) + "_valid: gate=" +
+                                         std::to_string(vGate) +
+                                         " behavioural=" + std::to_string(vBeh));
+        return result;
+      }
+      if (vGate) {
+        const std::uint64_t dGate = gate.busValue(sys.ports.outData[k]);
+        const std::uint64_t dBeh = sink.data->read();
+        if (dGate != dBeh) {
+          std::ostringstream os;
+          os << "out" << k << "_data: gate=0x" << std::hex << dGate
+             << " behavioural=0x" << dBeh;
+          result.mismatch = cyc(cycle, os.str());
+          return result;
+        }
+        if (!sink.stop->read()) {
+          ++result.tokens;
+          ++result.tokensPerOutput[k];
+        }
+      }
+    }
+
+    gate.clock();
+    beh.step();
+    ++result.cyclesRun;
+  }
+  for (const auto& m : shellModels) result.fires += m->fires();
   result.ok = true;
   return result;
 }

@@ -1,14 +1,23 @@
 #pragma once
-// Co-simulation oracle: drive the synthesized wrapper netlist (scalar
-// NetlistSim view over BitSim) and the behavioural model fleet (ShellModel
-// + PearlModel + one RelayStationModel per output channel) with identical
+// Co-simulation oracles: drive a synthesized netlist (scalar NetlistSim
+// view over BitSim) and the behavioural model fleet with identical
 // randomized stall patterns, and check cycle-accurate agreement of every
 // protocol output. Sources respect the LIS protocol: a token is only
-// offered when the wrapper's (Moore) stop output is low.
+// offered when the design's (Moore) stop output is low.
+//
+// Two entry points:
+//   cosimWrapper  the single buildWrapper composition (shell + one relay
+//                 station per output channel)
+//   cosimSystem   any SystemSpec topology, checked against a behavioural
+//                 reference network mirroring the spec (one ShellModel +
+//                 PearlModel per pearl, one RelayStationModel per relay
+//                 station), with per-channel randomized offers and stalls
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "lis/system.hpp"
 #include "lis/wrapper.hpp"
 #include "sim/vcd.hpp"
 
@@ -27,8 +36,9 @@ struct CosimOptions {
 struct CosimResult {
   bool ok = false;
   std::uint64_t cyclesRun = 0;
-  std::uint64_t fires = 0;  // pearl activations (behavioural count)
+  std::uint64_t fires = 0;  // pearl activations (behavioural count, summed)
   std::uint64_t tokens = 0; // tokens delivered across all output channels
+  std::vector<std::uint64_t> tokensPerOutput; // per external output channel
   std::string mismatch;     // first disagreement, empty when ok
 };
 
@@ -36,5 +46,18 @@ struct CosimResult {
 /// models for opts.cycles cycles.
 CosimResult cosimWrapper(const WrapperConfig& cfg,
                          const CosimOptions& opts = {});
+
+/// Same oracle over an already-built wrapper (must match `cfg`) — callers
+/// holding a synthesized netlist (flow::Design) skip the rebuild.
+CosimResult cosimWrapper(const Wrapper& w, const WrapperConfig& cfg,
+                         const CosimOptions& opts = {});
+
+/// Build the system for `spec` and co-simulate it against the behavioural
+/// reference network for opts.cycles cycles.
+CosimResult cosimSystem(const SystemSpec& spec, const CosimOptions& opts = {});
+
+/// Same oracle over an already-built system (must match `spec`).
+CosimResult cosimSystem(const System& sys, const SystemSpec& spec,
+                        const CosimOptions& opts = {});
 
 } // namespace lis::sync

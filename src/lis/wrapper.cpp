@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "lis/datapath.hpp"
+
 namespace lis::sync {
 
 using netlist::Bus;
@@ -16,57 +18,33 @@ std::string chan(const char* base, unsigned idx, const char* suffix) {
   return std::string(base) + std::to_string(idx) + suffix;
 }
 
-/// Input buffers + pearl stub. Returns the pearl result bus (`base`):
-/// sum of the selected per-channel operands plus the gated accumulator.
-Bus buildShellDatapath(BusBuilder& bb, const WrapperConfig& cfg,
-                       FsmInstance& ctl, const std::vector<Bus>& inData) {
-  Bus sum;
-  for (unsigned i = 0; i < cfg.numInputs; ++i) {
-    Bus buf = bb.registerBus(cfg.dataWidth, 0, chan("buf", i, ""));
-    bb.connectRegister(buf, inData[i], ctl.mealy(chan("cap", i, "")));
-    // The buffer-occupied state bit doubles as the operand select: a full
-    // buffer holds the token the pearl must consume this fire.
-    const NodeId sel = ctl.moore(chan("stopo", i, ""));
-    const Bus operand = bb.mux(sel, inData[i], buf);
-    sum = i == 0 ? operand : bb.adder(sum, operand);
-  }
-  Bus acc = bb.registerBus(cfg.dataWidth, 0, "acc");
-  const Bus base = bb.adder(acc, sum);
-  bb.connectRegister(acc, base, ctl.mealy("fire"));
-  return base;
-}
-
-/// Relay-station data slots: a shift FIFO whose head is slot 0. The FSM's
-/// pop output shifts toward the head, we<k> writes the incoming token into
-/// slot k; slots are clock-gated when neither applies.
-Bus buildRelayDatapath(Netlist& nl, BusBuilder& bb, unsigned width,
-                       unsigned depth, FsmInstance& rs, const Bus& din,
-                       const std::string& prefix) {
-  std::vector<Bus> slot(depth);
-  for (unsigned k = 0; k < depth; ++k) {
-    slot[k] = bb.registerBus(width, 0, prefix + "_q" + std::to_string(k));
-  }
-  const NodeId pop = rs.mealy("pop");
-  for (unsigned k = 0; k < depth; ++k) {
-    const Bus shifted =
-        k + 1 < depth ? bb.mux(pop, slot[k], slot[k + 1]) : slot[k];
-    const NodeId we = rs.mealy("we" + std::to_string(k));
-    const Bus next = bb.mux(we, shifted, din);
-    bb.connectRegister(slot[k], next, nl.mkOr(we, pop));
-  }
-  return slot[0];
-}
-
-void checkConfig(const WrapperConfig& cfg) {
-  if (cfg.dataWidth == 0 || cfg.dataWidth > 64) {
-    throw std::invalid_argument("wrapper: dataWidth must be in 1..64");
-  }
-}
-
 } // namespace
 
+void checkWrapperConfig(const WrapperConfig& cfg, bool needsRelay) {
+  if (cfg.numInputs == 0 || cfg.numInputs > 4) {
+    throw std::invalid_argument(
+        "wrapper: numInputs must be in 1..4, got " +
+        std::to_string(cfg.numInputs));
+  }
+  if (cfg.numOutputs == 0 || cfg.numOutputs > 8) {
+    throw std::invalid_argument(
+        "wrapper: numOutputs must be in 1..8, got " +
+        std::to_string(cfg.numOutputs));
+  }
+  if (cfg.dataWidth == 0 || cfg.dataWidth > 64) {
+    throw std::invalid_argument(
+        "wrapper: dataWidth must be in 1..64, got " +
+        std::to_string(cfg.dataWidth));
+  }
+  if (needsRelay && (cfg.relayDepth == 0 || cfg.relayDepth > 8)) {
+    throw std::invalid_argument(
+        "wrapper: relayDepth must be in 1..8, got " +
+        std::to_string(cfg.relayDepth));
+  }
+}
+
 Wrapper buildShell(const WrapperConfig& cfg) {
-  checkConfig(cfg);
+  checkWrapperConfig(cfg, /*needsRelay=*/false);
   Wrapper w{Netlist("shell_n" + std::to_string(cfg.numInputs) + "m" +
                     std::to_string(cfg.numOutputs) + "_" +
                     encodingName(cfg.encoding)),
@@ -89,7 +67,8 @@ Wrapper buildShell(const WrapperConfig& cfg) {
   cond.insert(cond.end(), p.outStop.begin(), p.outStop.end());
   ctl.elaborate(cond);
 
-  const Bus base = buildShellDatapath(bb, cfg, ctl, p.inData);
+  const Bus base = shellDatapath(bb, cfg.numInputs, cfg.dataWidth, ctl,
+                                 p.inData, "");
   for (unsigned i = 0; i < cfg.numInputs; ++i) {
     p.inStop.push_back(
         nl.addOutput(chan("in", i, "_stop"), ctl.moore(chan("stopo", i, ""))));
@@ -107,7 +86,8 @@ Wrapper buildShell(const WrapperConfig& cfg) {
 Wrapper buildRelayStation(unsigned dataWidth, unsigned depth, Encoding enc) {
   WrapperConfig check;
   check.dataWidth = dataWidth;
-  checkConfig(check);
+  check.relayDepth = depth;
+  checkWrapperConfig(check, /*needsRelay=*/true);
   Wrapper w{Netlist("relay_d" + std::to_string(depth) + "_" +
                     encodingName(enc)),
             {}, {}};
@@ -124,7 +104,7 @@ Wrapper buildRelayStation(unsigned dataWidth, unsigned depth, Encoding enc) {
   const NodeId cond[] = {p.inValid[0], p.outStop[0]};
   rs.elaborate(cond);
   const Bus head =
-      buildRelayDatapath(nl, bb, dataWidth, depth, rs, p.inData[0], "rs");
+      relayDatapath(nl, bb, dataWidth, depth, rs, p.inData[0], "rs");
 
   p.inStop.push_back(nl.addOutput("in_stop", rs.moore("stopo")));
   p.outValid.push_back(nl.addOutput("out_valid", rs.moore("vout")));
@@ -134,7 +114,7 @@ Wrapper buildRelayStation(unsigned dataWidth, unsigned depth, Encoding enc) {
 }
 
 Wrapper buildWrapper(const WrapperConfig& cfg) {
-  checkConfig(cfg);
+  checkWrapperConfig(cfg, /*needsRelay=*/true);
   Wrapper w{Netlist("wrapper_n" + std::to_string(cfg.numInputs) + "m" +
                     std::to_string(cfg.numOutputs) + "d" +
                     std::to_string(cfg.relayDepth) + "_" +
@@ -171,7 +151,8 @@ Wrapper buildWrapper(const WrapperConfig& cfg) {
   }
   ctl.elaborate(cond);
 
-  const Bus base = buildShellDatapath(bb, cfg, ctl, p.inData);
+  const Bus base = shellDatapath(bb, cfg.numInputs, cfg.dataWidth, ctl,
+                                 p.inData, "");
   for (unsigned i = 0; i < cfg.numInputs; ++i) {
     p.inStop.push_back(
         nl.addOutput(chan("in", i, "_stop"), ctl.moore(chan("stopo", i, ""))));
@@ -183,8 +164,8 @@ Wrapper buildWrapper(const WrapperConfig& cfg) {
     const NodeId rsCond[] = {fire, p.outStop[j]};
     relays[j].elaborate(rsCond);
     const Bus tagged = bb.xorBus(base, bb.constant(j, cfg.dataWidth));
-    const Bus head = buildRelayDatapath(nl, bb, cfg.dataWidth, cfg.relayDepth,
-                                        relays[j], tagged, chan("rs", j, ""));
+    const Bus head = relayDatapath(nl, bb, cfg.dataWidth, cfg.relayDepth,
+                                   relays[j], tagged, chan("rs", j, ""));
     p.outValid.push_back(
         nl.addOutput(chan("out", j, "_valid"), relays[j].moore("vout")));
     p.outData.push_back(bb.outputBus(chan("out", j, "_data"), head));

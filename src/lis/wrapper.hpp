@@ -49,6 +49,13 @@ struct Wrapper {
   FsmSynthStats control; // aggregated FSM minimization stats
 };
 
+/// Validate a WrapperConfig: numInputs in 1..4, numOutputs in 1..8,
+/// dataWidth in 1..64, and (when `needsRelay`) relayDepth in 1..8. Throws
+/// std::invalid_argument naming the offending field and value. All builders
+/// call this; it is exposed so spec-level callers (flow passes, SystemSpec
+/// validation) can reject a bad config before synthesis starts.
+void checkWrapperConfig(const WrapperConfig& cfg, bool needsRelay);
+
 /// Shell alone: control FSM, input buffers, pearl stub. Output channels are
 /// driven combinationally (valid = fire).
 Wrapper buildShell(const WrapperConfig& cfg);

@@ -1,0 +1,260 @@
+#include "netlist/verilog.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <unordered_set>
+#include <vector>
+
+namespace lis::netlist {
+
+namespace {
+
+bool isIdentChar(char c, bool first) {
+  if (c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')) {
+    return true;
+  }
+  return !first && c >= '0' && c <= '9';
+}
+
+const std::unordered_set<std::string>& reservedWords() {
+  static const std::unordered_set<std::string> words = {
+      "always",  "assign",   "begin",  "case",   "casex",  "casez",
+      "clk",     "default",  "else",   "end",    "endcase", "endfunction",
+      "endmodule", "for",    "function", "if",   "initial", "input",
+      "integer", "module",   "negedge", "not",   "or",      "output",
+      "and",     "nand",     "nor",    "xor",    "xnor",    "buf",
+      "parameter", "posedge", "reg",   "repeat", "rst",     "wait",
+      "while",   "wire"};
+  return words;
+}
+
+std::string sanitize(const std::string& raw) {
+  std::string out = "_"; // placeholder lead, dropped when raw starts legally
+  out.reserve(raw.size() + 1);
+  for (char c : raw) {
+    out.push_back(isIdentChar(c, out.size() == 1) ? c : '_');
+  }
+  if (out.size() > 1 && isIdentChar(out[1], true)) out.erase(0, 1);
+  return out;
+}
+
+/// Allocates legal, unique identifiers; collisions and reserved words get
+/// a _n<tag> suffix.
+class NameTable {
+public:
+  std::string claim(const std::string& preferred, const std::string& tag) {
+    std::string name = sanitize(preferred);
+    if (reservedWords().count(name) != 0 || !used_.insert(name).second) {
+      name += "_" + tag;
+      while (!used_.insert(name).second) name += "_";
+    }
+    return name;
+  }
+
+private:
+  std::unordered_set<std::string> used_;
+};
+
+std::string hexWord(std::uint64_t value, unsigned width) {
+  std::ostringstream os;
+  os << width << "'h" << std::hex << value;
+  return os.str();
+}
+
+} // namespace
+
+std::string emitVerilog(const Netlist& nl) {
+  const std::vector<Node>& nodes = nl.nodes();
+  NameTable names;
+  const std::string moduleName = names.claim(nl.name(), "top");
+
+  // Node identifiers: ports and named registers keep their names, every
+  // other node is n<id>. Constants are inlined at use sites.
+  std::vector<std::string> ident(nodes.size());
+  for (NodeId id = 0; id < nodes.size(); ++id) {
+    const Node& n = nodes[id];
+    if (n.op == Op::Const0 || n.op == Op::Const1) continue;
+    std::string fallback = "n";
+    fallback += std::to_string(id);
+    ident[id] = names.claim(n.name.empty() ? fallback : n.name,
+                            std::to_string(id));
+  }
+  auto ref = [&](NodeId id) -> std::string {
+    if (nodes[id].op == Op::Const0) return "1'b0";
+    if (nodes[id].op == Op::Const1) return "1'b1";
+    return ident[id];
+  };
+
+  // Group RomBit nodes that read one ROM through one address vector into a
+  // shared read port (one case block, many bit selects).
+  std::map<std::pair<std::uint32_t, std::vector<NodeId>>,
+           std::vector<NodeId>> romPorts;
+  for (NodeId id = 0; id < nodes.size(); ++id) {
+    if (nodes[id].op == Op::RomBit) {
+      romPorts[{nodes[id].romId, nodes[id].fanin}].push_back(id);
+    }
+  }
+  std::vector<std::string> romPortName;
+  romPortName.reserve(romPorts.size());
+  {
+    std::size_t port = 0;
+    for (const auto& [key, bits] : romPorts) {
+      (void)bits;
+      const Rom& rom = nl.rom(key.first);
+      std::string base = rom.name;
+      if (base.empty()) {
+        base = "rom";
+        base += std::to_string(key.first);
+      }
+      base += "_r";
+      base += std::to_string(port);
+      std::string tag = "p";
+      tag += std::to_string(port);
+      romPortName.push_back(names.claim(base, tag));
+      ++port;
+    }
+  }
+
+  const bool sequential = !nl.dffs().empty();
+  std::ostringstream os;
+  os << "// Structural netlist \"" << nl.name() << "\" emitted by lis\n";
+  os << "module " << moduleName << " (\n";
+  {
+    std::vector<std::string> ports;
+    if (sequential) {
+      ports.push_back("clk");
+      ports.push_back("rst");
+    }
+    for (NodeId id : nl.inputs()) ports.push_back(ident[id]);
+    for (NodeId id : nl.outputs()) ports.push_back(ident[id]);
+    for (std::size_t i = 0; i < ports.size(); ++i) {
+      os << "  " << ports[i] << (i + 1 < ports.size() ? ",\n" : "\n");
+    }
+  }
+  os << ");\n";
+  if (sequential) os << "  input wire clk;\n  input wire rst;\n";
+  for (NodeId id : nl.inputs()) os << "  input wire " << ident[id] << ";\n";
+  for (NodeId id : nl.outputs()) os << "  output wire " << ident[id] << ";\n";
+  os << "\n";
+
+  // Declarations.
+  for (NodeId id = 0; id < nodes.size(); ++id) {
+    switch (nodes[id].op) {
+      case Op::Not:
+      case Op::And:
+      case Op::Or:
+      case Op::Xor:
+      case Op::Mux:
+      case Op::RomBit:
+        os << "  wire " << ident[id] << ";\n";
+        break;
+      case Op::Dff:
+        os << "  reg " << ident[id] << ";\n";
+        break;
+      default:
+        break;
+    }
+  }
+  {
+    std::size_t port = 0;
+    for (const auto& [key, bits] : romPorts) {
+      (void)bits;
+      const Rom& rom = nl.rom(key.first);
+      os << "  reg [" << rom.width - 1 << ":0] " << romPortName[port]
+         << ";\n";
+      ++port;
+    }
+  }
+  os << "\n";
+
+  // Combinational gates.
+  for (NodeId id = 0; id < nodes.size(); ++id) {
+    const Node& n = nodes[id];
+    switch (n.op) {
+      case Op::Not:
+        os << "  assign " << ident[id] << " = ~" << ref(n.fanin[0]) << ";\n";
+        break;
+      case Op::And:
+        os << "  assign " << ident[id] << " = " << ref(n.fanin[0]) << " & "
+           << ref(n.fanin[1]) << ";\n";
+        break;
+      case Op::Or:
+        os << "  assign " << ident[id] << " = " << ref(n.fanin[0]) << " | "
+           << ref(n.fanin[1]) << ";\n";
+        break;
+      case Op::Xor:
+        os << "  assign " << ident[id] << " = " << ref(n.fanin[0]) << " ^ "
+           << ref(n.fanin[1]) << ";\n";
+        break;
+      case Op::Mux:
+        os << "  assign " << ident[id] << " = " << ref(n.fanin[0]) << " ? "
+           << ref(n.fanin[2]) << " : " << ref(n.fanin[1]) << ";\n";
+        break;
+      default:
+        break;
+    }
+  }
+
+  // ROM read ports: one case block per (rom, address vector) group.
+  {
+    std::size_t port = 0;
+    for (const auto& [key, bits] : romPorts) {
+      const Rom& rom = nl.rom(key.first);
+      const std::vector<NodeId>& addr = key.second;
+      const std::string& rdata = romPortName[port];
+      if (addr.empty()) {
+        os << "  always @* " << rdata << " = "
+           << hexWord(rom.words.empty() ? 0 : rom.words.front(), rom.width)
+           << ";\n";
+      } else {
+        os << "  always @* begin\n    case ({";
+        for (std::size_t i = addr.size(); i-- > 0;) {
+          os << ref(addr[i]) << (i > 0 ? ", " : "");
+        }
+        os << "})\n";
+        const std::uint64_t reach =
+            addr.size() >= 64
+                ? rom.words.size()
+                : std::min<std::uint64_t>(rom.words.size(),
+                                          std::uint64_t{1} << addr.size());
+        for (std::uint64_t a = 0; a < reach; ++a) {
+          os << "      " << addr.size() << "'d" << a << ": " << rdata
+             << " = " << hexWord(rom.words[a], rom.width) << ";\n";
+        }
+        os << "      default: " << rdata << " = " << rom.width << "'h0;\n"
+           << "    endcase\n  end\n";
+      }
+      for (NodeId id : bits) {
+        os << "  assign " << ident[id] << " = " << rdata << "["
+           << nodes[id].romBit << "];\n";
+      }
+      ++port;
+    }
+  }
+
+  // Registers: synchronous reset, optional clock enable.
+  for (NodeId id : nl.dffs()) {
+    const Node& n = nodes[id];
+    os << "  always @(posedge clk) begin\n"
+       << "    if (rst) " << ident[id] << " <= 1'b"
+       << (n.resetValue ? 1 : 0) << ";\n";
+    if (n.hasEnable) {
+      os << "    else if (" << ref(n.fanin[1]) << ") " << ident[id]
+         << " <= " << ref(n.fanin[0]) << ";\n";
+    } else {
+      os << "    else " << ident[id] << " <= " << ref(n.fanin[0]) << ";\n";
+    }
+    os << "  end\n";
+  }
+
+  // Output ports.
+  for (NodeId id : nl.outputs()) {
+    os << "  assign " << ident[id] << " = " << ref(nodes[id].fanin[0])
+       << ";\n";
+  }
+  os << "endmodule\n";
+  return os.str();
+}
+
+} // namespace lis::netlist

@@ -1,0 +1,23 @@
+#pragma once
+// Structural Verilog-2001 emission for the gate-level IR — the emitter the
+// netlist.hpp header comment promises. One module per netlist:
+//
+//   * `clk` and `rst` ports are added iff the netlist has registers; every
+//     Dff becomes an always @(posedge clk) block with a synchronous reset
+//     to its resetValue and an optional clock enable.
+//   * Combinational gates become continuous assigns (~ & | ^ ?:).
+//   * RomBit nodes sharing one ROM and one address vector are grouped into
+//     a single always @* case block over the address, with a default of 0
+//     for addresses beyond the ROM depth (matching BitSim semantics).
+//   * Port and register names are sanitized to legal identifiers and
+//     uniquified; anonymous nodes are named n<id>.
+
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace lis::netlist {
+
+std::string emitVerilog(const Netlist& nl);
+
+} // namespace lis::netlist

@@ -1,11 +1,14 @@
 // Tests for the src/lis synchronization-wrapper synthesis subsystem: FSM
 // spec semantics, directed netlist behaviour, randomized co-simulation of
-// synthesized wrappers against the behavioural models, and the formal
-// one-hot vs binary control-equivalence proof.
+// synthesized wrappers against the behavioural models, the formal one-hot
+// vs binary control-equivalence proof, config validation, and the
+// flow::Pipeline-driven verification flow.
 
 #include <cstdio>
 #include <stdexcept>
 
+#include "flow/design.hpp"
+#include "flow/pipeline.hpp"
 #include "lis/cosim.hpp"
 #include "lis/fsm.hpp"
 #include "lis/synth.hpp"
@@ -284,6 +287,84 @@ void testTransitionNetlistMatchesSpec() {
   }
 }
 
+// Malformed configs must be rejected up front with a precise message, not
+// lowered into malformed FSM specs.
+void testConfigValidation() {
+  auto withField = [](auto set) {
+    WrapperConfig cfg;
+    set(cfg);
+    return cfg;
+  };
+  CHECK_THROWS(
+      buildShell(withField([](WrapperConfig& c) { c.numInputs = 0; })),
+      std::invalid_argument);
+  CHECK_THROWS(
+      buildShell(withField([](WrapperConfig& c) { c.numInputs = 5; })),
+      std::invalid_argument);
+  CHECK_THROWS(
+      buildShell(withField([](WrapperConfig& c) { c.numOutputs = 0; })),
+      std::invalid_argument);
+  CHECK_THROWS(
+      buildShell(withField([](WrapperConfig& c) { c.numOutputs = 9; })),
+      std::invalid_argument);
+  CHECK_THROWS(
+      buildShell(withField([](WrapperConfig& c) { c.dataWidth = 0; })),
+      std::invalid_argument);
+  CHECK_THROWS(
+      buildShell(withField([](WrapperConfig& c) { c.dataWidth = 65; })),
+      std::invalid_argument);
+  CHECK_THROWS(
+      buildWrapper(withField([](WrapperConfig& c) { c.numInputs = 0; })),
+      std::invalid_argument);
+  CHECK_THROWS(
+      buildWrapper(withField([](WrapperConfig& c) { c.numOutputs = 0; })),
+      std::invalid_argument);
+  CHECK_THROWS(
+      buildWrapper(withField([](WrapperConfig& c) { c.relayDepth = 0; })),
+      std::invalid_argument);
+  CHECK_THROWS(
+      buildWrapper(withField([](WrapperConfig& c) { c.relayDepth = 9; })),
+      std::invalid_argument);
+  CHECK_THROWS(buildRelayStation(8, 0, Encoding::Binary),
+               std::invalid_argument);
+  CHECK_THROWS(buildRelayStation(0, 2, Encoding::Binary),
+               std::invalid_argument);
+  // A shell alone has no relay stations: relayDepth == 0 is acceptable.
+  const Wrapper sh =
+      buildShell(withField([](WrapperConfig& c) { c.relayDepth = 0; }));
+  CHECK(sh.netlist.stats().dffs > 0);
+}
+
+// The full verification flow through the pass pipeline: synthesize, prove
+// the encodings equivalent, co-simulate — one uniform surface instead of
+// hand-wired plumbing.
+void testFlowPipelineVerify() {
+  for (Encoding enc : {Encoding::OneHot, Encoding::Binary}) {
+    WrapperConfig cfg;
+    cfg.numInputs = 2;
+    cfg.numOutputs = 2;
+    cfg.encoding = enc;
+    lis::flow::Design d(cfg);
+    CosimOptions opts;
+    opts.cycles = 1500;
+    opts.seed = 0xF10 + static_cast<unsigned>(enc);
+    lis::flow::Pipeline pipe;
+    pipe.synthesizeControl().proveEncodingEquiv().cosim(opts);
+    const bool ok = pipe.run(d);
+    if (!ok) {
+      for (const auto& diag : pipe.diagnostics()) {
+        std::printf("%s [%s]: %s\n", severityName(diag.severity),
+                    diag.pass.c_str(), diag.message.c_str());
+      }
+    }
+    CHECK(ok);
+    CHECK(d.cosimResult() != nullptr);
+    CHECK(d.cosimResult()->ok);
+    CHECK_EQ(d.cosimResult()->cyclesRun, 1500u);
+    CHECK(d.cosimResult()->fires > 300);
+  }
+}
+
 void testSynthStats() {
   // Minimization must actually reduce the enumerated transition covers.
   WrapperConfig cfg;
@@ -314,6 +395,8 @@ int main() {
   testCosimDepthsAndExtremes();
   testEncodingEquivalence();
   testTransitionNetlistMatchesSpec();
+  testConfigValidation();
+  testFlowPipelineVerify();
   testSynthStats();
   return testExit();
 }

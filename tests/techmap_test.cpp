@@ -1,7 +1,8 @@
-// Unit tests for techmap/lutmap and timing/sta: structural cover
-// invariants (every gate in exactly one LUT cone), functional agreement of
-// LUT truth tables with bit-parallel simulation, and area/timing report
-// sanity including k-sweep monotonicity.
+// Unit tests for techmap/lutmap and timing/sta, consumed through the
+// flow::Design artifact container (the map → sta plumbing lives in
+// src/flow/ now): structural cover invariants (every gate in exactly one
+// LUT cone), functional agreement of LUT truth tables with bit-parallel
+// simulation, and area/timing report sanity including k-sweep monotonicity.
 
 #include <cstdio>
 #include <stdexcept>
@@ -9,18 +10,18 @@
 #include <unordered_set>
 #include <vector>
 
+#include "flow/design.hpp"
 #include "lis/wrapper.hpp"
 #include "netlist/bitsim.hpp"
 #include "netlist/buses.hpp"
 #include "netlist/generate.hpp"
 #include "support/rng.hpp"
-#include "techmap/lutmap.hpp"
 #include "test_util.hpp"
 #include "timing/sta.hpp"
 
 using namespace lis::netlist;
+using lis::flow::Design;
 using lis::techmap::MappedNetlist;
-using lis::techmap::mapToLuts;
 
 namespace {
 
@@ -109,61 +110,61 @@ void checkFunctions(const Netlist& nl, const MappedNetlist& mapped,
 }
 
 void testCoverAndFunctions() {
-  const Netlist add = gen::adder(6);
-  const MappedNetlist mapped = mapToLuts(add, 4);
-  checkCover(add, mapped);
+  Design add(gen::adder(6));
+  checkCover(add.netlist(), add.mapped(4));
   // 12 inputs -> 4096 patterns: exhaustive, so every reachable leaf
   // pattern of every LUT is checked against the truth table.
-  checkFunctions(add, mapped, 64, /*exhaustive=*/true);
+  checkFunctions(add.netlist(), add.mapped(4), 64, /*exhaustive=*/true);
 
-  const Netlist mux = gen::muxTree(3, gen::MuxStyle::Tree);
-  checkCover(mux, mapToLuts(mux, 4));
-  checkFunctions(mux, mapToLuts(mux, 4), 32, /*exhaustive=*/false);
+  Design mux(gen::muxTree(3, gen::MuxStyle::Tree));
+  checkCover(mux.netlist(), mux.mapped(4));
+  checkFunctions(mux.netlist(), mux.mapped(4), 32, /*exhaustive=*/false);
 
-  const Netlist dag = gen::randomDag(16, 400, 8, /*seed=*/5);
+  Design dag(gen::randomDag(16, 400, 8, /*seed=*/5));
   for (unsigned k : {3u, 4u, 6u}) {
-    const MappedNetlist m = mapToLuts(dag, k);
-    checkCover(dag, m);
-    checkFunctions(dag, m, 8, /*exhaustive=*/false);
+    const MappedNetlist& m = dag.mapped(k);
+    checkCover(dag.netlist(), m);
+    checkFunctions(dag.netlist(), m, 8, /*exhaustive=*/false);
   }
 
-  // A synthesized wrapper netlist: registers + control SOP + datapath.
-  const lis::sync::Wrapper w = lis::sync::buildWrapper({2, 2, 8, 2,
-                                                        lis::sync::Encoding::OneHot});
-  const MappedNetlist wm = mapToLuts(w.netlist, 4);
-  checkCover(w.netlist, wm);
-  checkFunctions(w.netlist, wm, 4, /*exhaustive=*/false);
-  CHECK_EQ(wm.ffCount, w.netlist.stats().dffs);
+  // A synthesized wrapper netlist: registers + control SOP + datapath,
+  // through the spec-backed Design constructor.
+  Design w(lis::sync::WrapperConfig{2, 2, 8, 2,
+                                    lis::sync::Encoding::OneHot});
+  const MappedNetlist& wm = w.mapped(4);
+  checkCover(w.netlist(), wm);
+  checkFunctions(w.netlist(), wm, 4, /*exhaustive=*/false);
+  CHECK_EQ(wm.ffCount, w.netlist().stats().dffs);
 }
 
 void testKBoundRejected() {
   // A 3-input Mux over independent signals cannot fit a 2-LUT: mapping
   // must refuse, not emit an oversized LUT.
-  const Netlist mux = gen::muxTree(1, gen::MuxStyle::Tree);
-  CHECK_THROWS(mapToLuts(mux, 2), std::invalid_argument);
-  const MappedNetlist ok = mapToLuts(mux, 3);
-  checkCover(mux, ok);
+  Design mux(gen::muxTree(1, gen::MuxStyle::Tree));
+  CHECK_THROWS(mux.mapped(2), std::invalid_argument);
+  checkCover(mux.netlist(), mux.mapped(3));
 
   // But a Mux whose select cone shares the data support IS 2-feasible:
   // mux(and(a,b), a, b) collapses to the 2-leaf cut {a, b}.
-  Netlist shared("shared");
-  const NodeId a = shared.addInput("a");
-  const NodeId b = shared.addInput("b");
-  shared.addOutput("y", shared.mkMux(shared.mkAnd(a, b), a, b));
-  const MappedNetlist sm = mapToLuts(shared, 2);
-  checkCover(shared, sm);
+  Netlist nl("shared");
+  const NodeId a = nl.addInput("a");
+  const NodeId b = nl.addInput("b");
+  nl.addOutput("y", nl.mkMux(nl.mkAnd(a, b), a, b));
+  Design shared(std::move(nl));
+  const MappedNetlist& sm = shared.mapped(2);
+  checkCover(shared.netlist(), sm);
   CHECK_EQ(sm.luts.size(), 1u);
   CHECK_EQ(sm.luts[0].leaves.size(), 2u);
 }
 
 void testKSweepMonotone() {
-  const Netlist add = gen::adder(16);
+  Design add(gen::adder(16));
   unsigned lastDepth = ~0u;
   double lastFmax = 0.0;
   std::size_t lastLuts = ~std::size_t{0};
   for (unsigned k = 2; k <= 6; ++k) {
-    const MappedNetlist mapped = mapToLuts(add, k);
-    const lis::timing::TimingReport rep = lis::timing::analyze(mapped);
+    const MappedNetlist& mapped = add.mapped(k);
+    const lis::timing::TimingReport& rep = add.timing();
     CHECK(mapped.depth <= lastDepth);     // wider LUTs never deepen
     CHECK(mapped.luts.size() <= lastLuts); // nor grow the cover
     CHECK(rep.fmaxMHz + 1e-9 >= lastFmax); // nor slow the clock
@@ -180,10 +181,11 @@ void testStaReport() {
   Bus regs = bb.registerBus(16, 0, "cnt");
   bb.connectRegister(regs, bb.incrementer(regs));
   bb.outputBus("q", regs);
+  Design cnt(std::move(nl));
 
-  const MappedNetlist mapped = mapToLuts(nl, 4);
+  const MappedNetlist& mapped = cnt.mapped(4);
   const lis::timing::TechParams params;
-  const lis::timing::TimingReport rep = lis::timing::analyze(mapped);
+  const lis::timing::TimingReport& rep = cnt.timing(params);
   CHECK(rep.criticalPathNs >=
         params.clkToQ + params.lutDelay + params.setup);
   CHECK_EQ(rep.minPeriodNs, rep.criticalPathNs + params.clockSkewMargin);
@@ -193,21 +195,21 @@ void testStaReport() {
   CHECK(!rep.criticalPath.empty());
 
   // Purely combinational netlists end at primary outputs (no setup).
-  const Netlist add = gen::adder(8);
-  const auto addRep = lis::timing::analyze(mapToLuts(add, 4));
+  Design add(gen::adder(8));
+  const auto& addRep = add.timing();
   CHECK(addRep.criticalPathNs > 0.0);
   CHECK(addRep.logicLevels >= 1);
 
   // Slice model: 2 LUTs and 2 FFs per slice, used independently.
-  const auto area = lis::techmap::areaOf(mapped);
+  const auto& area = cnt.area(4);
   CHECK_EQ(area.ffs, 16u);
   CHECK_EQ(area.luts, mapped.luts.size());
   CHECK_EQ(area.slices,
            std::max((area.luts + 1) / 2, (area.ffs + 1) / 2));
 
   // ROM netlists report their bits and a LUT-ROM slice equivalent.
-  const Netlist rom = gen::romReader(6, 8, /*seed=*/3);
-  const auto romArea = lis::techmap::areaOf(mapToLuts(rom, 4));
+  Design rom(gen::romReader(6, 8, /*seed=*/3));
+  const auto& romArea = rom.area(4);
   CHECK_EQ(romArea.romBits, 64u * 8u);
   CHECK_EQ(romArea.romEquivalentSlices, ((64u * 8u + 15u) / 16u + 1u) / 2u);
 }

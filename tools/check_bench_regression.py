@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Gate CI on the wrapper synthesis numbers in BENCH_sim.json.
+
+Usage: check_bench_regression.py BASELINE.json FRESH.json [--max-regress 0.25]
+
+Compares the "wrapper" section entry by entry (keyed on inputs/outputs/
+relay_depth/encoding) and fails if any fresh entry needs more than
+(1 + max_regress) times the baseline slices, or clocks below
+baseline_fmax / (1 + max_regress). Both quantities are deterministic model
+outputs, so the threshold only trips on real synthesis/mapping regressions,
+never on runner noise. Missing entries (a configuration dropped from the
+bench) also fail.
+"""
+
+import argparse
+import json
+import sys
+
+
+def wrapper_key(entry):
+    return (entry["inputs"], entry["outputs"], entry["relay_depth"],
+            entry["encoding"])
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--max-regress", type=float, default=0.25,
+                        help="allowed fractional regression (default 0.25)")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.fresh) as f:
+        fresh = json.load(f)
+
+    fresh_by_key = {wrapper_key(e): e for e in fresh.get("wrapper", [])}
+    limit = 1.0 + args.max_regress
+    failures = []
+    print(f"{'config':>22} {'slices':>15} {'fmax_mhz':>19}")
+    for old in baseline.get("wrapper", []):
+        key = wrapper_key(old)
+        name = "%dx%d d%d %s" % key
+        new = fresh_by_key.get(key)
+        if new is None:
+            failures.append(f"{name}: missing from fresh results")
+            continue
+        slices_note = fmax_note = "ok"
+        if new["slices"] > old["slices"] * limit:
+            slices_note = "REGRESSED"
+            failures.append(
+                f"{name}: slices {old['slices']} -> {new['slices']} "
+                f"(> {limit:.2f}x)")
+        if new["fmax_mhz"] < old["fmax_mhz"] / limit:
+            fmax_note = "REGRESSED"
+            failures.append(
+                f"{name}: fmax {old['fmax_mhz']:.1f} -> "
+                f"{new['fmax_mhz']:.1f} MHz (< 1/{limit:.2f}x)")
+        print(f"{name:>22} {old['slices']:>5} -> {new['slices']:<4}"
+              f"{slices_note:>5} {old['fmax_mhz']:>7.1f} -> "
+              f"{new['fmax_mhz']:<7.1f}{fmax_note}")
+
+    if "system" not in fresh:
+        failures.append("fresh results lack the \"system\" section")
+
+    if failures:
+        print("\nBench regression gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\nBench regression gate passed "
+          f"(threshold {args.max_regress:.0%}).")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
