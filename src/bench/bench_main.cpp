@@ -4,20 +4,32 @@
 // Measures scalar vs. 64-way bit-parallel simulation throughput on a large
 // generated netlist, BDD apply throughput, end-to-end equivalence-check
 // wall time on adder / mux-tree / ROM pairs, and — through the flow::
-// Pipeline — synthesis/map/STA numbers for the wrapper configurations and
-// whole-system topologies (chain / fork / join). Results go to stdout and
-// to a JSON file (argv[1], default "BENCH_sim.json") so successive PRs can
-// track the numbers; CI gates on the wrapper section via
-// tools/check_bench_regression.py.
+// Pipeline — synthesis/map/STA/proof/cosim numbers for the wrapper
+// configurations, whole-system topologies (chain / fork / join) and the
+// mesh/pipeline scaling sweep (16–100 pearls). The three flow suites run
+// through Pipeline::runMany on a work-stealing pool: `--jobs N` picks the
+// worker count (default 1 = serial), and when N > 1 the suites are re-run
+// serially afterwards so the "sweep" section reports the observed speedup
+// against `--jobs 1`. All design-derived numbers are deterministic and
+// identical at any job count; `--strip-times` zeroes the wall-clock- and
+// job-count-dependent fields so two runs can be diffed byte-for-byte.
+//
+// Results go to stdout and to a JSON file (first positional arg, default
+// "BENCH_sim.json") so successive PRs can track the numbers; CI gates on
+// the wrapper section via tools/check_bench_regression.py.
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "bench/suites.hpp"
 #include "flow/design.hpp"
+#include "flow/executor.hpp"
 #include "flow/pipeline.hpp"
 #include "lis/system.hpp"
 #include "lis/wrapper.hpp"
@@ -43,6 +55,12 @@ double secondsOf(F&& f) {
   const auto t1 = std::chrono::steady_clock::now();
   return std::chrono::duration<double>(t1 - t0).count();
 }
+
+// --strip-times support: every wall-clock- or job-count-dependent value is
+// emitted through scrub(), so a stripped run's stdout and JSON are a pure
+// function of the design suites — byte-identical across job counts.
+bool gStripTimes = false;
+double scrub(double v) { return gStripTimes ? 0.0 : v; }
 
 struct SimBench {
   std::size_t nodes = 0;
@@ -133,18 +151,20 @@ EquivBench benchEquiv(std::string name, const Netlist& a, const Netlist& b) {
   return r;
 }
 
-// Run the standard synth → map → sta pipeline over a Design and bail out
-// loudly if any pass fails — a broken flow must fail the bench (and CI).
-void runSynthFlow(lis::flow::Design& d) {
-  lis::flow::Pipeline pipe;
-  pipe.synthesizeControl().mapLuts(4).sta();
-  if (!pipe.run(d)) {
-    for (const auto& diag : pipe.diagnostics()) {
-      std::fprintf(stderr, "%s [%s]: %s\n", severityName(diag.severity),
-                   diag.pass.c_str(), diag.message.c_str());
+// Replay every buffered diagnostic in submission order (that ordering is
+// the parallel-vs-serial determinism contract) and abort the bench if any
+// design failed — a broken flow must fail the bench (and CI).
+void requireOk(const std::vector<lis::flow::RunResult>& results) {
+  bool ok = true;
+  for (const lis::flow::RunResult& r : results) {
+    for (const auto& diag : r.diagnostics) {
+      std::fprintf(stderr, "%s [%s/%s]: %s\n", severityName(diag.severity),
+                   r.design.c_str(), diag.pass.c_str(),
+                   diag.message.c_str());
     }
-    std::exit(1);
+    if (!r.ok) ok = false;
   }
+  if (!ok) std::exit(1);
 }
 
 // Table-1-style numbers for the wrapper synthesis flow: area (LUT/FF/
@@ -164,26 +184,17 @@ struct WrapperBench {
   double fmaxMHz = 0;
   std::size_t sopCubes = 0;
   std::size_t sopLiterals = 0;
+  std::uint64_t cosimTokens = 0;
   double synthSeconds = 0;
 };
 
-WrapperBench benchWrapper(unsigned numIn, unsigned numOut, unsigned depth,
-                          lis::sync::Encoding enc) {
-  namespace sync = lis::sync;
+WrapperBench wrapperBenchOf(lis::flow::Design& d) {
+  const lis::sync::WrapperConfig& cfg = *d.wrapperConfig();
   WrapperBench r;
-  r.inputs = numIn;
-  r.outputs = numOut;
-  r.relayDepth = depth;
-  r.encoding = sync::encodingName(enc);
-
-  sync::WrapperConfig cfg;
-  cfg.numInputs = numIn;
-  cfg.numOutputs = numOut;
-  cfg.relayDepth = depth;
-  cfg.encoding = enc;
-  lis::flow::Design d(cfg);
-  runSynthFlow(d);
-
+  r.inputs = cfg.numInputs;
+  r.outputs = cfg.numOutputs;
+  r.relayDepth = cfg.relayDepth;
+  r.encoding = lis::sync::encodingName(cfg.encoding);
   const lis::netlist::NetlistStats st = d.netlist().stats();
   r.gates = st.gates;
   r.dffs = st.dffs;
@@ -194,35 +205,40 @@ WrapperBench benchWrapper(unsigned numIn, unsigned numOut, unsigned depth,
   r.slices = d.area().slices;
   r.lutDepth = d.mapped().depth;
   r.fmaxMHz = d.timing().fmaxMHz;
+  r.cosimTokens = d.cosimResult()->tokens;
   r.synthSeconds = d.stageSeconds("synthesize");
   return r;
 }
 
-// System-scale numbers: the canonical topologies through the same flow, so
-// later PRs can track synthesis cost and area/fmax as networks grow.
+// System-scale numbers: topologies through the same flow, so later PRs can
+// track synthesis cost and area/fmax as networks grow.
 struct SystemBench {
   std::string topology;
   const char* encoding = "";
   std::size_t pearls = 0;
+  std::size_t channels = 0;
+  std::size_t relayStations = 0;
   std::size_t gates = 0;
   std::size_t dffs = 0;
   std::size_t luts = 0;
   std::size_t ffs = 0;
   std::size_t slices = 0;
   double fmaxMHz = 0;
+  std::uint64_t cosimCycles = 0;
+  std::uint64_t cosimTokens = 0;
   double synthSeconds = 0;
   double mapSeconds = 0;
   double staSeconds = 0;
 };
 
-SystemBench benchSystem(const lis::sync::SystemSpec& spec) {
+SystemBench systemBenchOf(lis::flow::Design& d) {
+  const lis::sync::SystemSpec& spec = *d.systemSpec();
   SystemBench r;
   r.topology = spec.name;
   r.encoding = lis::sync::encodingName(spec.encoding);
   r.pearls = spec.pearls.size();
-
-  lis::flow::Design d(spec);
-  runSynthFlow(d);
+  r.channels = spec.channels.size();
+  r.relayStations = d.system()->relayStations;
   const lis::netlist::NetlistStats st = d.netlist().stats();
   r.gates = st.gates;
   r.dffs = st.dffs;
@@ -230,6 +246,8 @@ SystemBench benchSystem(const lis::sync::SystemSpec& spec) {
   r.ffs = d.area().ffs;
   r.slices = d.area().slices;
   r.fmaxMHz = d.timing().fmaxMHz;
+  r.cosimCycles = d.cosimResult()->cyclesRun;
+  r.cosimTokens = d.cosimResult()->tokens;
   r.synthSeconds = d.stageSeconds("synthesize");
   r.mapSeconds = d.stageSeconds("map");
   r.staSeconds = d.stageSeconds("sta");
@@ -245,7 +263,8 @@ std::string jsonWrapper(const WrapperBench& b) {
      << ", \"slices\": " << b.slices << ", \"lut_depth\": " << b.lutDepth
      << ", \"fmax_mhz\": " << b.fmaxMHz << ", \"sop_cubes\": " << b.sopCubes
      << ", \"sop_literals\": " << b.sopLiterals
-     << ", \"synth_seconds\": " << b.synthSeconds << "}";
+     << ", \"cosim_tokens\": " << b.cosimTokens
+     << ", \"synth_seconds\": " << scrub(b.synthSeconds) << "}";
   return os.str();
 }
 
@@ -253,18 +272,23 @@ std::string jsonSystem(const SystemBench& b) {
   std::ostringstream os;
   os << "    {\"topology\": \"" << b.topology << "\", \"encoding\": \""
      << b.encoding << "\", \"pearls\": " << b.pearls
+     << ", \"channels\": " << b.channels
+     << ", \"relay_stations\": " << b.relayStations
      << ", \"gates\": " << b.gates << ", \"dffs\": " << b.dffs
      << ", \"luts\": " << b.luts << ", \"ffs\": " << b.ffs
      << ", \"slices\": " << b.slices << ", \"fmax_mhz\": " << b.fmaxMHz
-     << ", \"synth_seconds\": " << b.synthSeconds
-     << ", \"map_seconds\": " << b.mapSeconds
-     << ", \"sta_seconds\": " << b.staSeconds << "}";
+     << ", \"cosim_cycles\": " << b.cosimCycles
+     << ", \"cosim_tokens\": " << b.cosimTokens
+     << ", \"synth_seconds\": " << scrub(b.synthSeconds)
+     << ", \"map_seconds\": " << scrub(b.mapSeconds)
+     << ", \"sta_seconds\": " << scrub(b.staSeconds) << "}";
   return os.str();
 }
 
 std::string jsonEquiv(const EquivBench& e) {
   std::ostringstream os;
-  os << "    {\"name\": \"" << e.name << "\", \"seconds\": " << e.seconds
+  os << "    {\"name\": \"" << e.name << "\", \"seconds\": "
+     << scrub(e.seconds)
      << ", \"equivalent\": " << (e.equivalent ? "true" : "false")
      << ", \"counterexample_by_sim\": "
      << (e.foundBySimulation ? "true" : "false")
@@ -273,23 +297,80 @@ std::string jsonEquiv(const EquivBench& e) {
   return os.str();
 }
 
+// All three flow suites, run back to back on one executor. Holding the
+// Designs and RunResults together keeps extraction (and the diagnostics
+// replay) in submission order.
+struct FlowSections {
+  std::vector<lis::flow::Design> wrappers;
+  std::vector<lis::flow::RunResult> wrapperResults;
+  std::vector<lis::flow::Design> systems;
+  std::vector<lis::flow::RunResult> systemResults;
+  std::vector<lis::flow::Design> sweep;
+  std::vector<lis::flow::RunResult> sweepResults;
+};
+
+constexpr std::uint64_t kMatrixCosimCycles = 2000;
+constexpr std::uint64_t kSweepCosimCycles = 3000;
+
+FlowSections runFlowSections(lis::flow::Executor& exec) {
+  FlowSections s;
+  lis::flow::Pipeline matrixPipe =
+      lis::bench::standardPasses(kMatrixCosimCycles);
+  lis::flow::Pipeline sweepPipe =
+      lis::bench::standardPasses(kSweepCosimCycles);
+  s.wrappers = lis::bench::wrapperSuite();
+  s.wrapperResults = matrixPipe.runMany(s.wrappers, exec);
+  s.systems = lis::bench::systemSuite();
+  s.systemResults = matrixPipe.runMany(s.systems, exec);
+  s.sweep = lis::bench::sweepSuite();
+  s.sweepResults = sweepPipe.runMany(s.sweep, exec);
+  return s;
+}
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [OUT.json] [--jobs N] [--strip-times]\n"
+               "  --jobs N       run the flow suites on N pool workers "
+               "(default 1 = serial)\n"
+               "  --strip-times  zero wall-clock/job-count dependent fields "
+               "(byte-identical diffs)\n",
+               argv0);
+  std::exit(2);
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
-  const std::string outPath = argc > 1 ? argv[1] : "BENCH_sim.json";
+  std::string outPath = "BENCH_sim.json";
+  unsigned jobs = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0) {
+      if (i + 1 >= argc) usage(argv[0]);
+      const long n = std::strtol(argv[++i], nullptr, 10);
+      if (n < 1 || n > 256) usage(argv[0]);
+      jobs = static_cast<unsigned>(n);
+    } else if (std::strcmp(argv[i], "--strip-times") == 0) {
+      gStripTimes = true;
+    } else if (argv[i][0] == '-') {
+      usage(argv[0]);
+    } else {
+      outPath = argv[i];
+    }
+  }
 
   const SimBench sim = benchSim();
   std::printf("sim: %zu nodes (%zu gates), scalar %.0f pat/s, bit-parallel "
               "%.0f pat/s (%u words), speedup %.1fx\n",
-              sim.nodes, sim.gates, sim.scalarPatternsPerSec,
-              sim.bitsimPatternsPerSec, sim.bitsimWords, sim.speedup);
+              sim.nodes, sim.gates, scrub(sim.scalarPatternsPerSec),
+              scrub(sim.bitsimPatternsPerSec), sim.bitsimWords,
+              scrub(sim.speedup));
 
   const BddBench bdd = benchBdd();
   std::printf("bdd: adder32 built in %.3fs, %llu applies (%.0f apply/s), "
               "%zu nodes\n",
-              bdd.buildSeconds,
-              static_cast<unsigned long long>(bdd.applyCalls), bdd.applyPerSec,
-              bdd.nodes);
+              scrub(bdd.buildSeconds),
+              static_cast<unsigned long long>(bdd.applyCalls),
+              scrub(bdd.applyPerSec), bdd.nodes);
 
   std::vector<EquivBench> equivs;
   equivs.push_back(benchEquiv("adder16_equivalent", gen::adder(16),
@@ -307,40 +388,76 @@ int main(int argc, char** argv) {
                               gen::romReader(6, 8, 7, false, /*corrupt=*/true)));
   for (const EquivBench& e : equivs) {
     std::printf("equiv %-22s %.4fs equivalent=%d by_sim=%d\n", e.name.c_str(),
-                e.seconds, e.equivalent ? 1 : 0, e.foundBySimulation ? 1 : 0);
+                scrub(e.seconds), e.equivalent ? 1 : 0,
+                e.foundBySimulation ? 1 : 0);
   }
 
+  // The flow suites: wrapper matrix + system topologies + scaling sweep,
+  // scheduled across the pool. When parallel, a serial re-run afterwards
+  // yields the observed speedup vs --jobs 1 (fresh Designs each time — the
+  // artifact caches would otherwise turn the re-run into a no-op).
+  lis::flow::Executor exec(jobs);
+  FlowSections sections;
+  const double flowWall = secondsOf([&] { sections = runFlowSections(exec); });
+  requireOk(sections.wrapperResults);
+  requireOk(sections.systemResults);
+  requireOk(sections.sweepResults);
+
+  // The serial re-run only exists to measure speedup — whose fields are
+  // scrubbed to 0 under --strip-times, so skip the (doubled) work there.
+  double serialWall = flowWall;
+  if (jobs > 1 && !gStripTimes) {
+    lis::flow::Executor serial(1);
+    FlowSections serialSections;
+    serialWall = secondsOf([&] { serialSections = runFlowSections(serial); });
+    requireOk(serialSections.wrapperResults);
+    requireOk(serialSections.systemResults);
+    requireOk(serialSections.sweepResults);
+  }
+  const double flowSpeedup = flowWall > 0 ? serialWall / flowWall : 1.0;
+
   std::vector<WrapperBench> wrappers;
-  const struct {
-    unsigned in, out;
-  } shapes[] = {{1, 1}, {2, 1}, {2, 2}, {3, 1}};
-  for (const auto& shape : shapes) {
-    for (lis::sync::Encoding enc :
-         {lis::sync::Encoding::OneHot, lis::sync::Encoding::Binary}) {
-      wrappers.push_back(benchWrapper(shape.in, shape.out, 2, enc));
-    }
+  for (lis::flow::Design& d : sections.wrappers) {
+    wrappers.push_back(wrapperBenchOf(d));
   }
   for (const WrapperBench& b : wrappers) {
     std::printf("wrapper %ux%u d%u %-6s %4zu LUT %4zu FF %4zu slices "
                 "depth %u fmax %.1f MHz (%zu cubes, %zu literals, %.3fs)\n",
                 b.inputs, b.outputs, b.relayDepth, b.encoding, b.luts, b.ffs,
                 b.slices, b.lutDepth, b.fmaxMHz, b.sopCubes, b.sopLiterals,
-                b.synthSeconds);
+                scrub(b.synthSeconds));
   }
 
   std::vector<SystemBench> systems;
-  for (lis::sync::Encoding enc :
-       {lis::sync::Encoding::OneHot, lis::sync::Encoding::Binary}) {
-    systems.push_back(benchSystem(lis::sync::chainSpec(3, 1, enc)));
-    systems.push_back(benchSystem(lis::sync::forkSpec(enc)));
-    systems.push_back(benchSystem(lis::sync::joinSpec(enc)));
+  for (lis::flow::Design& d : sections.systems) {
+    systems.push_back(systemBenchOf(d));
+  }
+  std::vector<SystemBench> sweep;
+  for (lis::flow::Design& d : sections.sweep) {
+    sweep.push_back(systemBenchOf(d));
   }
   for (const SystemBench& b : systems) {
     std::printf("system %-12s %-6s %zu pearls %4zu LUT %4zu FF %4zu slices "
                 "fmax %.1f MHz (synth %.3fs, map %.3fs, sta %.3fs)\n",
                 b.topology.c_str(), b.encoding, b.pearls, b.luts, b.ffs,
-                b.slices, b.fmaxMHz, b.synthSeconds, b.mapSeconds,
-                b.staSeconds);
+                b.slices, b.fmaxMHz, scrub(b.synthSeconds),
+                scrub(b.mapSeconds), scrub(b.staSeconds));
+  }
+  for (const SystemBench& b : sweep) {
+    std::printf("sweep  %-12s %3zu pearls %3zu chans %5zu LUT %5zu slices "
+                "fmax %.1f MHz (synth %.3fs, map %.3fs, %llu tokens)\n",
+                b.topology.c_str(), b.pearls, b.channels, b.luts, b.slices,
+                b.fmaxMHz, scrub(b.synthSeconds), scrub(b.mapSeconds),
+                static_cast<unsigned long long>(b.cosimTokens));
+  }
+  if (gStripTimes) {
+    std::printf("flow suites: 0.000s\n"); // job count and walls scrubbed
+  } else {
+    std::printf("flow suites: %.3fs at --jobs %u", flowWall, jobs);
+    if (jobs > 1) {
+      std::printf(" (serial %.3fs, speedup %.2fx)", serialWall, flowSpeedup);
+    }
+    std::printf("\n");
   }
 
   std::ostringstream js;
@@ -348,18 +465,18 @@ int main(int argc, char** argv) {
      << "  \"sim\": {\n"
      << "    \"netlist_nodes\": " << sim.nodes << ",\n"
      << "    \"netlist_gates\": " << sim.gates << ",\n"
-     << "    \"scalar_patterns_per_sec\": " << sim.scalarPatternsPerSec
+     << "    \"scalar_patterns_per_sec\": " << scrub(sim.scalarPatternsPerSec)
      << ",\n"
-     << "    \"bitsim_patterns_per_sec\": " << sim.bitsimPatternsPerSec
+     << "    \"bitsim_patterns_per_sec\": " << scrub(sim.bitsimPatternsPerSec)
      << ",\n"
      << "    \"bitsim_words\": " << sim.bitsimWords << ",\n"
-     << "    \"speedup\": " << sim.speedup << ",\n"
+     << "    \"speedup\": " << scrub(sim.speedup) << ",\n"
      << "    \"checksum\": " << sim.checksum << "\n"
      << "  },\n"
      << "  \"bdd\": {\n"
-     << "    \"adder32_build_seconds\": " << bdd.buildSeconds << ",\n"
+     << "    \"adder32_build_seconds\": " << scrub(bdd.buildSeconds) << ",\n"
      << "    \"apply_calls\": " << bdd.applyCalls << ",\n"
-     << "    \"apply_per_sec\": " << bdd.applyPerSec << ",\n"
+     << "    \"apply_per_sec\": " << scrub(bdd.applyPerSec) << ",\n"
      << "    \"node_count\": " << bdd.nodes << "\n"
      << "  },\n"
      << "  \"equiv\": [\n";
@@ -376,7 +493,19 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < systems.size(); ++i) {
     js << jsonSystem(systems[i]) << (i + 1 < systems.size() ? ",\n" : "\n");
   }
-  js << "  ]\n}\n";
+  js << "  ],\n"
+     << "  \"sweep\": {\n"
+     << "    \"jobs\": " << (gStripTimes ? 0 : jobs) << ",\n"
+     << "    \"cosim_shards\": " << lis::bench::kCosimShards << ",\n"
+     << "    \"flow_wall_seconds\": " << scrub(flowWall) << ",\n"
+     << "    \"serial_wall_seconds\": " << scrub(serialWall) << ",\n"
+     << "    \"speedup_vs_jobs1\": " << scrub(flowSpeedup) << ",\n"
+     << "    \"entries\": [\n";
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    js << "  " << jsonSystem(sweep[i]) << (i + 1 < sweep.size() ? ",\n" : "\n");
+  }
+  js << "    ]\n"
+     << "  }\n}\n";
 
   std::ofstream out(outPath);
   out << js.str();

@@ -1,0 +1,89 @@
+#pragma once
+// The bench's design matrix, factored out so lis_bench and the
+// determinism test drive the *same* suites: the wrapper configuration ×
+// encoding matrix, the canonical small-system topologies, and the
+// mesh/pipeline scaling sweep. Each function returns freshly constructed
+// Designs (a Design caches its artifacts, so timing a suite requires new
+// instances per run), and standardPasses builds the full pipeline the
+// bench runs over them — synthesis through sharded co-simulation.
+//
+// Shard count is fixed here (not derived from --jobs) on purpose: the
+// sharded cosim result is a function of (cycles, seed, shards), so keeping
+// shards constant is what makes `--jobs 1` and `--jobs 8` byte-identical.
+
+#include <cstdint>
+#include <vector>
+
+#include "flow/design.hpp"
+#include "flow/pipeline.hpp"
+#include "lis/system.hpp"
+#include "lis/wrapper.hpp"
+
+namespace lis::bench {
+
+/// Fixed cosim shard count for every bench suite (see header comment).
+inline constexpr unsigned kCosimShards = 8;
+
+/// Table-1-style wrapper matrix: 1x1, 2x1, 2x2, 3x1 channels, depth-2
+/// relays, both encodings.
+inline std::vector<flow::Design> wrapperSuite() {
+  std::vector<flow::Design> designs;
+  const struct {
+    unsigned in, out;
+  } shapes[] = {{1, 1}, {2, 1}, {2, 2}, {3, 1}};
+  for (const auto& shape : shapes) {
+    for (sync::Encoding enc :
+         {sync::Encoding::OneHot, sync::Encoding::Binary}) {
+      sync::WrapperConfig cfg;
+      cfg.numInputs = shape.in;
+      cfg.numOutputs = shape.out;
+      cfg.relayDepth = 2;
+      cfg.encoding = enc;
+      designs.emplace_back(cfg);
+    }
+  }
+  return designs;
+}
+
+/// The canonical small topologies (chain / fork / join) in both encodings.
+inline std::vector<flow::Design> systemSuite() {
+  std::vector<flow::Design> designs;
+  for (sync::Encoding enc :
+       {sync::Encoding::OneHot, sync::Encoding::Binary}) {
+    designs.emplace_back(sync::chainSpec(3, 1, enc));
+    designs.emplace_back(sync::forkSpec(enc));
+    designs.emplace_back(sync::joinSpec(enc));
+  }
+  return designs;
+}
+
+/// Mesh/pipeline scaling sweep: 16 → 100 pearls, the sizes that expose
+/// superlinear synthesis or mapping cost before it reaches production
+/// scale. Binary encoding (consistently the smaller/faster one on the
+/// matrix above) keeps the sweep wall time on one axis: topology size.
+inline std::vector<flow::Design> sweepSuite() {
+  const sync::Encoding enc = sync::Encoding::Binary;
+  std::vector<flow::Design> designs;
+  designs.emplace_back(sync::pipelineSpec(16, 1, enc));
+  designs.emplace_back(sync::pipelineSpec(32, 1, enc));
+  designs.emplace_back(sync::pipelineSpec(64, 1, enc));
+  designs.emplace_back(sync::meshSpec(4, 4, 1, enc));
+  designs.emplace_back(sync::meshSpec(6, 6, 1, enc));
+  designs.emplace_back(sync::meshSpec(8, 8, 1, enc));
+  designs.emplace_back(sync::meshSpec(10, 10, 1, enc));
+  return designs;
+}
+
+/// The full bench pipeline: synth → map → sta → encoding proof → sharded
+/// cosim. One Pipeline instance is reusable across suites and runs.
+inline flow::Pipeline standardPasses(std::uint64_t cosimCycles) {
+  sync::CosimOptions cosim;
+  cosim.cycles = cosimCycles;
+  cosim.shards = kCosimShards;
+  flow::Pipeline pipe;
+  pipe.synthesizeControl().mapLuts(4).sta().proveEncodingEquiv().cosim(
+      cosim);
+  return pipe;
+}
+
+} // namespace lis::bench

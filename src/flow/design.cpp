@@ -1,6 +1,7 @@
 #include "flow/design.hpp"
 
 #include <chrono>
+#include <mutex>
 #include <utility>
 
 namespace lis::flow {
@@ -9,16 +10,19 @@ namespace {
 
 class StageTimer {
 public:
-  StageTimer(std::map<std::string, double>& times, const char* stage)
-      : times_(&times), stage_(stage),
+  StageTimer(Design& design, void (Design::*record)(const char*, double),
+             const char* stage)
+      : design_(&design), record_(record), stage_(stage),
         t0_(std::chrono::steady_clock::now()) {}
   ~StageTimer() {
     const auto t1 = std::chrono::steady_clock::now();
-    (*times_)[stage_] = std::chrono::duration<double>(t1 - t0_).count();
+    (design_->*record_)(stage_,
+                        std::chrono::duration<double>(t1 - t0_).count());
   }
 
 private:
-  std::map<std::string, double>* times_;
+  Design* design_;
+  void (Design::*record_)(const char*, double);
   const char* stage_;
   std::chrono::steady_clock::time_point t0_;
 };
@@ -48,8 +52,21 @@ const netlist::Netlist* Design::netlistPtr() const {
   return nullptr;
 }
 
+void Design::recordStage(const char* stage, double seconds) {
+  std::lock_guard<std::mutex> lock(latches_->times);
+  times_[stage] = seconds;
+}
+
+void Design::ensureSynthesized() {
+  if (prebuilt_ != nullptr) return;
+  // call_once makes losers wait and see the winner's writes; a throwing
+  // synthesis (invalid spec) leaves the latch open so every accessor
+  // reports the same error.
+  std::call_once(latches_->synth, [&] { synthesize(); });
+}
+
 void Design::synthesize() {
-  StageTimer timer(times_, "synthesize");
+  StageTimer timer(*this, &Design::recordStage, "synthesize");
   if (cfg_) {
     wrapper_ = std::make_unique<sync::Wrapper>(sync::buildWrapper(*cfg_));
   } else {
@@ -58,17 +75,17 @@ void Design::synthesize() {
 }
 
 const netlist::Netlist& Design::netlist() {
-  if (netlistPtr() == nullptr) synthesize();
+  ensureSynthesized();
   return *netlistPtr();
 }
 
 const sync::Wrapper* Design::wrapper() {
-  if (cfg_ && wrapper_ == nullptr) synthesize();
+  if (cfg_) ensureSynthesized();
   return wrapper_.get();
 }
 
 const sync::System* Design::system() {
-  if (spec_ && system_ == nullptr) synthesize();
+  if (spec_) ensureSynthesized();
   return system_.get();
 }
 
@@ -86,10 +103,10 @@ const sync::FsmSynthStats* Design::controlStats() {
   return nullptr;
 }
 
-const techmap::MappedNetlist& Design::mapped(unsigned k) {
+const techmap::MappedNetlist& Design::mappedLocked(unsigned k) {
   if (!mapped_ || mappedK_ != k) {
-    const netlist::Netlist& nl = netlist();
-    StageTimer timer(times_, "map");
+    const netlist::Netlist& nl = *netlistPtr();
+    StageTimer timer(*this, &Design::recordStage, "map");
     mapped_ = techmap::mapToLuts(nl, k);
     mappedK_ = k;
     area_.reset();
@@ -98,22 +115,34 @@ const techmap::MappedNetlist& Design::mapped(unsigned k) {
   return *mapped_;
 }
 
+const techmap::MappedNetlist& Design::mapped(unsigned k) {
+  ensureSynthesized();
+  std::lock_guard<std::mutex> lock(latches_->chain);
+  return mappedLocked(k);
+}
+
 const techmap::AreaReport& Design::area(unsigned k) {
-  const techmap::MappedNetlist& m = mapped(k);
+  ensureSynthesized();
+  std::lock_guard<std::mutex> lock(latches_->chain);
+  const techmap::MappedNetlist& m = mappedLocked(k);
   if (!area_) area_ = techmap::areaOf(m);
   return *area_;
 }
 
 const timing::TimingReport& Design::timing(const timing::TechParams& params) {
+  ensureSynthesized();
+  std::lock_guard<std::mutex> lock(latches_->chain);
   if (!timing_) {
-    const techmap::MappedNetlist& m = mapped(mappedK_ == 0 ? 4 : mappedK_);
-    StageTimer timer(times_, "sta");
+    const techmap::MappedNetlist& m =
+        mappedLocked(mappedK_ == 0 ? 4 : mappedK_);
+    StageTimer timer(*this, &Design::recordStage, "sta");
     timing_ = timing::analyze(m, params);
   }
   return *timing_;
 }
 
 double Design::stageSeconds(std::string_view stage) const {
+  std::lock_guard<std::mutex> lock(latches_->times);
   const auto it = times_.find(std::string(stage));
   return it == times_.end() ? 0.0 : it->second;
 }

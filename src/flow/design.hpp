@@ -13,9 +13,24 @@
 // caches; the netlist, once synthesized, is immutable for the Design's
 // lifetime (it lives behind a unique_ptr so MappedNetlist::source stays
 // valid across moves).
+//
+// Thread-safety: the lazy producers are guarded per artifact, not by one
+// Design-wide mutex — synthesis behind a once-latch (concurrent first
+// accessors race to run it exactly once; the netlist is immutable after),
+// the map→area→timing chain behind its own mutex (they share one
+// invalidation lifetime: a remap drops both dependents), and the stage-time
+// table behind a third. Every accessor completes the synth latch *before*
+// taking the chain mutex — the two are never held simultaneously, so new
+// accessors must not call ensureSynthesized() while holding the chain
+// lock. The pass-produced
+// setters (cosim result, report JSON, Verilog) are single-writer by
+// construction — exactly one pipeline task owns a Design at a time — and
+// stay unguarded; likewise the has*/mappedK snoop queries are meant for
+// that owning task, not for cross-thread polling.
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -93,11 +108,25 @@ public:
   /// Wall time spent producing an artifact ("synthesize", "map", "sta");
   /// 0 when it has not been computed.
   double stageSeconds(std::string_view stage) const;
+  /// The whole stage-time table. The reference is only stable once the
+  /// producing accessors have finished — read it from the owning task
+  /// (e.g. the Report pass), not while another thread is still producing.
   const std::map<std::string, double>& stageTimes() const { return times_; }
 
 private:
+  // One latch per independently produced artifact (see the header
+  // comment). Boxed so Design stays movable.
+  struct Latches {
+    std::once_flag synth;
+    std::mutex chain; // mapped_ / mappedK_ / area_ / timing_
+    mutable std::mutex times;
+  };
+
+  void ensureSynthesized();
   void synthesize();
+  const techmap::MappedNetlist& mappedLocked(unsigned k);
   const netlist::Netlist* netlistPtr() const;
+  void recordStage(const char* stage, double seconds);
 
   std::string name_;
   std::optional<sync::WrapperConfig> cfg_;
@@ -115,6 +144,7 @@ private:
   std::string reportJson_;
   std::string verilog_;
   std::map<std::string, double> times_;
+  std::unique_ptr<Latches> latches_ = std::make_unique<Latches>();
 };
 
 } // namespace lis::flow

@@ -1,0 +1,72 @@
+#include "flow/executor.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <vector>
+
+namespace lis::flow {
+
+Executor::Executor(unsigned jobs) : jobs_(jobs == 0 ? 1 : jobs) {
+  if (jobs_ > 1) pool_ = std::make_unique<support::ThreadPool>(jobs_);
+}
+
+Executor::~Executor() = default;
+
+void Executor::forEach(std::size_t n,
+                       const std::function<void(std::size_t)>& f) {
+  if (n == 0) return;
+  if (pool_ == nullptr) {
+    for (std::size_t i = 0; i < n; ++i) f(i);
+    return;
+  }
+
+  // The join state is shared-owned by every task: the caller may observe
+  // remaining == 0 through the atomic and return while the last task is
+  // still inside its notify — the state must outlive this stack frame.
+  struct JoinState {
+    std::atomic<std::size_t> remaining;
+    std::mutex mutex;
+    std::condition_variable done;
+  };
+  auto state = std::make_shared<JoinState>();
+  state->remaining.store(n, std::memory_order_relaxed);
+  std::vector<std::exception_ptr> errors(n);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    // f and errors are only touched before the decrement, so the caller
+    // (which waits for remaining == 0 before returning) keeps them alive
+    // long enough; only `state` is used afterwards.
+    pool_->submit([state, &f, &errors, i] {
+      try {
+        f(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+      if (state->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        state->done.notify_all();
+      }
+    });
+  }
+
+  // Help instead of sleeping: every iteration was submitted above, so when
+  // tryRunOne finds nothing, the stragglers are running on workers and the
+  // last one will ring `done`. The timed wait covers the benign race where
+  // a task finishes between the emptiness scan and the wait.
+  while (state->remaining.load(std::memory_order_acquire) != 0) {
+    if (pool_->tryRunOne()) continue;
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->done.wait_for(lock, std::chrono::milliseconds(20), [&] {
+      return state->remaining.load(std::memory_order_acquire) == 0;
+    });
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (errors[i]) std::rethrow_exception(errors[i]);
+  }
+}
+
+} // namespace lis::flow

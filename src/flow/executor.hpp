@@ -1,0 +1,50 @@
+#pragma once
+// flow::Executor — the parallelism surface of the flow layer. One Executor
+// wraps one work-stealing ThreadPool and hands passes a single primitive,
+// forEach(n, f): run f(0..n-1), blocking until all complete, with the
+// calling thread draining queued tasks while it waits (so nested fan-outs
+// — a pooled design task sharding its cosim — cannot deadlock).
+//
+// Determinism contract: forEach makes no ordering promise between
+// iterations, so callers must write results into per-index slots and join
+// them in index order afterwards. An Executor built with jobs == 1 has no
+// pool at all and runs iterations inline in index order — the serial and
+// parallel paths therefore produce identical joined results, which is what
+// lets `--jobs 1` and `--jobs 8` emit byte-identical artifacts.
+//
+// Exceptions thrown by an iteration are captured and the lowest-index one
+// is rethrown on the calling thread after every iteration has finished —
+// again index-deterministic, independent of execution interleaving.
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+#include "support/thread_pool.hpp"
+
+namespace lis::flow {
+
+class Executor {
+public:
+  /// jobs == 0 or 1: serial (no threads). jobs >= 2: a pool of `jobs`
+  /// workers shared by every forEach issued through this Executor.
+  explicit Executor(unsigned jobs);
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  unsigned jobs() const { return jobs_; }
+  bool parallel() const { return pool_ != nullptr; }
+
+  /// Run f(i) for every i in [0, n); returns when all are done. Serial
+  /// executors run inline in index order. The first (lowest-index)
+  /// exception is rethrown after the join.
+  void forEach(std::size_t n, const std::function<void(std::size_t)>& f);
+
+private:
+  unsigned jobs_;
+  std::unique_ptr<support::ThreadPool> pool_;
+};
+
+} // namespace lis::flow

@@ -38,6 +38,15 @@ void PassContext::metric(std::string key, double value) {
   metrics_->emplace_back(std::move(key), value);
 }
 
+void PassContext::parallelFor(
+    std::size_t n, const std::function<void(std::size_t)>& f) const {
+  if (exec_ != nullptr) {
+    exec_->forEach(n, f);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) f(i);
+  }
+}
+
 void SynthesizeControl::run(Design& design, PassContext& ctx) {
   const netlist::Netlist& nl = design.netlist();
   const netlist::NetlistStats st = nl.stats();
@@ -98,16 +107,28 @@ void ProveEncodingEquiv::run(Design& design, PassContext& ctx) {
     return;
   }
 
-  for (const sync::FsmSpec& spec : specs) {
+  // Each spec's encode+prove is an independent subtask; verdicts are
+  // joined by index so only the first (in spec order) failure is
+  // reported, exactly as a serial stop-at-first-failure loop would.
+  struct Verdict {
+    bool equivalent = false;
+    std::string failingOutput;
+  };
+  std::vector<Verdict> verdicts(specs.size());
+  ctx.parallelFor(specs.size(), [&](std::size_t i) {
     const netlist::Netlist oneHot =
-        sync::fsmTransitionNetlist(spec, sync::Encoding::OneHot);
+        sync::fsmTransitionNetlist(specs[i], sync::Encoding::OneHot);
     const netlist::Netlist binary =
-        sync::fsmTransitionNetlist(spec, sync::Encoding::Binary);
+        sync::fsmTransitionNetlist(specs[i], sync::Encoding::Binary);
     const netlist::EquivResult res =
         netlist::checkCombEquivalence(oneHot, binary);
-    if (!res.equivalent) {
-      ctx.error(spec.name + ": one-hot and binary control differ at output " +
-                res.failingOutput);
+    verdicts[i] = {res.equivalent, res.failingOutput};
+  });
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (!verdicts[i].equivalent) {
+      ctx.error(specs[i].name +
+                ": one-hot and binary control differ at output " +
+                verdicts[i].failingOutput);
       return;
     }
   }
@@ -117,11 +138,21 @@ void ProveEncodingEquiv::run(Design& design, PassContext& ctx) {
 void Cosim::run(Design& design, PassContext& ctx) {
   // Drive the design's cached synthesis (building it on first access)
   // rather than re-running buildWrapper/buildSystem inside the oracle.
+  // Seed shards fan out onto the executor's pool; the sharded result is a
+  // pure function of the options (see CosimOptions::shards), so wiring
+  // the runner changes wall time only, never the outcome.
+  sync::CosimOptions opts = options_;
+  if (Executor* exec = ctx.executor(); exec != nullptr && opts.shards > 1) {
+    opts.runner = [exec](std::size_t n,
+                         const std::function<void(std::size_t)>& f) {
+      exec->forEach(n, f);
+    };
+  }
   sync::CosimResult r;
   if (const sync::WrapperConfig* cfg = design.wrapperConfig()) {
-    r = sync::cosimWrapper(*design.wrapper(), *cfg, options_);
+    r = sync::cosimWrapper(*design.wrapper(), *cfg, opts);
   } else if (const sync::SystemSpec* spec = design.systemSpec()) {
-    r = sync::cosimSystem(*design.system(), *spec, options_);
+    r = sync::cosimSystem(*design.system(), *spec, opts);
   } else {
     ctx.note(design.name() + ": prebuilt netlist has no behavioural model");
     return;
@@ -226,14 +257,14 @@ Pipeline& Pipeline::report(const ReportOptions& options) {
   return add(std::make_unique<Report>(options));
 }
 
-bool Pipeline::run(Design& design) {
-  records_.clear();
-  diagnostics_.clear();
-  ok_ = true;
+RunResult Pipeline::runOne(Design& design, Executor* exec) {
+  RunResult result;
+  result.design = design.name();
+  result.ok = true;
   for (const std::unique_ptr<Pass>& pass : passes_) {
     PassRecord rec;
     rec.name = pass->name();
-    PassContext ctx(rec.name, diagnostics_, rec.metrics);
+    PassContext ctx(rec.name, result.diagnostics, rec.metrics, exec);
     const auto t0 = std::chrono::steady_clock::now();
     try {
       pass->run(design, ctx);
@@ -243,13 +274,44 @@ bool Pipeline::run(Design& design) {
     const auto t1 = std::chrono::steady_clock::now();
     rec.seconds = std::chrono::duration<double>(t1 - t0).count();
     rec.ok = !ctx.failed();
-    records_.push_back(std::move(rec));
+    result.records.push_back(std::move(rec));
     if (ctx.failed()) {
-      ok_ = false;
-      return false;
+      result.ok = false;
+      break;
     }
   }
-  return true;
+  return result;
+}
+
+bool Pipeline::run(Design& design) {
+  RunResult result = runOne(design, nullptr);
+  ok_ = result.ok;
+  records_ = std::move(result.records);
+  diagnostics_ = std::move(result.diagnostics);
+  return ok_;
+}
+
+bool Pipeline::run(Design& design, Executor& exec) {
+  RunResult result = runOne(design, &exec);
+  ok_ = result.ok;
+  records_ = std::move(result.records);
+  diagnostics_ = std::move(result.diagnostics);
+  return ok_;
+}
+
+std::vector<RunResult> Pipeline::runMany(std::vector<Design>& designs,
+                                         Executor& exec) {
+  std::vector<RunResult> results(designs.size());
+  exec.forEach(designs.size(), [&](std::size_t i) {
+    results[i] = runOne(designs[i], &exec);
+  });
+  return results;
+}
+
+std::vector<RunResult> Pipeline::runMany(std::vector<Design>& designs,
+                                         unsigned jobs) {
+  Executor exec(jobs);
+  return runMany(designs, exec);
 }
 
 const PassRecord* Pipeline::record(const std::string& passName) const {
@@ -259,11 +321,14 @@ const PassRecord* Pipeline::record(const std::string& passName) const {
   return nullptr;
 }
 
-std::string Pipeline::json() const {
+namespace {
+
+std::string emitRunJson(bool ok, const std::vector<PassRecord>& records,
+                        const std::vector<Diagnostic>& diagnostics) {
   std::ostringstream os;
-  os << "{\n  \"ok\": " << (ok_ ? "true" : "false") << ",\n  \"passes\": [";
-  for (std::size_t i = 0; i < records_.size(); ++i) {
-    const PassRecord& rec = records_[i];
+  os << "{\n  \"ok\": " << (ok ? "true" : "false") << ",\n  \"passes\": [";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const PassRecord& rec = records[i];
     os << (i == 0 ? "\n" : ",\n") << "    {\"name\": \"" << rec.name
        << "\", \"seconds\": " << rec.seconds
        << ", \"ok\": " << (rec.ok ? "true" : "false") << ", \"metrics\": {";
@@ -274,8 +339,8 @@ std::string Pipeline::json() const {
     os << "}}";
   }
   os << "\n  ],\n  \"diagnostics\": [";
-  for (std::size_t i = 0; i < diagnostics_.size(); ++i) {
-    const Diagnostic& d = diagnostics_[i];
+  for (std::size_t i = 0; i < diagnostics.size(); ++i) {
+    const Diagnostic& d = diagnostics[i];
     os << (i == 0 ? "\n" : ",\n") << "    {\"severity\": \""
        << severityName(d.severity) << "\", \"pass\": \"" << d.pass
        << "\", \"message\": \"";
@@ -284,6 +349,16 @@ std::string Pipeline::json() const {
   }
   os << "\n  ]\n}\n";
   return os.str();
+}
+
+} // namespace
+
+std::string RunResult::json() const {
+  return emitRunJson(ok, records, diagnostics);
+}
+
+std::string Pipeline::json() const {
+  return emitRunJson(ok_, records_, diagnostics_);
 }
 
 } // namespace lis::flow

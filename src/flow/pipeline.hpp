@@ -17,13 +17,30 @@
 // the first pass that reports an error (exceptions become error
 // diagnostics). The per-pass records and diagnostics survive for
 // inspection and JSON emission.
+//
+// Parallel execution: Pipeline::runMany schedules independent designs
+// across an Executor's work-stealing pool — each design still sees the
+// passes strictly in order, but its records and diagnostics are buffered
+// in a private RunResult and the results vector is indexed by submission
+// order, so serial (--jobs 1) and parallel runs emit byte-identical JSON
+// and logs. Passes additionally split *inside* one design when the
+// context carries an Executor: ProveEncodingEquiv proves each FSM spec as
+// its own subtask, Cosim fans its seed shards out, both joining
+// deterministically by index. Pass objects must therefore be reentrant —
+// run() may execute concurrently for different designs; the standard
+// passes are stateless options-only structs. Diagnostics and metrics must
+// only be emitted from the pass's own task (after any subtask join), never
+// from inside a parallelFor body.
 
+#include <cstddef>
+#include <functional>
 #include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "flow/design.hpp"
+#include "flow/executor.hpp"
 #include "lis/cosim.hpp"
 #include "timing/techparams.hpp"
 
@@ -50,15 +67,26 @@ public:
   void metric(std::string key, double value);
   bool failed() const { return failed_; }
 
+  /// Executor for intra-pass subtask fan-out; null in a plain run().
+  Executor* executor() const { return exec_; }
+  /// Run f(0..n-1), serially in index order when no executor (or a
+  /// 1-job one) is attached, on the shared pool otherwise. Callers must
+  /// join results by index and emit diagnostics only after this returns.
+  void parallelFor(std::size_t n,
+                   const std::function<void(std::size_t)>& f) const;
+
 private:
   friend class Pipeline;
   PassContext(std::string pass, std::vector<Diagnostic>& diags,
-              std::vector<std::pair<std::string, double>>& metrics)
-      : pass_(std::move(pass)), diags_(&diags), metrics_(&metrics) {}
+              std::vector<std::pair<std::string, double>>& metrics,
+              Executor* exec)
+      : pass_(std::move(pass)), diags_(&diags), metrics_(&metrics),
+        exec_(exec) {}
 
   std::string pass_;
   std::vector<Diagnostic>* diags_;
   std::vector<std::pair<std::string, double>>* metrics_;
+  Executor* exec_ = nullptr;
   bool failed_ = false;
 };
 
@@ -74,6 +102,20 @@ struct PassRecord {
   double seconds = 0;
   bool ok = false;
   std::vector<std::pair<std::string, double>> metrics;
+};
+
+/// One design's buffered pipeline outcome, as produced by runMany: the
+/// records and diagnostics that run() would have left in the Pipeline,
+/// private to this design and ordered exactly as a serial run would have
+/// emitted them.
+struct RunResult {
+  std::string design;
+  bool ok = false;
+  std::vector<PassRecord> records;
+  std::vector<Diagnostic> diagnostics;
+
+  /// Same JSON shape as Pipeline::json().
+  std::string json() const;
 };
 
 class SynthesizeControl final : public Pass {
@@ -149,6 +191,22 @@ public:
   /// success.
   bool run(Design& design);
 
+  /// Same, with `exec` available to the passes for intra-design subtask
+  /// fan-out (encoding proofs per FSM spec, cosim seed shards).
+  bool run(Design& design, Executor& exec);
+
+  /// Run the pipeline over every design, scheduling designs concurrently
+  /// on `exec`'s pool (serially, in order, for a 1-job executor). Each
+  /// design's records/diagnostics are buffered in its RunResult; the
+  /// returned vector is indexed by submission order, so output derived
+  /// from it is identical at any job count. Does not touch this
+  /// Pipeline's records()/diagnostics() (which stay owned by run()).
+  std::vector<RunResult> runMany(std::vector<Design>& designs,
+                                 Executor& exec);
+  /// Convenience: runMany on a fresh Executor(jobs).
+  std::vector<RunResult> runMany(std::vector<Design>& designs,
+                                 unsigned jobs);
+
   const std::vector<PassRecord>& records() const { return records_; }
   const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
   /// Record of a pass by name (nullptr when it did not run).
@@ -159,6 +217,8 @@ public:
   std::string json() const;
 
 private:
+  RunResult runOne(Design& design, Executor* exec);
+
   std::vector<std::unique_ptr<Pass>> passes_;
   std::vector<PassRecord> records_;
   std::vector<Diagnostic> diagnostics_;

@@ -13,7 +13,9 @@
 //                 PearlModel per pearl, one RelayStationModel per relay
 //                 station), with per-channel randomized offers and stalls
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -28,8 +30,23 @@ struct CosimOptions {
   std::uint64_t seed = 0xC0517;
   unsigned offerPercent = 70; // P(source offers a token), per channel/cycle
   unsigned stallPercent = 30; // P(sink asserts stop), per channel/cycle
+  /// Split the run into this many independent from-reset simulations
+  /// ("shards"). Shard i gets cycles/shards of the cycle budget (early
+  /// shards take the remainder) and the i-th SplitMix64 fork of `seed`,
+  /// so the joined result is a pure function of the options — identical
+  /// whether the shards run serially, in any order, or concurrently.
+  /// shards == 1 is the classic single continuous run.
+  unsigned shards = 1;
+  /// Parallel-for hook for the shard fan-out: runner(n, f) must call
+  /// f(0), ..., f(n-1) (in any order, possibly concurrently) and return
+  /// once all have finished. Null runs the shards serially in index
+  /// order; either way shard results are joined by index, so the output
+  /// is byte-identical. The flow Cosim pass points this at its Executor.
+  std::function<void(std::size_t, const std::function<void(std::size_t)>&)>
+      runner;
   /// Optional trace of the behavioural side (attached to its Simulator,
-  /// all wires traced). Must not have sampled yet.
+  /// all wires traced). Must not have sampled yet. Tracing forces a
+  /// single continuous run (shards is ignored).
   sim::VcdWriter* vcd = nullptr;
 };
 

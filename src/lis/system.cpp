@@ -83,6 +83,20 @@ void SystemSpec::validate() const {
                                   ": supported shell shapes are 1..4 inputs, "
                                   "1..8 outputs");
     }
+    // Output channel j carries data ^ j, truncated to the bus width by
+    // both the gate-level datapath and the behavioural model — so a bus
+    // narrower than the tag aliases outputs without any oracle noticing.
+    // Reject it here with the pearl named instead of elaborating an
+    // unsound netlist.
+    const unsigned tagBits = netlist::BusBuilder::bitsFor(ps.numOutputs - 1);
+    if (tagBits > dataWidth) {
+      throw std::invalid_argument(
+          "SystemSpec: pearl " + ps.name + ": " +
+          std::to_string(ps.numOutputs) + " output channels need " +
+          std::to_string(tagBits) + "-bit tags but the data bus is only " +
+          std::to_string(dataWidth) +
+          " bit(s) wide; widen dataWidth or reduce outputs");
+    }
   }
 
   // Every pearl port must be connected exactly once.
@@ -460,6 +474,82 @@ SystemSpec joinSpec(Encoding enc, unsigned dataWidth) {
   ch = {};
   ch.fromPearl = 2;
   spec.channels.push_back(ch); // join -> external
+  return spec;
+}
+
+SystemSpec pipelineSpec(unsigned numPearls, unsigned relaysPerChannel,
+                        Encoding enc, unsigned dataWidth) {
+  if (numPearls == 0) {
+    throw std::invalid_argument("pipelineSpec: at least one pearl");
+  }
+  SystemSpec spec = chainSpec(numPearls, relaysPerChannel, enc, dataWidth);
+  spec.name = "pipe";
+  spec.name += std::to_string(numPearls);
+  spec.name += "_d";
+  spec.name += std::to_string(relaysPerChannel);
+  return spec;
+}
+
+SystemSpec meshSpec(unsigned rows, unsigned cols, unsigned relaysPerChannel,
+                    Encoding enc, unsigned dataWidth) {
+  if (rows == 0 || cols == 0) {
+    throw std::invalid_argument("meshSpec: rows and cols must be >= 1, got " +
+                                std::to_string(rows) + "x" +
+                                std::to_string(cols));
+  }
+  SystemSpec spec;
+  spec.name = "mesh";
+  spec.name += std::to_string(rows);
+  spec.name += "x";
+  spec.name += std::to_string(cols);
+  spec.name += "_d";
+  spec.name += std::to_string(relaysPerChannel);
+  spec.dataWidth = dataWidth;
+  spec.encoding = enc;
+
+  // Pearl (r, c) at index r*cols + c: input 0 = west, input 1 = north,
+  // output 0 = east, output 1 = south.
+  const auto at = [cols](unsigned r, unsigned c) {
+    return static_cast<int>(r * cols + c);
+  };
+  for (unsigned r = 0; r < rows; ++r) {
+    for (unsigned c = 0; c < cols; ++c) {
+      std::string name = "r";
+      name += std::to_string(r);
+      name += "c";
+      name += std::to_string(c);
+      spec.pearls.push_back({std::move(name), 2, 2});
+    }
+  }
+  const auto link = [&](int from, unsigned fromPort, int to,
+                        unsigned toPort) {
+    ChannelSpec ch;
+    ch.fromPearl = from;
+    ch.fromPort = fromPort;
+    ch.toPearl = to;
+    ch.toPort = toPort;
+    ch.relays = relaysPerChannel;
+    spec.channels.push_back(ch);
+  };
+  // West→east lanes, one per row (external source and sink at the edges).
+  for (unsigned r = 0; r < rows; ++r) {
+    link(ChannelSpec::kExternal, 0, at(r, 0), 0);
+    for (unsigned c = 0; c + 1 < cols; ++c) {
+      link(at(r, c), 0, at(r, c + 1), 0);
+    }
+    link(at(r, cols - 1), 0, ChannelSpec::kExternal, 0);
+  }
+  // North→south lanes, one per column.
+  for (unsigned c = 0; c < cols; ++c) {
+    link(ChannelSpec::kExternal, 0, at(0, c), 1);
+    for (unsigned r = 0; r + 1 < rows; ++r) {
+      link(at(r, c), 1, at(r + 1, c), 1);
+    }
+    link(at(rows - 1, c), 1, ChannelSpec::kExternal, 0);
+  }
+  // Surface count-dependent guard trips (tag width vs dataWidth and
+  // friends) now, on the spec, rather than mid-elaboration.
+  spec.validate();
   return spec;
 }
 

@@ -60,8 +60,12 @@ struct SystemSpec {
 
   /// Structural well-formedness: endpoint/port indices in range, every
   /// pearl port connected to exactly one channel, initialTokens <= relays,
-  /// and no cycle of relay-free channels. Throws std::invalid_argument
-  /// with the offending pearl/channel named.
+  /// no cycle of relay-free channels, and every pearl's output-channel
+  /// tags representable in dataWidth bits (output j carries data ^ j; a
+  /// too-narrow bus would silently alias the tags on both the gate and
+  /// behavioural side — rejected here, with the pearl named, instead of
+  /// elaborating an unsound netlist). Throws std::invalid_argument with
+  /// the offending pearl/channel named.
   void validate() const;
 
   /// Channel indices crossing the boundary, in spec order. External input
@@ -111,5 +115,24 @@ SystemSpec joinSpec(Encoding enc, unsigned dataWidth = 8);
 /// carry one relay station and the feedback one holds one seed token, so
 /// the ring is live with a loop latency of two cycles.
 SystemSpec ringSpec(Encoding enc, unsigned dataWidth = 8);
+
+// --- parameterized sweep topologies (mesh-scale benchmarking) ------------
+
+/// Linear pipeline of `numPearls` 1-in/1-out pearls with
+/// `relaysPerChannel` stations on every channel — chainSpec under the
+/// sweep's naming scheme ("pipe<n>_d<d>"), the knob for depth scaling.
+SystemSpec pipelineSpec(unsigned numPearls, unsigned relaysPerChannel,
+                        Encoding enc, unsigned dataWidth = 8);
+
+/// rows x cols feed-forward mesh of 2-in/2-out pearls ("r<r>c<c>"): every
+/// pearl takes tokens from the west and north and emits east and south,
+/// with `relaysPerChannel` stations on every channel; the west/north edges
+/// of the grid are external sources and the east/south edges external
+/// sinks. The knob for width x depth scaling — rows*cols pearls,
+/// rows*(cols+1) + cols*(rows+1) channels. Throws std::invalid_argument
+/// (precise, before any elaboration) for zero dimensions or a spec whose
+/// counts would trip the netlist bus-width guards.
+SystemSpec meshSpec(unsigned rows, unsigned cols, unsigned relaysPerChannel,
+                    Encoding enc, unsigned dataWidth = 8);
 
 } // namespace lis::sync

@@ -24,6 +24,27 @@ public:
 
   bool flip() { return (next() & 1u) != 0; }
 
+  /// Seed of the `stream`-th child generator. A pure function of the
+  /// current state and the stream index — it neither advances nor reads
+  /// beyond this generator's state, so fork(0), fork(1), ... taken from
+  /// the same parent are stable across runs and across the order the
+  /// children are actually consumed in. Distinct streams pass through the
+  /// full 64-bit finalizer, so child sequences are decorrelated from each
+  /// other and from the parent's own next() stream.
+  std::uint64_t forkSeed(std::uint64_t stream) const {
+    std::uint64_t z = state_ ^ (0x9e3779b97f4a7c15ULL * (stream + 1));
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Child generator for the `stream`-th parallel subtask (SplitMix-style
+  /// split). Reproducible: the cosim shards seeded this way produce the
+  /// same per-shard streams whether they run serially or work-stolen.
+  SplitMix64 fork(std::uint64_t stream) const {
+    return SplitMix64(forkSeed(stream));
+  }
+
 private:
   std::uint64_t state_;
 };

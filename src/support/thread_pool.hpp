@@ -1,0 +1,158 @@
+#pragma once
+// Work-stealing thread pool shared by the flow executor. Each worker owns a
+// deque: it pushes and pops work at the back (LIFO, cache-warm), thieves
+// take from the front (FIFO, oldest first). External submissions are dealt
+// round-robin across the worker deques. Any thread — including a caller
+// blocked on a join — can drain queued work through tryRunOne(), which is
+// what makes nested fan-out (a pooled task spawning subtasks and waiting
+// for them) deadlock-free: the waiter helps instead of sleeping.
+//
+// Tasks must not throw (wrap and capture; the flow executor does). The
+// pool is deliberately mutex-per-deque rather than lock-free: flow tasks
+// are coarse (whole synthesis passes, cosim shards), so queue contention
+// is noise, and the simple locking is ThreadSanitizer-clean by
+// construction.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lis::support {
+
+class ThreadPool {
+public:
+  /// Spawns `workers` threads (at least one).
+  explicit ThreadPool(unsigned workers) {
+    queues_.resize(workers == 0 ? 1 : workers);
+    for (auto& q : queues_) q = std::make_unique<Queue>();
+    threads_.reserve(queues_.size());
+    for (std::size_t w = 0; w < queues_.size(); ++w) {
+      threads_.emplace_back([this, w] { workerLoop(w); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(sleepMutex_);
+      stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  unsigned workers() const { return static_cast<unsigned>(threads_.size()); }
+
+  /// Enqueue a task. Called from any thread; a worker submitting from
+  /// inside a task pushes onto its own deque (depth-first, keeps nested
+  /// fan-outs from flooding the queues), other threads deal round-robin.
+  void submit(std::function<void()> task) {
+    const std::size_t self = currentWorker();
+    const std::size_t target =
+        self != kNotAWorker
+            ? self
+            : nextQueue_.fetch_add(1, std::memory_order_relaxed) %
+                  queues_.size();
+    {
+      std::lock_guard<std::mutex> lock(queues_[target]->mutex);
+      queues_[target]->tasks.push_back(std::move(task));
+    }
+    // Pair the notify with the sleepers' re-check: taking (and dropping)
+    // the sleep lock here means a worker between its empty re-scan and
+    // its wait cannot miss this task — we block until it is waiting.
+    { std::lock_guard<std::mutex> lock(sleepMutex_); }
+    wake_.notify_one();
+  }
+
+  /// Run one queued task on the calling thread, if any is pending. Returns
+  /// false when every deque was empty at the time of the scan — all
+  /// submitted work is then either finished or running on other threads.
+  bool tryRunOne() {
+    const std::size_t self = currentWorker();
+    const std::size_t home = self != kNotAWorker ? self : 0;
+    for (std::size_t k = 0; k < queues_.size(); ++k) {
+      const std::size_t q = (home + k) % queues_.size();
+      std::function<void()> task;
+      {
+        std::lock_guard<std::mutex> lock(queues_[q]->mutex);
+        auto& deque = queues_[q]->tasks;
+        if (deque.empty()) continue;
+        if (q == self) { // owner takes newest
+          task = std::move(deque.back());
+          deque.pop_back();
+        } else { // thief (or external caller) takes oldest
+          task = std::move(deque.front());
+          deque.pop_front();
+        }
+      }
+      task();
+      return true;
+    }
+    return false;
+  }
+
+private:
+  struct Queue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  static constexpr std::size_t kNotAWorker = static_cast<std::size_t>(-1);
+
+  // Worker identity via thread-locals, not a scan of threads_ — workers
+  // start (and call currentWorker) while the constructor is still
+  // emplacing into that vector.
+  inline static thread_local const ThreadPool* tlsPool_ = nullptr;
+  inline static thread_local std::size_t tlsWorker_ = 0;
+
+  /// Index of the pool worker running the calling thread, or kNotAWorker.
+  std::size_t currentWorker() const {
+    return tlsPool_ == this ? tlsWorker_ : kNotAWorker;
+  }
+
+  /// Any deque non-empty? (Scans under the queue locks; called with
+  /// sleepMutex_ held — submit only takes sleepMutex_ after releasing the
+  /// queue lock, so the order sleep → queue never deadlocks.)
+  bool anyQueued() {
+    for (const auto& q : queues_) {
+      std::lock_guard<std::mutex> lock(q->mutex);
+      if (!q->tasks.empty()) return true;
+    }
+    return false;
+  }
+
+  void workerLoop(std::size_t worker) {
+    tlsPool_ = this;
+    tlsWorker_ = worker;
+    while (true) {
+      if (tryRunOne()) continue;
+      std::unique_lock<std::mutex> lock(sleepMutex_);
+      if (stop_) return;
+      // Re-check for work under the sleep lock: a submit between our
+      // empty scan and this point either pushed before the re-check (we
+      // see it) or is now blocked on sleepMutex_ and will notify once we
+      // wait. The timeout is only a belt-and-braces backstop.
+      if (anyQueued()) continue;
+      wake_.wait_for(lock, std::chrono::milliseconds(10));
+      if (stop_) return;
+    }
+  }
+
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::thread> threads_;
+  std::atomic<std::size_t> nextQueue_{0};
+  std::mutex sleepMutex_;
+  std::condition_variable wake_;
+  bool stop_ = false;
+};
+
+} // namespace lis::support

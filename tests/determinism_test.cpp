@@ -1,0 +1,256 @@
+// Determinism tests for the parallel flow engine: the Executor/ThreadPool
+// join semantics, the thread-safety of Design's artifact latches, sharded
+// cosim reproducibility, and the headline contract — Pipeline::runMany
+// over the bench's own suites emits identical artifacts, metrics and
+// diagnostics ordering at --jobs 1 and --jobs 8.
+
+#include <atomic>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bench/suites.hpp"
+#include "flow/design.hpp"
+#include "flow/executor.hpp"
+#include "flow/pipeline.hpp"
+#include "lis/cosim.hpp"
+#include "lis/system.hpp"
+#include "lis/wrapper.hpp"
+#include "test_util.hpp"
+
+using lis::flow::Design;
+using lis::flow::Executor;
+using lis::flow::Pipeline;
+using lis::flow::RunResult;
+
+namespace {
+
+void testExecutorForEach() {
+  // Serial executor: inline, index order.
+  Executor serial(1);
+  CHECK(!serial.parallel());
+  std::vector<int> order;
+  serial.forEach(4, [&](std::size_t i) { order.push_back(int(i)); });
+  CHECK_EQ(order.size(), 4u);
+  for (int i = 0; i < 4; ++i) CHECK_EQ(order[i], i);
+
+  // Parallel executor: all indices run exactly once, caller blocks for
+  // all of them; nested fan-out must not deadlock (the waiter helps).
+  Executor pool(4);
+  CHECK(pool.parallel());
+  std::atomic<int> total{0};
+  std::vector<std::atomic<int>> hits(64);
+  pool.forEach(8, [&](std::size_t i) {
+    pool.forEach(8, [&](std::size_t j) {
+      hits[i * 8 + j].fetch_add(1);
+      total.fetch_add(1);
+    });
+  });
+  CHECK_EQ(total.load(), 64);
+  for (const auto& h : hits) CHECK_EQ(h.load(), 1);
+
+  // The lowest-index exception is the one rethrown, regardless of which
+  // iteration failed first in wall-clock terms.
+  bool caught = false;
+  try {
+    pool.forEach(8, [&](std::size_t i) {
+      if (i == 2 || i == 6) {
+        throw std::runtime_error("boom " + std::to_string(i));
+      }
+    });
+  } catch (const std::runtime_error& e) {
+    caught = true;
+    CHECK(std::string(e.what()) == "boom 2");
+  }
+  CHECK(caught);
+}
+
+void testDesignLatchesUnderContention() {
+  // Many threads race the same Design's lazy accessors: synthesis must
+  // run exactly once (stable netlist address), the map→area→timing chain
+  // must never tear. TSan-audited in the sanitize=thread CI job.
+  Design d(lis::sync::chainSpec(2, 1, lis::sync::Encoding::Binary));
+  Executor pool(8);
+  std::vector<const void*> netlists(32);
+  std::vector<std::size_t> slices(32);
+  std::vector<double> fmax(32);
+  pool.forEach(32, [&](std::size_t i) {
+    netlists[i] = &d.netlist();
+    slices[i] = d.area(4).slices;
+    fmax[i] = d.timing().fmaxMHz;
+    CHECK(d.controlStats() != nullptr);
+  });
+  for (std::size_t i = 1; i < netlists.size(); ++i) {
+    CHECK(netlists[i] == netlists[0]);
+    CHECK_EQ(slices[i], slices[0]);
+    CHECK(fmax[i] == fmax[0]);
+  }
+  CHECK(d.stageSeconds("synthesize") > 0.0);
+}
+
+void testShardedCosimReproducible() {
+  lis::sync::WrapperConfig cfg;
+  cfg.numInputs = 2;
+  cfg.numOutputs = 1;
+  const lis::sync::Wrapper w = lis::sync::buildWrapper(cfg);
+
+  lis::sync::CosimOptions opts;
+  opts.cycles = 1200;
+  opts.shards = 4;
+  const lis::sync::CosimResult serial = lis::sync::cosimWrapper(w, cfg, opts);
+  CHECK(serial.ok);
+  CHECK_EQ(serial.cyclesRun, 1200u);
+
+  // Same options with the shard fan-out on a pool: identical outcome.
+  Executor pool(4);
+  opts.runner = [&](std::size_t n,
+                    const std::function<void(std::size_t)>& f) {
+    pool.forEach(n, f);
+  };
+  const lis::sync::CosimResult parallel =
+      lis::sync::cosimWrapper(w, cfg, opts);
+  CHECK(parallel.ok);
+  CHECK_EQ(parallel.cyclesRun, serial.cyclesRun);
+  CHECK_EQ(parallel.fires, serial.fires);
+  CHECK_EQ(parallel.tokens, serial.tokens);
+  CHECK_EQ(parallel.tokensPerOutput.size(), serial.tokensPerOutput.size());
+  for (std::size_t j = 0; j < serial.tokensPerOutput.size(); ++j) {
+    CHECK_EQ(parallel.tokensPerOutput[j], serial.tokensPerOutput[j]);
+  }
+
+  // Sharded and unsharded runs are *different* experiments (independent
+  // from-reset slices vs one long run) — but each is self-reproducible.
+  const lis::sync::CosimResult again = lis::sync::cosimWrapper(w, cfg, opts);
+  CHECK_EQ(again.tokens, parallel.tokens);
+}
+
+/// reportJson up to the stage_seconds table (the only wall-clock-derived
+/// part of the report).
+std::string stripTimes(const std::string& json) {
+  const std::size_t pos = json.find("\"stage_seconds\"");
+  return pos == std::string::npos ? json : json.substr(0, pos);
+}
+
+void checkIdenticalResults(const std::vector<RunResult>& a,
+                           const std::vector<RunResult>& b) {
+  CHECK_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size() && i < b.size(); ++i) {
+    CHECK(a[i].design == b[i].design);
+    CHECK_EQ(a[i].ok, b[i].ok);
+    CHECK_EQ(a[i].records.size(), b[i].records.size());
+    for (std::size_t r = 0;
+         r < a[i].records.size() && r < b[i].records.size(); ++r) {
+      const auto& ra = a[i].records[r];
+      const auto& rb = b[i].records[r];
+      CHECK(ra.name == rb.name);
+      CHECK_EQ(ra.ok, rb.ok);
+      CHECK_EQ(ra.metrics.size(), rb.metrics.size());
+      for (std::size_t m = 0;
+           m < ra.metrics.size() && m < rb.metrics.size(); ++m) {
+        CHECK(ra.metrics[m].first == rb.metrics[m].first);
+        // report_bytes counts the stage_seconds digits inside the report
+        // — the one metric that is wall-clock-derived by construction.
+        if (ra.metrics[m].first == "report_bytes") continue;
+        CHECK(ra.metrics[m].second == rb.metrics[m].second);
+      }
+    }
+    // Diagnostics: byte-identical sequence, order included.
+    CHECK_EQ(a[i].diagnostics.size(), b[i].diagnostics.size());
+    for (std::size_t k = 0;
+         k < a[i].diagnostics.size() && k < b[i].diagnostics.size(); ++k) {
+      CHECK(a[i].diagnostics[k].severity == b[i].diagnostics[k].severity);
+      CHECK(a[i].diagnostics[k].pass == b[i].diagnostics[k].pass);
+      CHECK(a[i].diagnostics[k].message == b[i].diagnostics[k].message);
+    }
+  }
+}
+
+void testRunManyJobs1VsJobs8() {
+  // The bench's own suites (wrapper matrix + system topologies), full
+  // pipeline including report: everything but wall times must be
+  // byte-identical between a serial and a heavily parallel run.
+  Pipeline pipe = lis::bench::standardPasses(/*cosimCycles=*/800);
+  pipe.report({/*verilog=*/false});
+
+  auto designs1 = lis::bench::wrapperSuite();
+  auto systems1 = lis::bench::systemSuite();
+  for (auto& d : systems1) designs1.push_back(std::move(d));
+  const std::vector<RunResult> serial = pipe.runMany(designs1, 1u);
+
+  auto designs8 = lis::bench::wrapperSuite();
+  auto systems8 = lis::bench::systemSuite();
+  for (auto& d : systems8) designs8.push_back(std::move(d));
+  const std::vector<RunResult> parallel = pipe.runMany(designs8, 8u);
+
+  checkIdenticalResults(serial, parallel);
+  for (std::size_t i = 0; i < designs1.size(); ++i) {
+    CHECK(serial[i].ok);
+    CHECK(stripTimes(designs1[i].reportJson()) ==
+          stripTimes(designs8[i].reportJson()));
+  }
+}
+
+void testRunManySweepSection() {
+  // The mesh/pipeline sweep through the same contract, trimmed to the
+  // mid-size topologies and a small cycle budget — the full-size run is
+  // the bench's job, not the test's (this suite also runs under TSan,
+  // where the 64/100-pearl meshes would dominate the CI wall clock).
+  Pipeline pipe = lis::bench::standardPasses(/*cosimCycles=*/400);
+  pipe.report({});
+  auto sweep1 = lis::bench::sweepSuite();
+  auto sweep8 = lis::bench::sweepSuite();
+  sweep1.erase(sweep1.begin() + 5, sweep1.end());
+  sweep8.erase(sweep8.begin() + 5, sweep8.end());
+  const std::vector<RunResult> serial = pipe.runMany(sweep1, 1u);
+  const std::vector<RunResult> parallel = pipe.runMany(sweep8, 8u);
+  checkIdenticalResults(serial, parallel);
+  for (std::size_t i = 0; i < sweep1.size(); ++i) {
+    CHECK(serial[i].ok);
+    CHECK(stripTimes(sweep1[i].reportJson()) ==
+          stripTimes(sweep8[i].reportJson()));
+  }
+}
+
+void testRunManyBuffersFailuresPerDesign() {
+  // A failing design among healthy ones: its diagnostics stay in its own
+  // RunResult slot (no interleaving), neighbours are untouched, and the
+  // Pipeline's own run() state is not clobbered by runMany.
+  std::vector<Design> designs;
+  lis::sync::WrapperConfig good;
+  good.numInputs = 1;
+  designs.emplace_back(good);
+  lis::sync::WrapperConfig bad;
+  bad.numInputs = 0; // rejected by checkWrapperConfig inside synthesis
+  designs.emplace_back(bad);
+  designs.emplace_back(good);
+
+  Pipeline pipe;
+  pipe.synthesizeControl().mapLuts(4).sta();
+  const std::vector<RunResult> results = pipe.runMany(designs, 8u);
+  CHECK_EQ(results.size(), 3u);
+  CHECK(results[0].ok);
+  CHECK(!results[1].ok);
+  CHECK(results[2].ok);
+  CHECK_EQ(results[0].diagnostics.size(), 0u);
+  CHECK_EQ(results[2].diagnostics.size(), 0u);
+  CHECK_EQ(results[1].records.size(), 1u); // stopped at the failing pass
+  bool named = false;
+  for (const auto& diag : results[1].diagnostics) {
+    if (diag.message.find("numInputs") != std::string::npos) named = true;
+  }
+  CHECK(named);
+  CHECK(results[1].json().find("\"ok\": false") != std::string::npos);
+}
+
+} // namespace
+
+int main() {
+  testExecutorForEach();
+  testDesignLatchesUnderContention();
+  testShardedCosimReproducible();
+  testRunManyJobs1VsJobs8();
+  testRunManySweepSection();
+  testRunManyBuffersFailuresPerDesign();
+  return testExit();
+}

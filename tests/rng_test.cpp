@@ -1,0 +1,77 @@
+// Tests for the forkable SplitMix64: the per-seed cosim shards and any
+// other parallel subtask splitting depend on fork(i) streams being (a)
+// stable across runs and builds — pinned here against golden values — and
+// (b) independent of the parent's and siblings' consumption order.
+
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "test_util.hpp"
+
+using lis::support::SplitMix64;
+
+namespace {
+
+void testForkGoldenValues() {
+  // Pinned stream heads for the default cosim seed. If these move, every
+  // "bit-reproducible across runs" claim in the cosim sharding breaks —
+  // do not update them casually.
+  SplitMix64 parent(0xC0517);
+  CHECK_EQ(parent.forkSeed(0), 0x2aa6c5ef5de32edfULL);
+  CHECK_EQ(parent.forkSeed(1), 0x93be415492990082ULL);
+  CHECK_EQ(parent.forkSeed(2), 0x6aacb05212437d30ULL);
+  SplitMix64 c0 = parent.fork(0);
+  CHECK_EQ(c0.next(), 0xade870fe45241b53ULL);
+  CHECK_EQ(c0.next(), 0x3bfe68b5cdc889b4ULL);
+  SplitMix64 c1 = parent.fork(1);
+  CHECK_EQ(c1.next(), 0xbe331c23241dabefULL);
+  SplitMix64 c2 = parent.fork(2);
+  CHECK_EQ(c2.next(), 0x27c1157f054f436cULL);
+}
+
+void testForkIsPureAndOrderIndependent() {
+  // forkSeed neither advances nor depends on anything but (state, stream):
+  // forking in any order, repeatedly, yields the same children, and the
+  // parent's own stream is untouched by forking.
+  SplitMix64 a(42), b(42);
+  const std::uint64_t f3 = a.forkSeed(3);
+  const std::uint64_t f1 = a.forkSeed(1);
+  CHECK_EQ(b.forkSeed(1), f1);
+  CHECK_EQ(b.forkSeed(3), f3);
+  CHECK_EQ(a.forkSeed(3), f3); // re-fork: same child
+  CHECK_EQ(a.next(), b.next()); // parents still in lockstep
+
+  // After the parent advances, its forks are different (fork splits the
+  // *current* state) but still deterministic.
+  const std::uint64_t f1After = a.forkSeed(1);
+  CHECK(f1After != f1);
+  CHECK_EQ(b.forkSeed(1), f1After);
+}
+
+void testForkStreamsAreDistinct() {
+  // Children of distinct streams (and the parent itself) should not
+  // collide in their first few outputs — a smoke test that the stream
+  // index passes through the full finalizer rather than a weak offset.
+  SplitMix64 parent(0xC0517);
+  std::vector<std::uint64_t> seen;
+  for (std::uint64_t s = 0; s < 16; ++s) {
+    SplitMix64 child = parent.fork(s);
+    for (int k = 0; k < 4; ++k) seen.push_back(child.next());
+  }
+  for (int k = 0; k < 4; ++k) seen.push_back(parent.next());
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    for (std::size_t j = i + 1; j < seen.size(); ++j) {
+      CHECK(seen[i] != seen[j]);
+    }
+  }
+}
+
+} // namespace
+
+int main() {
+  testForkGoldenValues();
+  testForkIsPureAndOrderIndependent();
+  testForkStreamsAreDistinct();
+  return testExit();
+}

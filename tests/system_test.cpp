@@ -6,6 +6,7 @@
 
 #include <cstdio>
 #include <stdexcept>
+#include <string>
 
 #include "flow/design.hpp"
 #include "flow/pipeline.hpp"
@@ -94,6 +95,64 @@ void testValidation() {
   wire.relays = 0;
   ext2ext.channels = {pin, pout, wire};
   CHECK_THROWS(ext2ext.validate(), std::invalid_argument);
+
+  // Output tags that do not fit the data bus: output j carries data ^ j,
+  // so a 4-output pearl on a 1-bit bus would alias channels 0/2 and 1/3 —
+  // silently, since the behavioural model truncates identically. The
+  // rejection must name the pearl and the widths, and fire at validate(),
+  // not deep inside elaboration. (2 outputs still fit: tags {0,1}.)
+  SystemSpec narrow = forkSpec(Encoding::Binary, /*dataWidth=*/1);
+  narrow.validate(); // 2-out src: tags {0,1} fit a 1-bit bus
+  narrow.pearls[0].numOutputs = 4;
+  bool caughtTag = false;
+  try {
+    narrow.validate();
+  } catch (const std::invalid_argument& e) {
+    caughtTag = true;
+    const std::string msg = e.what();
+    CHECK(msg.find("src") != std::string::npos);
+    CHECK(msg.find("2-bit tags") != std::string::npos);
+    CHECK(msg.find("1 bit") != std::string::npos);
+  }
+  CHECK(caughtTag);
+}
+
+// The sweep topologies: structural shape, spec-level guard trips, and —
+// on a small instance — gate-vs-behavioural agreement of the mesh wiring.
+void testMeshAndPipelineSpecs() {
+  const SystemSpec pipe = pipelineSpec(16, 2, Encoding::Binary);
+  CHECK(pipe.name == "pipe16_d2");
+  CHECK_EQ(pipe.pearls.size(), 16u);
+  CHECK_EQ(pipe.channels.size(), 17u);
+  pipe.validate();
+
+  const SystemSpec mesh = meshSpec(3, 4, 1, Encoding::Binary);
+  CHECK(mesh.name == "mesh3x4_d1");
+  CHECK_EQ(mesh.pearls.size(), 12u);
+  // rows*(cols+1) horizontal + cols*(rows+1) vertical channels.
+  CHECK_EQ(mesh.channels.size(), 3u * 5u + 4u * 4u);
+  CHECK_EQ(mesh.externalInputs().size(), 7u);  // 3 west + 4 north
+  CHECK_EQ(mesh.externalOutputs().size(), 7u); // 3 east + 4 south
+  mesh.validate();
+
+  CHECK_THROWS(meshSpec(0, 4, 1, Encoding::Binary), std::invalid_argument);
+  CHECK_THROWS(meshSpec(4, 0, 1, Encoding::Binary), std::invalid_argument);
+  // A zero-width mesh trips the spec-level guards, not elaboration.
+  CHECK_THROWS(meshSpec(2, 2, 1, Encoding::Binary, /*dataWidth=*/0),
+               std::invalid_argument);
+
+  for (Encoding enc : {Encoding::OneHot, Encoding::Binary}) {
+    CosimOptions opts;
+    opts.cycles = 1200;
+    opts.seed = 0x3E58 + static_cast<unsigned>(enc);
+    const CosimResult r = cosimSystem(meshSpec(2, 2, 1, enc), opts);
+    expectOk("mesh2x2", r);
+    CHECK_EQ(r.cyclesRun, 1200u);
+    CHECK_EQ(r.tokensPerOutput.size(), 4u);
+    for (std::size_t k = 0; k < r.tokensPerOutput.size(); ++k) {
+      CHECK(r.tokensPerOutput[k] > 100); // every edge makes progress
+    }
+  }
 }
 
 // A single pearl with direct external inputs and one relay station per
@@ -270,6 +329,7 @@ void testSeededRelayChain() {
 
 int main() {
   testValidation();
+  testMeshAndPipelineSpecs();
   testWrapperShapedSystem();
   testChain();
   testForkJoinThroughPipeline();

@@ -3,9 +3,12 @@
 // dependency, a failing check prints its location and the binary exits
 // non-zero from testExit().
 
+#include <atomic>
 #include <cstdio>
 
-inline int g_failures = 0;
+// Atomic: determinism_test runs CHECKs from concurrent pool threads, and a
+// racing plain increment would trip the TSan CI job on the harness itself.
+inline std::atomic<int> g_failures{0};
 
 #define CHECK(cond)                                                        \
   do {                                                                     \
@@ -45,8 +48,9 @@ inline int g_failures = 0;
   } while (0)
 
 inline int testExit() {
-  if (g_failures != 0) {
-    std::printf("%d check(s) failed\n", g_failures);
+  const int failures = g_failures.load();
+  if (failures != 0) {
+    std::printf("%d check(s) failed\n", failures);
     return 1;
   }
   std::printf("OK\n");

@@ -2,14 +2,21 @@
 """Gate CI on the wrapper synthesis numbers in BENCH_sim.json.
 
 Usage: check_bench_regression.py BASELINE.json FRESH.json [--max-regress 0.25]
+       check_bench_regression.py --self-test
 
 Compares the "wrapper" section entry by entry (keyed on inputs/outputs/
 relay_depth/encoding) and fails if any fresh entry needs more than
 (1 + max_regress) times the baseline slices, or clocks below
 baseline_fmax / (1 + max_regress). Both quantities are deterministic model
 outputs, so the threshold only trips on real synthesis/mapping regressions,
-never on runner noise. Missing entries (a configuration dropped from the
-bench) also fail.
+never on runner noise. A configuration dropped from the fresh results also
+fails.
+
+Sections or keys present in only one of baseline/current are *warnings*,
+not errors: a PR may add a new section (e.g. "sweep") or a new per-entry
+key without a flag-day baseline update, and an old baseline must not crash
+the gate. --self-test runs the built-in unit checks of exactly these
+behaviours (invoked from CI).
 """
 
 import argparse
@@ -22,48 +29,82 @@ def wrapper_key(entry):
             entry["encoding"])
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline")
-    parser.add_argument("fresh")
-    parser.add_argument("--max-regress", type=float, default=0.25,
-                        help="allowed fractional regression (default 0.25)")
-    args = parser.parse_args()
-
-    with open(args.baseline) as f:
-        baseline = json.load(f)
-    with open(args.fresh) as f:
-        fresh = json.load(f)
-
-    fresh_by_key = {wrapper_key(e): e for e in fresh.get("wrapper", [])}
-    limit = 1.0 + args.max_regress
+def compare(baseline, fresh, max_regress):
+    """Returns (failures, warnings): lists of human-readable strings."""
     failures = []
-    print(f"{'config':>22} {'slices':>15} {'fmax_mhz':>19}")
+    warnings = []
+    limit = 1.0 + max_regress
+
+    # Section symmetry: informative only. New sections need no baseline
+    # flag-day; removed sections are suspicious but not gate-worthy.
+    for section in sorted(set(baseline) - set(fresh)):
+        warnings.append(f'section "{section}" present only in baseline')
+    for section in sorted(set(fresh) - set(baseline)):
+        warnings.append(
+            f'section "{section}" present only in fresh results '
+            f"(no baseline yet)")
+
+    fresh_by_key = {}
+    for entry in fresh.get("wrapper", []):
+        try:
+            fresh_by_key[wrapper_key(entry)] = entry
+        except KeyError as missing:
+            warnings.append(f"fresh wrapper entry lacks key {missing}: "
+                            f"{entry}")
+    rows = []
     for old in baseline.get("wrapper", []):
-        key = wrapper_key(old)
+        try:
+            key = wrapper_key(old)
+        except KeyError as missing:
+            warnings.append(f"baseline wrapper entry lacks key {missing}: "
+                            f"{old}")
+            continue
         name = "%dx%d d%d %s" % key
         new = fresh_by_key.get(key)
         if new is None:
             failures.append(f"{name}: missing from fresh results")
             continue
-        slices_note = fmax_note = "ok"
-        if new["slices"] > old["slices"] * limit:
-            slices_note = "REGRESSED"
-            failures.append(
-                f"{name}: slices {old['slices']} -> {new['slices']} "
-                f"(> {limit:.2f}x)")
-        if new["fmax_mhz"] < old["fmax_mhz"] / limit:
-            fmax_note = "REGRESSED"
-            failures.append(
-                f"{name}: fmax {old['fmax_mhz']:.1f} -> "
-                f"{new['fmax_mhz']:.1f} MHz (< 1/{limit:.2f}x)")
-        print(f"{name:>22} {old['slices']:>5} -> {new['slices']:<4}"
-              f"{slices_note:>5} {old['fmax_mhz']:>7.1f} -> "
-              f"{new['fmax_mhz']:<7.1f}{fmax_note}")
+        notes = {}
+        for metric, worse in (("slices", "up"), ("fmax_mhz", "down")):
+            if metric not in old or metric not in new:
+                side = "baseline" if metric not in old else "fresh"
+                warnings.append(
+                    f'{name}: key "{metric}" missing from {side} entry; '
+                    f"comparison skipped")
+                notes[metric] = "skipped"
+                continue
+            regressed = (new[metric] > old[metric] * limit
+                         if worse == "up" else
+                         new[metric] < old[metric] / limit)
+            if regressed:
+                notes[metric] = "REGRESSED"
+                failures.append(
+                    f"{name}: {metric} {old[metric]} -> {new[metric]} "
+                    f"(beyond {limit:.2f}x)")
+            else:
+                notes[metric] = "ok"
+        rows.append((name, old, new, notes))
+    return failures, warnings, rows
 
-    if "system" not in fresh:
-        failures.append("fresh results lack the \"system\" section")
 
+def run_gate(args):
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.fresh) as f:
+        fresh = json.load(f)
+
+    failures, warnings, rows = compare(baseline, fresh, args.max_regress)
+
+    print(f"{'config':>22} {'slices':>15} {'fmax_mhz':>19}")
+    for name, old, new, notes in rows:
+        def cell(metric):
+            if notes.get(metric) == "skipped":
+                return "   (skipped)"
+            return f"{old[metric]:>5} -> {new[metric]:<6} {notes[metric]}"
+        print(f"{name:>22} {cell('slices')} {cell('fmax_mhz')}")
+
+    for w in warnings:
+        print(f"warning: {w}", file=sys.stderr)
     if failures:
         print("\nBench regression gate FAILED:", file=sys.stderr)
         for f in failures:
@@ -72,6 +113,78 @@ def main():
     print("\nBench regression gate passed "
           f"(threshold {args.max_regress:.0%}).")
     return 0
+
+
+def self_test():
+    """Unit checks for the tolerance rules; returns a process exit code."""
+    entry = {"inputs": 1, "outputs": 1, "relay_depth": 2,
+             "encoding": "binary", "slices": 40, "fmax_mhz": 60.0}
+
+    def entry_with(**kw):
+        e = dict(entry)
+        e.update(kw)
+        return e
+
+    checks = []
+
+    # Identical results: clean pass.
+    f, w, _ = compare({"wrapper": [entry]}, {"wrapper": [entry]}, 0.25)
+    checks.append(("identical passes", not f and not w))
+
+    # Real regressions still fail.
+    f, _, _ = compare({"wrapper": [entry]},
+                      {"wrapper": [entry_with(slices=60)]}, 0.25)
+    checks.append(("slice regression fails", bool(f)))
+    f, _, _ = compare({"wrapper": [entry]},
+                      {"wrapper": [entry_with(fmax_mhz=40.0)]}, 0.25)
+    checks.append(("fmax regression fails", bool(f)))
+
+    # A dropped configuration fails.
+    f, _, _ = compare({"wrapper": [entry]}, {"wrapper": []}, 0.25)
+    checks.append(("dropped config fails", bool(f)))
+
+    # A section present on only one side warns, never fails.
+    f, w, _ = compare({"wrapper": [entry], "system": []},
+                      {"wrapper": [entry], "sweep": {}}, 0.25)
+    checks.append(("asymmetric sections warn", not f and len(w) == 2))
+
+    # A key missing from one side's entry warns and skips, never crashes.
+    slim = dict(entry)
+    del slim["fmax_mhz"]
+    f, w, _ = compare({"wrapper": [entry]}, {"wrapper": [slim]}, 0.25)
+    checks.append(("missing key warns", not f and any("fmax" in x
+                                                      for x in w)))
+    f, w, _ = compare({"wrapper": [slim]},
+                      {"wrapper": [entry_with(fmax_mhz=1.0)]}, 0.25)
+    checks.append(("missing baseline key skips comparison", not f))
+
+    # New fresh-side entries (added configs) are fine.
+    f, w, _ = compare({"wrapper": [entry]},
+                      {"wrapper": [entry, entry_with(inputs=2)]}, 0.25)
+    checks.append(("added config passes", not f))
+
+    ok = True
+    for name, passed in checks:
+        print(f"{'ok' if passed else 'FAIL'}: {name}")
+        ok = ok and passed
+    return 0 if ok else 1
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", nargs="?")
+    parser.add_argument("fresh", nargs="?")
+    parser.add_argument("--max-regress", type=float, default=0.25,
+                        help="allowed fractional regression (default 0.25)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in unit checks and exit")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if args.baseline is None or args.fresh is None:
+        parser.error("BASELINE and FRESH are required (or --self-test)")
+    return run_gate(args)
 
 
 if __name__ == "__main__":
