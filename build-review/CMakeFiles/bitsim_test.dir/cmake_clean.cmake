@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitsim_test.dir/tests/bitsim_test.cpp.o"
+  "CMakeFiles/bitsim_test.dir/tests/bitsim_test.cpp.o.d"
+  "bitsim_test"
+  "bitsim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

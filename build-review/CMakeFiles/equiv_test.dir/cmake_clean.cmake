@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/equiv_test.dir/tests/equiv_test.cpp.o"
+  "CMakeFiles/equiv_test.dir/tests/equiv_test.cpp.o.d"
+  "equiv_test"
+  "equiv_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/equiv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

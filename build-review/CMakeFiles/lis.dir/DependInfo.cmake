@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flow/design.cpp" "CMakeFiles/lis.dir/src/flow/design.cpp.o" "gcc" "CMakeFiles/lis.dir/src/flow/design.cpp.o.d"
+  "/root/repo/src/flow/executor.cpp" "CMakeFiles/lis.dir/src/flow/executor.cpp.o" "gcc" "CMakeFiles/lis.dir/src/flow/executor.cpp.o.d"
+  "/root/repo/src/flow/pipeline.cpp" "CMakeFiles/lis.dir/src/flow/pipeline.cpp.o" "gcc" "CMakeFiles/lis.dir/src/flow/pipeline.cpp.o.d"
+  "/root/repo/src/lis/behavioral.cpp" "CMakeFiles/lis.dir/src/lis/behavioral.cpp.o" "gcc" "CMakeFiles/lis.dir/src/lis/behavioral.cpp.o.d"
+  "/root/repo/src/lis/cosim.cpp" "CMakeFiles/lis.dir/src/lis/cosim.cpp.o" "gcc" "CMakeFiles/lis.dir/src/lis/cosim.cpp.o.d"
+  "/root/repo/src/lis/datapath.cpp" "CMakeFiles/lis.dir/src/lis/datapath.cpp.o" "gcc" "CMakeFiles/lis.dir/src/lis/datapath.cpp.o.d"
+  "/root/repo/src/lis/fsm.cpp" "CMakeFiles/lis.dir/src/lis/fsm.cpp.o" "gcc" "CMakeFiles/lis.dir/src/lis/fsm.cpp.o.d"
+  "/root/repo/src/lis/synth.cpp" "CMakeFiles/lis.dir/src/lis/synth.cpp.o" "gcc" "CMakeFiles/lis.dir/src/lis/synth.cpp.o.d"
+  "/root/repo/src/lis/system.cpp" "CMakeFiles/lis.dir/src/lis/system.cpp.o" "gcc" "CMakeFiles/lis.dir/src/lis/system.cpp.o.d"
+  "/root/repo/src/lis/wrapper.cpp" "CMakeFiles/lis.dir/src/lis/wrapper.cpp.o" "gcc" "CMakeFiles/lis.dir/src/lis/wrapper.cpp.o.d"
+  "/root/repo/src/logic/bdd.cpp" "CMakeFiles/lis.dir/src/logic/bdd.cpp.o" "gcc" "CMakeFiles/lis.dir/src/logic/bdd.cpp.o.d"
+  "/root/repo/src/logic/cover.cpp" "CMakeFiles/lis.dir/src/logic/cover.cpp.o" "gcc" "CMakeFiles/lis.dir/src/logic/cover.cpp.o.d"
+  "/root/repo/src/logic/cube.cpp" "CMakeFiles/lis.dir/src/logic/cube.cpp.o" "gcc" "CMakeFiles/lis.dir/src/logic/cube.cpp.o.d"
+  "/root/repo/src/logic/minimize.cpp" "CMakeFiles/lis.dir/src/logic/minimize.cpp.o" "gcc" "CMakeFiles/lis.dir/src/logic/minimize.cpp.o.d"
+  "/root/repo/src/logic/truthtable.cpp" "CMakeFiles/lis.dir/src/logic/truthtable.cpp.o" "gcc" "CMakeFiles/lis.dir/src/logic/truthtable.cpp.o.d"
+  "/root/repo/src/netlist/bitsim.cpp" "CMakeFiles/lis.dir/src/netlist/bitsim.cpp.o" "gcc" "CMakeFiles/lis.dir/src/netlist/bitsim.cpp.o.d"
+  "/root/repo/src/netlist/buses.cpp" "CMakeFiles/lis.dir/src/netlist/buses.cpp.o" "gcc" "CMakeFiles/lis.dir/src/netlist/buses.cpp.o.d"
+  "/root/repo/src/netlist/equiv.cpp" "CMakeFiles/lis.dir/src/netlist/equiv.cpp.o" "gcc" "CMakeFiles/lis.dir/src/netlist/equiv.cpp.o.d"
+  "/root/repo/src/netlist/generate.cpp" "CMakeFiles/lis.dir/src/netlist/generate.cpp.o" "gcc" "CMakeFiles/lis.dir/src/netlist/generate.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "CMakeFiles/lis.dir/src/netlist/netlist.cpp.o" "gcc" "CMakeFiles/lis.dir/src/netlist/netlist.cpp.o.d"
+  "/root/repo/src/netlist/netlist_sim.cpp" "CMakeFiles/lis.dir/src/netlist/netlist_sim.cpp.o" "gcc" "CMakeFiles/lis.dir/src/netlist/netlist_sim.cpp.o.d"
+  "/root/repo/src/netlist/verilog.cpp" "CMakeFiles/lis.dir/src/netlist/verilog.cpp.o" "gcc" "CMakeFiles/lis.dir/src/netlist/verilog.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "CMakeFiles/lis.dir/src/sim/simulator.cpp.o" "gcc" "CMakeFiles/lis.dir/src/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/vcd.cpp" "CMakeFiles/lis.dir/src/sim/vcd.cpp.o" "gcc" "CMakeFiles/lis.dir/src/sim/vcd.cpp.o.d"
+  "/root/repo/src/techmap/lutmap.cpp" "CMakeFiles/lis.dir/src/techmap/lutmap.cpp.o" "gcc" "CMakeFiles/lis.dir/src/techmap/lutmap.cpp.o.d"
+  "/root/repo/src/timing/sta.cpp" "CMakeFiles/lis.dir/src/timing/sta.cpp.o" "gcc" "CMakeFiles/lis.dir/src/timing/sta.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

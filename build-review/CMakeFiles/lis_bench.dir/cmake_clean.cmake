@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lis_bench.dir/src/bench/bench_main.cpp.o"
+  "CMakeFiles/lis_bench.dir/src/bench/bench_main.cpp.o.d"
+  "lis_bench"
+  "lis_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lis_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lis_test.dir/tests/lis_test.cpp.o"
+  "CMakeFiles/lis_test.dir/tests/lis_test.cpp.o.d"
+  "lis_test"
+  "lis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for lis_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/techmap_test.dir/tests/techmap_test.cpp.o"
+  "CMakeFiles/techmap_test.dir/tests/techmap_test.cpp.o.d"
+  "techmap_test"
+  "techmap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/techmap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

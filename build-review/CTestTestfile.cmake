@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build-review
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bdd_test "/root/repo/build-review/bdd_test")
+set_tests_properties(bdd_test PROPERTIES  TIMEOUT "180" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;72;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(sim_test "/root/repo/build-review/sim_test")
+set_tests_properties(sim_test PROPERTIES  TIMEOUT "180" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;72;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(bitsim_test "/root/repo/build-review/bitsim_test")
+set_tests_properties(bitsim_test PROPERTIES  TIMEOUT "180" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;72;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(equiv_test "/root/repo/build-review/equiv_test")
+set_tests_properties(equiv_test PROPERTIES  TIMEOUT "180" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;72;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(logic_test "/root/repo/build-review/logic_test")
+set_tests_properties(logic_test PROPERTIES  TIMEOUT "180" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;72;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(techmap_test "/root/repo/build-review/techmap_test")
+set_tests_properties(techmap_test PROPERTIES  TIMEOUT "180" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;72;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(lis_test "/root/repo/build-review/lis_test")
+set_tests_properties(lis_test PROPERTIES  TIMEOUT "180" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;72;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(vcd_test "/root/repo/build-review/vcd_test")
+set_tests_properties(vcd_test PROPERTIES  TIMEOUT "180" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;72;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(flow_test "/root/repo/build-review/flow_test")
+set_tests_properties(flow_test PROPERTIES  TIMEOUT "180" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;72;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(system_test "/root/repo/build-review/system_test")
+set_tests_properties(system_test PROPERTIES  TIMEOUT "180" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;72;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(verilog_test "/root/repo/build-review/verilog_test")
+set_tests_properties(verilog_test PROPERTIES  TIMEOUT "180" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;72;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(rng_test "/root/repo/build-review/rng_test")
+set_tests_properties(rng_test PROPERTIES  TIMEOUT "180" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;72;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(determinism_test "/root/repo/build-review/determinism_test")
+set_tests_properties(determinism_test PROPERTIES  TIMEOUT "180" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;72;add_test;/root/repo/CMakeLists.txt;0;")
