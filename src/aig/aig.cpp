@@ -1,0 +1,96 @@
+#include "aig/aig.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lis::aig {
+
+Aig::Aig() {
+  nodes_.push_back(Node{}); // node 0: constant FALSE
+}
+
+Lit Aig::addPi() {
+  if (frozenPis_) {
+    throw std::logic_error("Aig::addPi: PIs must be created before ANDs");
+  }
+  nodes_.push_back(Node{});
+  ++numPis_;
+  return makeLit(static_cast<std::uint32_t>(nodes_.size() - 1), false);
+}
+
+Lit Aig::addAnd(Lit a, Lit b) {
+  if (a > b) std::swap(a, b);
+  // One-level rules. After the swap a <= b, so the constant cases are on a.
+  if (a == kLitFalse) return kLitFalse;
+  if (a == kLitTrue) return b;
+  if (a == b) return a;
+  if (a == litNot(b)) return kLitFalse;
+  frozenPis_ = true;
+  const std::uint64_t k = key(a, b);
+  const auto it = strash_.find(k);
+  if (it != strash_.end()) return makeLit(it->second, false);
+  const std::uint32_t id = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.push_back(Node{a, b});
+  strash_.emplace(k, id);
+  return makeLit(id, false);
+}
+
+Lit Aig::addMux(Lit sel, Lit a0, Lit a1) {
+  if (sel == kLitFalse) return a0;
+  if (sel == kLitTrue) return a1;
+  if (a0 == a1) return a0;
+  if (a0 == litNot(a1)) return addXor(sel, a0); // sel ? !a0 : a0
+  return addOr(addAnd(sel, a1), addAnd(litNot(sel), a0));
+}
+
+std::size_t Aig::addPo(Lit l) {
+  pos_.push_back(l);
+  return pos_.size() - 1;
+}
+
+std::vector<unsigned> Aig::levels() const {
+  std::vector<unsigned> lvl(nodes_.size(), 0);
+  for (std::uint32_t id = 0; id < nodes_.size(); ++id) {
+    if (!isAnd(id)) continue;
+    lvl[id] = 1 + std::max(lvl[litNode(nodes_[id].fanin0)],
+                           lvl[litNode(nodes_[id].fanin1)]);
+  }
+  return lvl;
+}
+
+unsigned Aig::depth() const {
+  const auto lvl = levels();
+  unsigned d = 0;
+  for (Lit po : pos_) d = std::max(d, lvl[litNode(po)]);
+  return d;
+}
+
+std::vector<std::uint32_t> Aig::fanoutCounts() const {
+  std::vector<std::uint32_t> fo(nodes_.size(), 0);
+  for (std::uint32_t id = 0; id < nodes_.size(); ++id) {
+    if (!isAnd(id)) continue;
+    ++fo[litNode(nodes_[id].fanin0)];
+    ++fo[litNode(nodes_[id].fanin1)];
+  }
+  for (Lit po : pos_) ++fo[litNode(po)];
+  return fo;
+}
+
+std::size_t Aig::liveAndCount() const {
+  std::vector<char> live(nodes_.size(), 0);
+  std::vector<std::uint32_t> stack;
+  for (Lit po : pos_) stack.push_back(litNode(po));
+  std::size_t count = 0;
+  while (!stack.empty()) {
+    const std::uint32_t id = stack.back();
+    stack.pop_back();
+    if (live[id] || !isAnd(id)) continue;
+    live[id] = 1;
+    ++count;
+    stack.push_back(litNode(nodes_[id].fanin0));
+    stack.push_back(litNode(nodes_[id].fanin1));
+  }
+  return count;
+}
+
+} // namespace lis::aig

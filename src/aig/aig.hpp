@@ -1,0 +1,100 @@
+#pragma once
+// Aig: And-Inverter Graph with complemented edges and structural hashing —
+// the logic-optimization IR sitting between SOP synthesis and technology
+// mapping. Every combinational function is expressed as 2-input AND nodes
+// plus edge complement bits, so restructuring passes (cut rewriting,
+// balancing) operate on one uniform node type and structural hashing makes
+// identical subfunctions share one node automatically.
+//
+// Representation:
+//   * A literal is 2*node + complement. Node 0 is the constant-FALSE node,
+//     so literal 0 = false and literal 1 = true.
+//   * Primary inputs are nodes without fanins, created first.
+//   * AND nodes store two fanin literals with fanin0 < fanin1 (normalized
+//     for hashing); node indices are topologically ordered by construction
+//     (a node's fanins always have smaller indices).
+//   * Primary outputs are an ordered list of literals.
+//
+// addAnd applies the one-level simplification rules (a&a, a&!a, a&0, a&1)
+// before consulting the strash table, so trivial redundancy never
+// materializes as nodes.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace lis::aig {
+
+using Lit = std::uint32_t;
+
+constexpr Lit kLitFalse = 0;
+constexpr Lit kLitTrue = 1;
+
+constexpr Lit makeLit(std::uint32_t node, bool complement) {
+  return (node << 1) | static_cast<Lit>(complement);
+}
+constexpr std::uint32_t litNode(Lit l) { return l >> 1; }
+constexpr bool litIsCompl(Lit l) { return (l & 1u) != 0; }
+constexpr Lit litNot(Lit l) { return l ^ 1u; }
+constexpr Lit litNotIf(Lit l, bool c) { return l ^ static_cast<Lit>(c); }
+
+class Aig {
+public:
+  struct Node {
+    Lit fanin0 = 0; // < fanin1 for AND nodes; 0 for PIs/constant
+    Lit fanin1 = 0;
+  };
+
+  Aig();
+
+  /// Append a primary input node; returns its literal (uncomplemented).
+  Lit addPi();
+  /// Structurally hashed AND of two literals (applies the one-level rules).
+  Lit addAnd(Lit a, Lit b);
+  /// Derived connectives, all lowered to AND + complement edges.
+  Lit addOr(Lit a, Lit b) { return litNot(addAnd(litNot(a), litNot(b))); }
+  Lit addXor(Lit a, Lit b) {
+    return addOr(addAnd(a, litNot(b)), addAnd(litNot(a), b));
+  }
+  /// sel ? a1 : a0, with the constant/equal-cofactor special cases folded.
+  Lit addMux(Lit sel, Lit a0, Lit a1);
+  /// Register a primary output; returns its index.
+  std::size_t addPo(Lit l);
+
+  std::size_t nodeCount() const { return nodes_.size(); }
+  std::size_t numPis() const { return numPis_; }
+  std::size_t numAnds() const { return nodes_.size() - 1 - numPis_; }
+  bool isConst(std::uint32_t node) const { return node == 0; }
+  bool isPi(std::uint32_t node) const {
+    return node >= 1 && node <= numPis_;
+  }
+  bool isAnd(std::uint32_t node) const { return node > numPis_; }
+  /// PI i is always node 1 + i.
+  std::uint32_t piNode(std::size_t i) const {
+    return static_cast<std::uint32_t>(1 + i);
+  }
+  const Node& node(std::uint32_t id) const { return nodes_[id]; }
+  const std::vector<Lit>& pos() const { return pos_; }
+  void setPo(std::size_t i, Lit l) { pos_[i] = l; }
+
+  /// AND-depth per node (PIs/constant at 0); index = node id.
+  std::vector<unsigned> levels() const;
+  unsigned depth() const;
+  /// Fanout count per node (POs count as consumers).
+  std::vector<std::uint32_t> fanoutCounts() const;
+  /// Number of AND nodes reachable from the POs (excludes dead nodes).
+  std::size_t liveAndCount() const;
+
+private:
+  static std::uint64_t key(Lit a, Lit b) {
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  }
+
+  std::vector<Node> nodes_;
+  std::vector<Lit> pos_;
+  std::size_t numPis_ = 0;
+  bool frozenPis_ = false; // PIs must precede all AND nodes
+  std::unordered_map<std::uint64_t, std::uint32_t> strash_;
+};
+
+} // namespace lis::aig

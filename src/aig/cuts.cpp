@@ -1,0 +1,60 @@
+#include "aig/cuts.hpp"
+
+namespace lis::aig {
+
+bool mergeLeaves(const Cut& a, const Cut& b, unsigned k, Cut& out) {
+  unsigned i = 0, j = 0, n = 0;
+  while (i < a.size || j < b.size) {
+    std::uint32_t next;
+    if (j >= b.size || (i < a.size && a.leaves[i] < b.leaves[j])) {
+      next = a.leaves[i++];
+    } else if (i >= a.size || b.leaves[j] < a.leaves[i]) {
+      next = b.leaves[j++];
+    } else {
+      next = a.leaves[i];
+      ++i;
+      ++j;
+    }
+    if (n >= k) return false;
+    out.leaves[n++] = next;
+  }
+  out.size = static_cast<std::uint8_t>(n);
+  return true;
+}
+
+logic::TruthTable expandFunction(const logic::TruthTable& tt, const Cut& from,
+                                 const Cut& to) {
+  // var i of `from` becomes var map[i] of `to`.
+  std::array<unsigned, 6> map{};
+  for (std::uint8_t i = 0; i < from.size; ++i) {
+    for (std::uint8_t j = 0; j < to.size; ++j) {
+      if (to.leaves[j] == from.leaves[i]) {
+        map[i] = j;
+        break;
+      }
+    }
+  }
+  std::uint64_t bits = 0;
+  const std::uint64_t rows = std::uint64_t{1} << to.size;
+  for (std::uint64_t row = 0; row < rows; ++row) {
+    std::uint64_t src = 0;
+    for (std::uint8_t i = 0; i < from.size; ++i) {
+      src |= ((row >> map[i]) & 1u) << i;
+    }
+    if (tt.evaluate(src)) bits |= std::uint64_t{1} << row;
+  }
+  return logic::TruthTable(to.size, bits);
+}
+
+bool dominates(const Cut& a, const Cut& b) {
+  if (a.size > b.size) return false;
+  unsigned j = 0;
+  for (std::uint8_t i = 0; i < a.size; ++i) {
+    while (j < b.size && b.leaves[j] < a.leaves[i]) ++j;
+    if (j >= b.size || b.leaves[j] != a.leaves[i]) return false;
+    ++j;
+  }
+  return true;
+}
+
+} // namespace lis::aig

@@ -1,0 +1,90 @@
+#pragma once
+// k-feasible cut machinery shared by the AIG rewriting pass and the
+// priority-cut LUT mapper. A Cut is a sorted leaf frontier (at most 6
+// nodes, so the cut function always fits one logic::TruthTable word)
+// carrying the cut's function over its leaves plus the two cost figures
+// the mappers rank by (arrival depth and area flow).
+//
+// The containers are graph-agnostic: leaves are plain node ids of whatever
+// DAG the caller enumerates over (Aig nodes or netlist::NodeIds); only the
+// merge/expand/dominance algebra lives here. Enumeration itself (which
+// fanin cut sets to merge) stays with the consumer, because that is where
+// the graph structure is known.
+//
+// Dominance: for cuts of the same node, leaves(a) ⊆ leaves(b) makes b
+// redundant — a superset frontier can never have a smaller worst leaf
+// arrival nor a smaller leaf-flow sum — so CutSet::insert evicts dominated
+// entries unconditionally.
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "logic/truthtable.hpp"
+
+namespace lis::aig {
+
+struct Cut {
+  std::array<std::uint32_t, 6> leaves{};
+  std::uint8_t size = 0;
+  logic::TruthTable function; // over leaves[0..size), variable i = leaf i
+  unsigned depth = 0;         // 1 + max leaf arrival (mapper-maintained)
+  float areaFlow = 0.0f;      // mapper-maintained
+
+  std::span<const std::uint32_t> leafSpan() const {
+    return {leaves.data(), size};
+  }
+  bool contains(std::uint32_t node) const {
+    for (std::uint8_t i = 0; i < size; ++i) {
+      if (leaves[i] == node) return true;
+    }
+    return false;
+  }
+};
+
+/// Sorted-union of two leaf sets into `out` (leaves only; the caller fills
+/// function and costs). Returns false when the union exceeds k.
+bool mergeLeaves(const Cut& a, const Cut& b, unsigned k, Cut& out);
+
+/// Re-express `tt` (over `from`'s leaves) on the superset leaf frontier
+/// `to`. Every leaf of `from` must appear in `to`.
+logic::TruthTable expandFunction(const logic::TruthTable& tt, const Cut& from,
+                                 const Cut& to);
+
+/// True when every leaf of `a` is also a leaf of `b`.
+bool dominates(const Cut& a, const Cut& b);
+
+/// Bounded priority cut list: insert keeps the list sorted by the caller's
+/// ranking (better first), applies the dominance filter, and truncates to
+/// `maxCuts`. `better(x, y)` must be a strict weak ordering.
+class CutSet {
+public:
+  explicit CutSet(unsigned maxCuts) : maxCuts_(maxCuts) {}
+
+  template <class Better>
+  void insert(const Cut& cut, Better&& better) {
+    for (const Cut& c : cuts_) {
+      if (dominates(c, cut)) return; // redundant candidate
+    }
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < cuts_.size(); ++i) {
+      if (dominates(cut, cuts_[i])) continue; // evicted by candidate
+      cuts_[kept++] = cuts_[i];
+    }
+    cuts_.resize(kept);
+    std::size_t pos = cuts_.size();
+    while (pos > 0 && better(cut, cuts_[pos - 1])) --pos;
+    cuts_.insert(cuts_.begin() + pos, cut);
+    if (cuts_.size() > maxCuts_) cuts_.resize(maxCuts_);
+  }
+
+  const std::vector<Cut>& cuts() const { return cuts_; }
+  std::vector<Cut>& cuts() { return cuts_; }
+
+private:
+  unsigned maxCuts_;
+  std::vector<Cut> cuts_;
+};
+
+} // namespace lis::aig

@@ -1,0 +1,198 @@
+#include "aig/library.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+
+#include "aig/aig.hpp"
+
+namespace lis::aig {
+
+namespace {
+
+constexpr std::array<std::uint16_t, 4> kVarTT = {0xAAAA, 0xCCCC, 0xF0F0,
+                                                 0xFF00};
+
+std::uint16_t cof0(std::uint16_t tt, unsigned v) {
+  const unsigned s = 1u << v;
+  const std::uint16_t lo = static_cast<std::uint16_t>(tt & ~kVarTT[v]);
+  return static_cast<std::uint16_t>(lo | (lo << s));
+}
+
+std::uint16_t cof1(std::uint16_t tt, unsigned v) {
+  const unsigned s = 1u << v;
+  const std::uint16_t hi = static_cast<std::uint16_t>(tt & kVarTT[v]);
+  return static_cast<std::uint16_t>(hi | (hi >> s));
+}
+
+constexpr unsigned kInf = 1000;
+
+} // namespace
+
+struct RewriteLibrary::Impl {
+  // Reader-writer cache: structureFor sits on the rewriting hot path
+  // (every cut merge costs a lookup), so hits must not serialize across
+  // concurrently optimized designs. Builds take the exclusive lock.
+  std::shared_mutex mutex;
+  std::unordered_map<std::uint16_t, std::unique_ptr<LibStructure>> cache;
+  std::unordered_map<std::uint16_t, unsigned> cost;
+
+  /// AND-node cost of the cheapest known realization (Shannon DP with
+  /// XOR/AND/OR special cases, minimized over the branching variable).
+  unsigned costOf(std::uint16_t tt) {
+    if (tt == 0 || tt == 0xFFFF) return 0;
+    for (unsigned v = 0; v < 4; ++v) {
+      if (tt == kVarTT[v] ||
+          tt == static_cast<std::uint16_t>(~kVarTT[v])) {
+        return 0;
+      }
+    }
+    const auto it = cost.find(tt);
+    if (it != cost.end()) return it->second;
+    cost.emplace(tt, kInf); // cycle guard; overwritten below
+    unsigned best = kInf;
+    for (unsigned v = 0; v < 4; ++v) {
+      const std::uint16_t f0 = cof0(tt, v);
+      const std::uint16_t f1 = cof1(tt, v);
+      if (f0 == f1) continue; // not in the support
+      unsigned cand;
+      if (f1 == static_cast<std::uint16_t>(~f0)) {
+        cand = costOf(f0) + 3; // tt = v XOR f0
+      } else if (f0 == 0 || f0 == 0xFFFF || f1 == 0 || f1 == 0xFFFF) {
+        cand = costOf(f0 == 0 || f0 == 0xFFFF ? f1 : f0) + 1; // AND/OR
+      } else {
+        cand = costOf(f0) + costOf(f1) + 3; // mux on v
+      }
+      best = std::min(best, cand);
+    }
+    cost[tt] = best;
+    return best;
+  }
+
+  /// Emit the DP-chosen realization into the builder AIG (strashed, so
+  /// shared subfunctions of one structure merge).
+  Lit emit(std::uint16_t tt, Aig& b, const std::array<Lit, 4>& vars,
+           std::unordered_map<std::uint16_t, Lit>& memo) {
+    if (tt == 0) return kLitFalse;
+    if (tt == 0xFFFF) return kLitTrue;
+    for (unsigned v = 0; v < 4; ++v) {
+      if (tt == kVarTT[v]) return vars[v];
+      if (tt == static_cast<std::uint16_t>(~kVarTT[v])) {
+        return litNot(vars[v]);
+      }
+    }
+    const auto it = memo.find(tt);
+    if (it != memo.end()) return it->second;
+
+    unsigned bestV = 0;
+    unsigned bestCost = kInf + 1;
+    for (unsigned v = 0; v < 4; ++v) {
+      const std::uint16_t f0 = cof0(tt, v);
+      const std::uint16_t f1 = cof1(tt, v);
+      if (f0 == f1) continue;
+      unsigned cand;
+      if (f1 == static_cast<std::uint16_t>(~f0)) {
+        cand = costOf(f0) + 3;
+      } else if (f0 == 0 || f0 == 0xFFFF || f1 == 0 || f1 == 0xFFFF) {
+        cand = costOf(f0 == 0 || f0 == 0xFFFF ? f1 : f0) + 1;
+      } else {
+        cand = costOf(f0) + costOf(f1) + 3;
+      }
+      if (cand < bestCost) {
+        bestCost = cand;
+        bestV = v;
+      }
+    }
+    const std::uint16_t f0 = cof0(tt, bestV);
+    const std::uint16_t f1 = cof1(tt, bestV);
+    Lit result;
+    if (f1 == static_cast<std::uint16_t>(~f0)) {
+      result = b.addXor(vars[bestV], emit(f0, b, vars, memo));
+    } else if (f0 == 0) {
+      result = b.addAnd(vars[bestV], emit(f1, b, vars, memo));
+    } else if (f0 == 0xFFFF) {
+      result = b.addOr(litNot(vars[bestV]), emit(f1, b, vars, memo));
+    } else if (f1 == 0) {
+      result = b.addAnd(litNot(vars[bestV]), emit(f0, b, vars, memo));
+    } else if (f1 == 0xFFFF) {
+      result = b.addOr(vars[bestV], emit(f0, b, vars, memo));
+    } else {
+      result = b.addMux(vars[bestV], emit(f0, b, vars, memo),
+                        emit(f1, b, vars, memo));
+    }
+    memo.emplace(tt, result);
+    return result;
+  }
+
+  LibStructure build(std::uint16_t tt) {
+    Aig b;
+    std::array<Lit, 4> vars{};
+    for (unsigned v = 0; v < 4; ++v) vars[v] = b.addPi();
+    std::unordered_map<std::uint16_t, Lit> memo;
+    const Lit outLit = emit(tt, b, vars, memo);
+
+    // Collect live AND nodes and renumber to structure refs (0 constant,
+    // 1..4 inputs, 5 + i = ands[i] — the builder's own node layout).
+    std::vector<char> live(b.nodeCount(), 0);
+    std::vector<std::uint32_t> stack{litNode(outLit)};
+    while (!stack.empty()) {
+      const std::uint32_t id = stack.back();
+      stack.pop_back();
+      if (live[id] || !b.isAnd(id)) continue;
+      live[id] = 1;
+      stack.push_back(litNode(b.node(id).fanin0));
+      stack.push_back(litNode(b.node(id).fanin1));
+    }
+
+    LibStructure s;
+    std::vector<std::uint32_t> ref(b.nodeCount(), 0);
+    std::vector<unsigned> depth(b.nodeCount(), 0);
+    for (unsigned v = 0; v < 4; ++v) ref[b.piNode(v)] = 1 + v;
+    auto toStructLit = [&](Lit l) {
+      return makeLit(ref[litNode(l)], litIsCompl(l));
+    };
+    for (std::uint32_t id = 0; id < b.nodeCount(); ++id) {
+      if (!live[id]) continue;
+      const Aig::Node& n = b.node(id);
+      ref[id] = static_cast<std::uint32_t>(5 + s.ands.size());
+      s.ands.push_back({toStructLit(n.fanin0), toStructLit(n.fanin1)});
+      depth[id] = 1 + std::max(depth[litNode(n.fanin0)],
+                               depth[litNode(n.fanin1)]);
+      s.depth = std::max(s.depth, depth[id]);
+    }
+    s.out = toStructLit(outLit);
+    return s;
+  }
+};
+
+RewriteLibrary::Impl& RewriteLibrary::impl() {
+  static Impl impl;
+  return impl;
+}
+
+RewriteLibrary& RewriteLibrary::instance() {
+  static RewriteLibrary lib;
+  return lib;
+}
+
+const LibStructure& RewriteLibrary::structureFor(std::uint16_t function) {
+  Impl& im = impl();
+  {
+    std::shared_lock<std::shared_mutex> lock(im.mutex);
+    const auto it = im.cache.find(function);
+    if (it != im.cache.end()) return *it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(im.mutex);
+  auto it = im.cache.find(function); // racing builder may have won
+  if (it == im.cache.end()) {
+    it = im.cache
+             .emplace(function,
+                      std::make_unique<LibStructure>(im.build(function)))
+             .first;
+  }
+  return *it->second;
+}
+
+} // namespace lis::aig

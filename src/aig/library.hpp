@@ -1,0 +1,54 @@
+#pragma once
+// RewriteLibrary: optimized AND-structure per NPN class of 4-input
+// functions, the replacement database behind cut rewriting.
+//
+// A LibStructure is a tiny standalone AIG fragment over four input
+// literals: `ands` lists 2-input AND nodes in topological order, each
+// fanin literal referring to the constant (structure node 0), an input
+// (structure node 1..4) or an earlier AND (structure node 5 + index);
+// `out` is the literal computing the class representative. Structures are synthesized once per class by a memoized
+// cost-DP over Shannon cofactors with XOR/AND/OR special cases — the DP
+// explores every branching variable and keeps the cheapest realization,
+// and the emitting mini-AIG strashes so shared subfunctions never count
+// twice. The cache is process-wide and thread-safe: concurrent rewriting
+// of independent designs shares one library.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace lis::aig {
+
+struct LibStructure {
+  /// AND nodes over structure literals: lit = 2 * ref + complement, where
+  /// ref 0 is the constant FALSE, ref 1..4 are the four inputs and
+  /// ref 5 + i is ands[i] (the AIG literal convention, shifted by the
+  /// inputs).
+  std::vector<std::array<std::uint32_t, 2>> ands;
+  std::uint32_t out = 0; // structure literal of the function
+  unsigned depth = 0;    // AND levels from the inputs
+};
+
+class RewriteLibrary {
+public:
+  /// The process-wide library.
+  static RewriteLibrary& instance();
+
+  /// Structure for an NPN class representative (any 16-bit truth table is
+  /// accepted; callers canonicalize first so the cache stays at 222
+  /// entries). The returned reference is stable for the process lifetime.
+  const LibStructure& structureFor(std::uint16_t function);
+
+  /// AND-node count of the structure (the rewriting cost of the class).
+  unsigned sizeFor(std::uint16_t function) {
+    return static_cast<unsigned>(structureFor(function).ands.size());
+  }
+
+private:
+  RewriteLibrary() = default;
+
+  struct Impl;
+  Impl& impl();
+};
+
+} // namespace lis::aig

@@ -1,0 +1,127 @@
+#include "aig/npn.hpp"
+
+#include <unordered_map>
+
+namespace lis::aig {
+
+namespace {
+
+/// All 24 permutations of {0,1,2,3} in a fixed order.
+constexpr std::array<std::array<std::uint8_t, 4>, 24> kPerms = [] {
+  std::array<std::array<std::uint8_t, 4>, 24> perms{};
+  std::size_t n = 0;
+  for (std::uint8_t a = 0; a < 4; ++a) {
+    for (std::uint8_t b = 0; b < 4; ++b) {
+      if (b == a) continue;
+      for (std::uint8_t c = 0; c < 4; ++c) {
+        if (c == a || c == b) continue;
+        const std::uint8_t d = static_cast<std::uint8_t>(6 - a - b - c);
+        perms[n++] = {a, b, c, d};
+      }
+    }
+  }
+  return perms;
+}();
+
+/// Row-map application: row r of the result reads row map16(r) of f.
+std::uint16_t gather(std::uint16_t tt, const std::array<std::uint8_t, 16>& m) {
+  std::uint16_t out = 0;
+  for (unsigned r = 0; r < 16; ++r) {
+    out |= static_cast<std::uint16_t>((tt >> m[r]) & 1u) << r;
+  }
+  return out;
+}
+
+std::array<std::uint8_t, 16> rowMap(const NpnTransform& t) {
+  std::array<std::uint8_t, 16> m{};
+  for (unsigned r = 0; r < 16; ++r) {
+    unsigned src = 0;
+    for (unsigned i = 0; i < 4; ++i) {
+      const unsigned yi = ((r >> t.perm[i]) & 1u) ^ ((t.inputNeg >> i) & 1u);
+      src |= yi << i;
+    }
+    m[r] = static_cast<std::uint8_t>(src);
+  }
+  return m;
+}
+
+/// Row maps for all 384 (perm, inputNeg) pairs, built once. Entry
+/// [p * 16 + n] is the map of {perm = kPerms[p], inputNeg = n}.
+const std::array<std::array<std::uint8_t, 16>, 384>& allRowMaps() {
+  static const std::array<std::array<std::uint8_t, 16>, 384> maps = [] {
+    std::array<std::array<std::uint8_t, 16>, 384> m{};
+    for (std::size_t p = 0; p < 24; ++p) {
+      for (unsigned n = 0; n < 16; ++n) {
+        NpnTransform t;
+        t.perm = kPerms[p];
+        t.inputNeg = static_cast<std::uint8_t>(n);
+        m[p * 16 + n] = rowMap(t);
+      }
+    }
+    return m;
+  }();
+  return maps;
+}
+
+} // namespace
+
+std::uint16_t applyNpn(std::uint16_t tt, const NpnTransform& t) {
+  const std::uint16_t mapped = gather(tt, rowMap(t));
+  return t.outputNeg ? static_cast<std::uint16_t>(~mapped) : mapped;
+}
+
+NpnTransform inverseNpn(const NpnTransform& t) {
+  // g(x) = out ^ f(y), y_i = x_{p[i]} ^ n_i  implies
+  // f(x) = out ^ g(y'), y'_j = x_{q[j]} ^ n_{q[j]} with q = p^{-1}.
+  NpnTransform inv;
+  std::array<std::uint8_t, 4> q{};
+  for (std::uint8_t i = 0; i < 4; ++i) q[t.perm[i]] = i;
+  inv.perm = q;
+  inv.inputNeg = 0;
+  for (std::uint8_t j = 0; j < 4; ++j) {
+    inv.inputNeg |= static_cast<std::uint8_t>(((t.inputNeg >> q[j]) & 1u)
+                                              << j);
+  }
+  inv.outputNeg = t.outputNeg;
+  return inv;
+}
+
+NpnCanonical npnCanonicalize(std::uint16_t tt) {
+  const auto& maps = allRowMaps();
+  NpnCanonical best;
+  best.representative = tt;
+  bool first = true;
+  for (std::size_t p = 0; p < 24; ++p) {
+    for (unsigned n = 0; n < 16; ++n) {
+      const std::uint16_t mapped = gather(tt, maps[p * 16 + n]);
+      for (unsigned o = 0; o < 2; ++o) {
+        const std::uint16_t cand =
+            o != 0 ? static_cast<std::uint16_t>(~mapped) : mapped;
+        if (first || cand < best.representative) {
+          first = false;
+          best.representative = cand;
+          best.transform.perm = kPerms[p];
+          best.transform.inputNeg = static_cast<std::uint8_t>(n);
+          best.transform.outputNeg = o != 0;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+NpnCanonical npnCanonicalizeCached(std::uint16_t tt) {
+  // Thread-local memo: this sits on the cut-merge hot path of rewriting,
+  // where even a reader-writer lock's cache line ping-pongs across
+  // workers optimizing independent designs. Each thread warms its own
+  // table (a few thousand distinct functions, microseconds apiece) —
+  // duplicated warmup is far cheaper than sharing.
+  thread_local std::unordered_map<std::uint16_t, NpnCanonical> memo;
+  const auto it = memo.find(tt);
+  if (it != memo.end()) return it->second;
+  const NpnCanonical result = npnCanonicalize(tt);
+  memo.emplace(tt, result);
+  return result;
+}
+
+} // namespace lis::aig

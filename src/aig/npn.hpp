@@ -1,0 +1,47 @@
+#pragma once
+// NPN canonicalization of 4-input Boolean functions (16-bit truth tables).
+//
+// Two functions are NPN-equivalent when one maps onto the other by
+// Negating inputs, Permuting inputs, and/or Negating the output. The 2^16
+// 4-input functions collapse into 222 NPN classes, which is what makes a
+// precomputed rewriting library tractable: one optimized AND-structure per
+// class representative serves every member through the recorded transform.
+//
+// Transform semantics (the exhaustively tested contract):
+//   g = applyNpn(f, T)   means   g(x0..x3) = T.outputNeg ^ f(y0..y3)
+//   with y_i = x_{T.perm[i]} ^ bit_i(T.inputNeg)
+// i.e. input i of f reads variable perm[i] of g, optionally negated, and
+// the result is optionally complemented. inverseNpn(T) is the transform
+// that maps the image back: applyNpn(applyNpn(f, T), inverseNpn(T)) == f.
+//
+// npnCanonicalize returns the lexicographically smallest truth table over
+// all 768 transforms together with a transform that reaches it:
+//   applyNpn(f, T) == representative.
+
+#include <array>
+#include <cstdint>
+
+namespace lis::aig {
+
+struct NpnTransform {
+  std::array<std::uint8_t, 4> perm{0, 1, 2, 3};
+  std::uint8_t inputNeg = 0; // bit i: input i of f is fed negated
+  bool outputNeg = false;
+};
+
+std::uint16_t applyNpn(std::uint16_t tt, const NpnTransform& t);
+
+NpnTransform inverseNpn(const NpnTransform& t);
+
+struct NpnCanonical {
+  std::uint16_t representative = 0;
+  NpnTransform transform; // applyNpn(original, transform) == representative
+};
+
+/// Exact canonicalization by enumerating all 2 * 16 * 24 transforms.
+NpnCanonical npnCanonicalize(std::uint16_t tt);
+
+/// Memoized, thread-safe front end for the hot rewriting path.
+NpnCanonical npnCanonicalizeCached(std::uint16_t tt);
+
+} // namespace lis::aig

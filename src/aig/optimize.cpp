@@ -1,0 +1,50 @@
+#include "aig/optimize.hpp"
+
+#include <utility>
+
+#include "aig/bridge.hpp"
+#include "aig/rewrite.hpp"
+
+namespace lis::aig {
+
+OptimizeResult optimizeNetlist(const netlist::Netlist& nl,
+                               const OptimizeOptions& options) {
+  SequentialAig sa = fromNetlist(nl);
+  OptimizeStats stats;
+  stats.andsBefore = sa.aig.liveAndCount();
+  stats.depthBefore = sa.aig.depth();
+
+  std::size_t ands = stats.andsBefore;
+  unsigned depth = stats.depthBefore;
+  RewriteOptions rw;
+  rw.cutsPerNode = options.cutsPerNode;
+  for (unsigned round = 0; round < options.effort; ++round) {
+    bool improved = false;
+    Aig rewritten = rewrite(sa.aig, rw);
+    const std::size_t rAnds = rewritten.liveAndCount();
+    const unsigned rDepth = rewritten.depth();
+    if (rAnds < ands || (rAnds == ands && rDepth < depth)) {
+      sa.aig = std::move(rewritten);
+      ands = rAnds;
+      depth = rDepth;
+      improved = true;
+    }
+    Aig balanced = balance(sa.aig);
+    const std::size_t bAnds = balanced.liveAndCount();
+    const unsigned bDepth = balanced.depth();
+    if (bDepth < depth || (bDepth == depth && bAnds < ands)) {
+      sa.aig = std::move(balanced);
+      ands = bAnds;
+      depth = bDepth;
+      improved = true;
+    }
+    ++stats.roundsRun;
+    if (!improved) break;
+  }
+
+  stats.andsAfter = ands;
+  stats.depthAfter = depth;
+  return OptimizeResult{toNetlist(sa), stats};
+}
+
+} // namespace lis::aig

@@ -1,0 +1,40 @@
+#pragma once
+// optimizeNetlist: the packaged AIG optimization pipeline —
+// netlist -> AIG -> effort x (rewrite, balance) -> netlist — with
+// adoption rules that make it monotone: a rewrite result is kept only
+// when it shrinks the live AND count (ties broken by depth), a balance
+// result only when it shortens the depth (ties broken by size), and the
+// loop stops early once a round improves nothing. The returned netlist
+// preserves the sequential skeleton and interface of the input (see
+// aig/bridge.hpp), so it is a drop-in replacement whose equivalence is
+// checked with netlist::checkSeqEquivalence.
+
+#include <cstddef>
+
+#include "netlist/netlist.hpp"
+
+namespace lis::aig {
+
+struct OptimizeOptions {
+  /// Rounds of (rewrite, balance); each round only adopts improvements.
+  unsigned effort = 2;
+  unsigned cutsPerNode = 8; // rewriting priority-cut bound
+};
+
+struct OptimizeStats {
+  std::size_t andsBefore = 0;
+  std::size_t andsAfter = 0;
+  unsigned depthBefore = 0;
+  unsigned depthAfter = 0;
+  unsigned roundsRun = 0;
+};
+
+struct OptimizeResult {
+  netlist::Netlist netlist;
+  OptimizeStats stats;
+};
+
+OptimizeResult optimizeNetlist(const netlist::Netlist& nl,
+                               const OptimizeOptions& options = {});
+
+} // namespace lis::aig

@@ -1,0 +1,302 @@
+#include "aig/rewrite.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "aig/cuts.hpp"
+#include "aig/library.hpp"
+#include "aig/npn.hpp"
+
+namespace lis::aig {
+
+namespace {
+
+Cut trivialCut(std::uint32_t node) {
+  Cut c;
+  c.leaves[0] = node;
+  c.size = 1;
+  c.function = logic::TruthTable::identity(1, 0);
+  return c;
+}
+
+/// Pad a <=4-variable cut function to exactly 4 variables (the NPN and
+/// library domain); the added variables are outside the support.
+std::uint16_t pad16(const logic::TruthTable& tt) {
+  std::uint16_t bits = 0;
+  for (unsigned row = 0; row < 16; ++row) {
+    const std::uint64_t masked = row & ((1u << tt.numVars()) - 1u);
+    if (tt.evaluate(masked)) bits |= static_cast<std::uint16_t>(1u << row);
+  }
+  return bits;
+}
+
+struct Choice {
+  int cutIndex = -1; // -1: native AND decomposition
+};
+
+class Rewriter {
+public:
+  Rewriter(const Aig& aig, const RewriteOptions& options)
+      : old_(aig), options_(options), fanout_(aig.fanoutCounts()),
+        cutSets_(aig.nodeCount(), CutSet(options.cutsPerNode)),
+        areaFlow_(aig.nodeCount(), 0.0f),
+        choice_(aig.nodeCount()), chosenCut_(aig.nodeCount()),
+        newLit_(aig.nodeCount(), kLitFalse),
+        realized_(aig.nodeCount(), 0) {}
+
+  Aig run() {
+    enumerateAndChoose();
+    for (std::size_t i = 0; i < old_.numPis(); ++i) {
+      const Lit pi = out_.addPi();
+      newLit_[old_.piNode(i)] = pi;
+      realized_[old_.piNode(i)] = 1;
+    }
+    realized_[0] = 1; // constant node
+    for (Lit po : old_.pos()) {
+      out_.addPo(litNotIf(realize(litNode(po)), litIsCompl(po)));
+    }
+    return std::move(out_);
+  }
+
+private:
+  float flowOf(std::uint32_t node) const {
+    return areaFlow_[node] / static_cast<float>(std::max<std::uint32_t>(
+                                 1, fanout_[node]));
+  }
+
+  float cutFlow(const Cut& cut, unsigned structSize) const {
+    float f = static_cast<float>(structSize);
+    for (std::uint8_t i = 0; i < cut.size; ++i) f += flowOf(cut.leaves[i]);
+    return f;
+  }
+
+  unsigned structSizeOf(const Cut& cut) {
+    // Per-rewriter cache: keeps the cut-merge hot path free of the
+    // process-wide library lock (a design sees few thousand distinct cut
+    // functions, so this stays tiny).
+    const std::uint16_t tt = pad16(cut.function);
+    const auto it = sizeCache_.find(tt);
+    if (it != sizeCache_.end()) return it->second;
+    const NpnCanonical canon = npnCanonicalizeCached(tt);
+    const unsigned size =
+        RewriteLibrary::instance().sizeFor(canon.representative);
+    sizeCache_.emplace(tt, size);
+    return size;
+  }
+
+  void enumerateAndChoose() {
+    const auto better = [](const Cut& a, const Cut& b) {
+      if (a.areaFlow != b.areaFlow) return a.areaFlow < b.areaFlow;
+      return a.size < b.size;
+    };
+    for (std::uint32_t n = 0; n < old_.nodeCount(); ++n) {
+      if (!old_.isAnd(n)) continue;
+      const Aig::Node& node = old_.node(n);
+      const std::uint32_t n0 = litNode(node.fanin0);
+      const std::uint32_t n1 = litNode(node.fanin1);
+
+      CutSet set(options_.cutsPerNode);
+      auto mergeInto = [&](const Cut& c0, const Cut& c1) {
+        Cut m;
+        if (!mergeLeaves(c0, c1, 4, m)) return;
+        logic::TruthTable t0 = expandFunction(c0.function, c0, m);
+        logic::TruthTable t1 = expandFunction(c1.function, c1, m);
+        if (litIsCompl(node.fanin0)) t0 = ~t0;
+        if (litIsCompl(node.fanin1)) t1 = ~t1;
+        m.function = t0 & t1;
+        m.areaFlow = cutFlow(m, structSizeOf(m));
+        set.insert(m, better);
+      };
+      const Cut triv0 = trivialCut(n0);
+      const Cut triv1 = trivialCut(n1);
+      mergeInto(triv0, triv1);
+      for (const Cut& c0 : cutSets_[n0].cuts()) mergeInto(c0, triv1);
+      for (const Cut& c1 : cutSets_[n1].cuts()) mergeInto(triv0, c1);
+      for (const Cut& c0 : cutSets_[n0].cuts()) {
+        for (const Cut& c1 : cutSets_[n1].cuts()) mergeInto(c0, c1);
+      }
+
+      // Area-flow DP: native AND vs. the library structure of each cut.
+      float best = 1.0f + flowOf(n0) + flowOf(n1);
+      Choice ch;
+      const std::vector<Cut>& cuts = set.cuts();
+      for (std::size_t i = 0; i < cuts.size(); ++i) {
+        if (cuts[i].areaFlow < best) {
+          best = cuts[i].areaFlow;
+          ch.cutIndex = static_cast<int>(i);
+        }
+      }
+      areaFlow_[n] = best;
+      choice_[n] = ch;
+      if (ch.cutIndex >= 0) chosenCut_[n] = cuts[ch.cutIndex];
+      cutSets_[n] = std::move(set);
+    }
+  }
+
+  Lit realize(std::uint32_t node) {
+    if (realized_[node]) return newLit_[node];
+    const Choice ch = choice_[node];
+    Lit result;
+    if (ch.cutIndex < 0) {
+      const Aig::Node& n = old_.node(node);
+      const Lit a = litNotIf(realize(litNode(n.fanin0)),
+                             litIsCompl(n.fanin0));
+      const Lit b = litNotIf(realize(litNode(n.fanin1)),
+                             litIsCompl(n.fanin1));
+      result = out_.addAnd(a, b);
+    } else {
+      result = instantiate(chosenCut_[node]);
+    }
+    newLit_[node] = result;
+    realized_[node] = 1;
+    return result;
+  }
+
+  Lit instantiate(const Cut& cut) {
+    // Realize the leaves, then drop the library structure of the cut's
+    // NPN class onto them through the inverse transform.
+    std::array<Lit, 4> leafLit{kLitFalse, kLitFalse, kLitFalse, kLitFalse};
+    for (std::uint8_t i = 0; i < cut.size; ++i) {
+      leafLit[i] = realize(cut.leaves[i]);
+    }
+    const std::uint16_t tt = pad16(cut.function);
+    if (tt == 0) return kLitFalse;
+    if (tt == 0xFFFF) return kLitTrue;
+
+    const NpnCanonical canon = npnCanonicalizeCached(tt);
+    const NpnTransform inv = inverseNpn(canon.transform);
+    const LibStructure& st =
+        RewriteLibrary::instance().structureFor(canon.representative);
+
+    // Structure refs: 0 constant, 1..4 inputs, 5+i = ands[i]. Input i of
+    // the structure reads leaf inv.perm[i] (see npn.hpp semantics).
+    std::vector<Lit> refLit(5 + st.ands.size());
+    refLit[0] = kLitFalse;
+    for (unsigned i = 0; i < 4; ++i) {
+      refLit[1 + i] =
+          litNotIf(leafLit[inv.perm[i]], ((inv.inputNeg >> i) & 1u) != 0);
+    }
+    auto value = [&](std::uint32_t structLit) {
+      return litNotIf(refLit[litNode(structLit)], litIsCompl(structLit));
+    };
+    for (std::size_t i = 0; i < st.ands.size(); ++i) {
+      refLit[5 + i] = out_.addAnd(value(st.ands[i][0]), value(st.ands[i][1]));
+    }
+    return litNotIf(value(st.out), inv.outputNeg);
+  }
+
+  const Aig& old_;
+  RewriteOptions options_;
+  std::unordered_map<std::uint16_t, unsigned> sizeCache_;
+  std::vector<std::uint32_t> fanout_;
+  std::vector<CutSet> cutSets_;
+  std::vector<float> areaFlow_;
+  std::vector<Choice> choice_;
+  std::vector<Cut> chosenCut_;
+  std::vector<Lit> newLit_;
+  std::vector<char> realized_;
+  Aig out_;
+};
+
+} // namespace
+
+Aig rewrite(const Aig& aig, const RewriteOptions& options) {
+  return Rewriter(aig, options).run();
+}
+
+namespace {
+
+class Balancer {
+public:
+  explicit Balancer(const Aig& aig)
+      : old_(aig), fanout_(aig.fanoutCounts()),
+        newLit_(aig.nodeCount(), kLitFalse), realized_(aig.nodeCount(), 0),
+        level_(1, 0) {}
+
+  Aig run() {
+    for (std::size_t i = 0; i < old_.numPis(); ++i) {
+      newLit_[old_.piNode(i)] = out_.addPi();
+      realized_[old_.piNode(i)] = 1;
+      level_.push_back(0);
+    }
+    realized_[0] = 1;
+    for (Lit po : old_.pos()) {
+      out_.addPo(litNotIf(realize(litNode(po)), litIsCompl(po)));
+    }
+    return std::move(out_);
+  }
+
+private:
+  /// Flatten the maximal AND tree rooted at `lit`: recurse through
+  /// uncomplemented, single-fanout AND fanins; everything else becomes a
+  /// conjunct realized on its own.
+  void collect(Lit lit, std::vector<Lit>& terms) {
+    const std::uint32_t n = litNode(lit);
+    if (!litIsCompl(lit) && old_.isAnd(n) && fanout_[n] == 1) {
+      collect(old_.node(n).fanin0, terms);
+      collect(old_.node(n).fanin1, terms);
+      return;
+    }
+    terms.push_back(litNotIf(realize(n), litIsCompl(lit)));
+  }
+
+  unsigned levelOf(Lit l) const { return level_[litNode(l)]; }
+
+  Lit combine(std::vector<Lit> terms) {
+    // Pair the two lowest-arrival conjuncts first (Huffman): same AND
+    // count as any other pairing of the tree, minimal depth.
+    while (terms.size() > 1) {
+      std::size_t lo0 = 0, lo1 = 1;
+      if (levelOf(terms[lo1]) < levelOf(terms[lo0])) std::swap(lo0, lo1);
+      for (std::size_t i = 2; i < terms.size(); ++i) {
+        if (levelOf(terms[i]) < levelOf(terms[lo0])) {
+          lo1 = lo0;
+          lo0 = i;
+        } else if (levelOf(terms[i]) < levelOf(terms[lo1])) {
+          lo1 = i;
+        }
+      }
+      const Lit combined = addAndTracked(terms[lo0], terms[lo1]);
+      const std::size_t keep = std::min(lo0, lo1);
+      const std::size_t drop = std::max(lo0, lo1);
+      terms[keep] = combined;
+      terms.erase(terms.begin() + drop);
+    }
+    return terms.front();
+  }
+
+  Lit addAndTracked(Lit a, Lit b) {
+    const Lit r = out_.addAnd(a, b);
+    const std::uint32_t n = litNode(r);
+    if (n >= level_.size()) {
+      level_.resize(n + 1,
+                    1 + std::max(level_[litNode(a)], level_[litNode(b)]));
+    }
+    return r;
+  }
+
+  Lit realize(std::uint32_t node) {
+    if (realized_[node]) return newLit_[node];
+    std::vector<Lit> terms;
+    collect(old_.node(node).fanin0, terms);
+    collect(old_.node(node).fanin1, terms);
+    const Lit result = combine(std::move(terms));
+    newLit_[node] = result;
+    realized_[node] = 1;
+    return result;
+  }
+
+  const Aig& old_;
+  std::vector<std::uint32_t> fanout_;
+  std::vector<Lit> newLit_;
+  std::vector<char> realized_;
+  std::vector<unsigned> level_; // per NEW node
+  Aig out_;
+};
+
+} // namespace
+
+Aig balance(const Aig& aig) { return Balancer(aig).run(); }
+
+} // namespace lis::aig

@@ -1,0 +1,33 @@
+#pragma once
+// AIG restructuring passes.
+//
+// rewrite(): DAG-aware cut rewriting by reconstruction. Every node gets a
+// priority list of 4-feasible cuts with truth tables; an area-flow DP then
+// picks, per node, either its native AND decomposition or the
+// RewriteLibrary structure of its best cut's NPN class; finally the graph
+// is rebuilt from the primary outputs through the chosen implementations
+// into a fresh structurally-hashed AIG — hashing realizes the sharing the
+// flow DP estimated, and logic absorbed by a chosen cut simply never gets
+// rebuilt. The result computes the same PO functions over the same PIs.
+//
+// balance(): depth reduction. Maximal single-fanout AND trees are
+// flattened into their conjunct lists and re-paired lowest-arrival-first
+// (Huffman style), which never increases the AND count of a tree and
+// typically shortens the critical path.
+//
+// Both passes return a new Aig; callers compare node counts/depth and keep
+// whichever graph wins (see optimize.hpp for the standard iteration).
+
+#include "aig/aig.hpp"
+
+namespace lis::aig {
+
+struct RewriteOptions {
+  unsigned cutsPerNode = 8; // priority cut list bound
+};
+
+Aig rewrite(const Aig& aig, const RewriteOptions& options = {});
+
+Aig balance(const Aig& aig);
+
+} // namespace lis::aig

@@ -297,9 +297,74 @@ std::string jsonEquiv(const EquivBench& e) {
   return os.str();
 }
 
-// All three flow suites, run back to back on one executor. Holding the
-// Designs and RunResults together keeps extraction (and the diagnostics
-// replay) in submission order.
+// The "opt" section: the same suite, run once through the greedy baseline
+// (the unopt Designs the main sections already hold) and once through the
+// optimize pipeline; entries pair the two by suite index.
+struct OptBench {
+  std::string design;
+  std::size_t slicesUnopt = 0;
+  std::size_t slicesOpt = 0;
+  std::size_t lutsUnopt = 0;
+  std::size_t lutsOpt = 0;
+  unsigned depthUnopt = 0;
+  unsigned depthOpt = 0;
+  double fmaxUnopt = 0;
+  double fmaxOpt = 0;
+  std::size_t aigAndsBefore = 0;
+  std::size_t aigAndsAfter = 0;
+  bool equivProved = false;
+  double optimizeSeconds = 0;
+};
+
+OptBench optBenchOf(lis::flow::Design& unopt, lis::flow::Design& opt,
+                    const lis::flow::RunResult& optResult) {
+  OptBench r;
+  r.design = unopt.name();
+  r.slicesUnopt = unopt.area().slices;
+  r.lutsUnopt = unopt.area().luts;
+  r.depthUnopt = unopt.mapped().depth;
+  r.fmaxUnopt = unopt.timing().fmaxMHz;
+  const lis::techmap::MapOptions mo = lis::bench::optMapOptions();
+  r.slicesOpt = opt.area(mo).slices;
+  r.lutsOpt = opt.area(mo).luts;
+  r.depthOpt = opt.mapped(mo).depth;
+  r.fmaxOpt = opt.timing().fmaxMHz;
+  if (const lis::aig::OptimizeStats* st = opt.optimizeStats()) {
+    r.aigAndsBefore = st->andsBefore;
+    r.aigAndsAfter = st->andsAfter;
+  }
+  for (const lis::flow::PassRecord& rec : optResult.records) {
+    if (rec.name != "optimize-aig") continue;
+    for (const auto& [key, value] : rec.metrics) {
+      if (key == "equiv_proved" && value == 1.0) r.equivProved = true;
+    }
+  }
+  r.optimizeSeconds = opt.stageSeconds("optimize");
+  return r;
+}
+
+std::string jsonOpt(const OptBench& b) {
+  std::ostringstream os;
+  os << "    {\"design\": \"" << b.design
+     << "\", \"slices_unopt\": " << b.slicesUnopt
+     << ", \"slices_opt\": " << b.slicesOpt
+     << ", \"luts_unopt\": " << b.lutsUnopt
+     << ", \"luts_opt\": " << b.lutsOpt
+     << ", \"depth_unopt\": " << b.depthUnopt
+     << ", \"depth_opt\": " << b.depthOpt
+     << ", \"fmax_unopt\": " << b.fmaxUnopt
+     << ", \"fmax_opt\": " << b.fmaxOpt
+     << ", \"aig_ands_before\": " << b.aigAndsBefore
+     << ", \"aig_ands_after\": " << b.aigAndsAfter
+     << ", \"equiv_proved\": " << (b.equivProved ? "true" : "false")
+     << ", \"optimize_seconds\": " << scrub(b.optimizeSeconds) << "}";
+  return os.str();
+}
+
+// All flow suites, run back to back on one executor: the three standard
+// sections plus their optimize-pipeline twins. Holding the Designs and
+// RunResults together keeps extraction (and the diagnostics replay) in
+// submission order.
 struct FlowSections {
   std::vector<lis::flow::Design> wrappers;
   std::vector<lis::flow::RunResult> wrapperResults;
@@ -307,6 +372,12 @@ struct FlowSections {
   std::vector<lis::flow::RunResult> systemResults;
   std::vector<lis::flow::Design> sweep;
   std::vector<lis::flow::RunResult> sweepResults;
+  std::vector<lis::flow::Design> wrappersOpt;
+  std::vector<lis::flow::RunResult> wrapperOptResults;
+  std::vector<lis::flow::Design> systemsOpt;
+  std::vector<lis::flow::RunResult> systemOptResults;
+  std::vector<lis::flow::Design> sweepOpt;
+  std::vector<lis::flow::RunResult> sweepOptResults;
 };
 
 constexpr std::uint64_t kMatrixCosimCycles = 2000;
@@ -318,12 +389,19 @@ FlowSections runFlowSections(lis::flow::Executor& exec) {
       lis::bench::standardPasses(kMatrixCosimCycles);
   lis::flow::Pipeline sweepPipe =
       lis::bench::standardPasses(kSweepCosimCycles);
+  lis::flow::Pipeline optPipe = lis::bench::optPasses();
   s.wrappers = lis::bench::wrapperSuite();
   s.wrapperResults = matrixPipe.runMany(s.wrappers, exec);
   s.systems = lis::bench::systemSuite();
   s.systemResults = matrixPipe.runMany(s.systems, exec);
   s.sweep = lis::bench::sweepSuite();
   s.sweepResults = sweepPipe.runMany(s.sweep, exec);
+  s.wrappersOpt = lis::bench::wrapperSuite();
+  s.wrapperOptResults = optPipe.runMany(s.wrappersOpt, exec);
+  s.systemsOpt = lis::bench::systemSuite();
+  s.systemOptResults = optPipe.runMany(s.systemsOpt, exec);
+  s.sweepOpt = lis::bench::sweepSuite();
+  s.sweepOptResults = optPipe.runMany(s.sweepOpt, exec);
   return s;
 }
 
@@ -402,6 +480,9 @@ int main(int argc, char** argv) {
   requireOk(sections.wrapperResults);
   requireOk(sections.systemResults);
   requireOk(sections.sweepResults);
+  requireOk(sections.wrapperOptResults);
+  requireOk(sections.systemOptResults);
+  requireOk(sections.sweepOptResults);
 
   // The serial re-run only exists to measure speedup — whose fields are
   // scrubbed to 0 under --strip-times, so skip the (doubled) work there.
@@ -413,6 +494,9 @@ int main(int argc, char** argv) {
     requireOk(serialSections.wrapperResults);
     requireOk(serialSections.systemResults);
     requireOk(serialSections.sweepResults);
+    requireOk(serialSections.wrapperOptResults);
+    requireOk(serialSections.systemOptResults);
+    requireOk(serialSections.sweepOptResults);
   }
   const double flowSpeedup = flowWall > 0 ? serialWall / flowWall : 1.0;
 
@@ -449,6 +533,34 @@ int main(int argc, char** argv) {
                 b.topology.c_str(), b.pearls, b.channels, b.luts, b.slices,
                 b.fmaxMHz, scrub(b.synthSeconds), scrub(b.mapSeconds),
                 static_cast<unsigned long long>(b.cosimTokens));
+  }
+
+  // The optimization comparison: every suite design once more through
+  // optimize-aig + iterated mapping, paired with its greedy twin above.
+  auto extractOpt = [](std::vector<lis::flow::Design>& unopt,
+                       std::vector<lis::flow::Design>& opt,
+                       const std::vector<lis::flow::RunResult>& optResults) {
+    std::vector<OptBench> rows;
+    for (std::size_t i = 0; i < unopt.size(); ++i) {
+      rows.push_back(optBenchOf(unopt[i], opt[i], optResults[i]));
+    }
+    return rows;
+  };
+  std::vector<OptBench> optWrappers = extractOpt(
+      sections.wrappers, sections.wrappersOpt, sections.wrapperOptResults);
+  std::vector<OptBench> optSystems = extractOpt(
+      sections.systems, sections.systemsOpt, sections.systemOptResults);
+  std::vector<OptBench> optSweep = extractOpt(
+      sections.sweep, sections.sweepOpt, sections.sweepOptResults);
+  for (const std::vector<OptBench>* rows :
+       {&optWrappers, &optSystems, &optSweep}) {
+    for (const OptBench& b : *rows) {
+      std::printf("opt    %-22s %4zu -> %4zu slices, depth %2u -> %2u, "
+                  "aig %5zu -> %5zu, %s\n",
+                  b.design.c_str(), b.slicesUnopt, b.slicesOpt, b.depthUnopt,
+                  b.depthOpt, b.aigAndsBefore, b.aigAndsAfter,
+                  b.equivProved ? "proved" : "UNPROVED");
+    }
   }
   if (gStripTimes) {
     std::printf("flow suites: 0.000s\n"); // job count and walls scrubbed
@@ -494,6 +606,22 @@ int main(int argc, char** argv) {
     js << jsonSystem(systems[i]) << (i + 1 < systems.size() ? ",\n" : "\n");
   }
   js << "  ],\n"
+     << "  \"opt\": {\n"
+     << "    \"effort\": " << lis::bench::kOptEffort << ",\n"
+     << "    \"map_rounds\": " << lis::bench::kOptMapRounds << ",\n";
+  const auto emitOptRows = [&js](const char* key,
+                                 const std::vector<OptBench>& rows,
+                                 bool last) {
+    js << "    \"" << key << "\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      js << "  " << jsonOpt(rows[i]) << (i + 1 < rows.size() ? ",\n" : "\n");
+    }
+    js << "    ]" << (last ? "\n" : ",\n");
+  };
+  emitOptRows("wrapper", optWrappers, false);
+  emitOptRows("system", optSystems, false);
+  emitOptRows("sweep", optSweep, true);
+  js << "  },\n"
      << "  \"sweep\": {\n"
      << "    \"jobs\": " << (gStripTimes ? 0 : jobs) << ",\n"
      << "    \"cosim_shards\": " << lis::bench::kCosimShards << ",\n"

@@ -18,6 +18,7 @@
 #include "flow/pipeline.hpp"
 #include "lis/system.hpp"
 #include "lis/wrapper.hpp"
+#include "techmap/lutmap.hpp"
 
 namespace lis::bench {
 
@@ -83,6 +84,32 @@ inline flow::Pipeline standardPasses(std::uint64_t cosimCycles) {
   flow::Pipeline pipe;
   pipe.synthesizeControl().mapLuts(4).sta().proveEncodingEquiv().cosim(
       cosim);
+  return pipe;
+}
+
+/// Fixed knobs of the bench's "opt" comparison: the AIG effort and the
+/// iterated-mapping configuration the optimized side is measured at. The
+/// unoptimized side is standardPasses' greedy mapLuts(4).
+inline constexpr unsigned kOptEffort = 2;
+inline constexpr unsigned kOptMapRounds = 3;
+
+inline techmap::MapOptions optMapOptions() {
+  techmap::MapOptions options;
+  options.k = 4;
+  options.rounds = kOptMapRounds;
+  return options;
+}
+
+/// The optimization pipeline the "opt" bench section runs: synth → AIG
+/// rewrite/balance (proven equivalent through the sequential envelope —
+/// a failed proof aborts the bench) → priority-cut mapping with area
+/// recovery → timing.
+inline flow::Pipeline optPasses() {
+  flow::Pipeline pipe;
+  pipe.synthesizeControl()
+      .optimizeAig(kOptEffort, /*prove=*/true)
+      .mapLuts(4, kOptMapRounds)
+      .sta();
   return pipe;
 }
 

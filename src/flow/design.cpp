@@ -103,28 +103,72 @@ const sync::FsmSynthStats* Design::controlStats() {
   return nullptr;
 }
 
-const techmap::MappedNetlist& Design::mappedLocked(unsigned k) {
-  if (!mapped_ || mappedK_ != k) {
-    const netlist::Netlist& nl = *netlistPtr();
+const netlist::Netlist& Design::optimize(const aig::OptimizeOptions& options) {
+  ensureSynthesized();
+  std::lock_guard<std::mutex> lock(latches_->chain);
+  if (optimized_ == nullptr || optimizedEffort_ != options.effort) {
+    StageTimer timer(*this, &Design::recordStage, "optimize");
+    // Always restart from the synthesized netlist: efforts select a
+    // result, they don't compound on a previous optimization.
+    aig::OptimizeResult result = aig::optimizeNetlist(*netlistPtr(), options);
+    optimized_ =
+        std::make_unique<netlist::Netlist>(std::move(result.netlist));
+    optStats_ = result.stats;
+    optimizedEffort_ = options.effort;
+    mapped_.reset();
+    area_.reset();
+    timing_.reset();
+  }
+  return *optimized_;
+}
+
+const techmap::MappedNetlist& Design::mappedLocked(
+    const techmap::MapOptions& o) {
+  if (!mapped_ || mappedK_ != o.k || mappedRounds_ != o.rounds) {
+    const netlist::Netlist& nl =
+        optimized_ != nullptr ? *optimized_ : *netlistPtr();
     StageTimer timer(*this, &Design::recordStage, "map");
-    mapped_ = techmap::mapToLuts(nl, k);
-    mappedK_ = k;
+    mapped_ = techmap::mapToLuts(nl, o);
+    mappedK_ = o.k;
+    mappedRounds_ = o.rounds;
     area_.reset();
     timing_.reset();
   }
   return *mapped_;
 }
 
+const techmap::MappedNetlist& Design::mapped(const techmap::MapOptions& o) {
+  ensureSynthesized();
+  std::lock_guard<std::mutex> lock(latches_->chain);
+  return mappedLocked(o);
+}
+
 const techmap::MappedNetlist& Design::mapped(unsigned k) {
   ensureSynthesized();
   std::lock_guard<std::mutex> lock(latches_->chain);
-  return mappedLocked(k);
+  // Like timing(): the k-only convenience preserves the cached rounds so
+  // it never silently downgrades a priority-cut mapping to greedy.
+  techmap::MapOptions o;
+  o.k = k;
+  o.rounds = mappedRounds_;
+  return mappedLocked(o);
+}
+
+const techmap::AreaReport& Design::area(const techmap::MapOptions& o) {
+  ensureSynthesized();
+  std::lock_guard<std::mutex> lock(latches_->chain);
+  const techmap::MappedNetlist& m = mappedLocked(o);
+  if (!area_) area_ = techmap::areaOf(m);
+  return *area_;
 }
 
 const techmap::AreaReport& Design::area(unsigned k) {
   ensureSynthesized();
   std::lock_guard<std::mutex> lock(latches_->chain);
-  const techmap::MappedNetlist& m = mappedLocked(k);
+  techmap::MapOptions o;
+  o.k = k;
+  o.rounds = mappedRounds_; // see mapped(unsigned)
+  const techmap::MappedNetlist& m = mappedLocked(o);
   if (!area_) area_ = techmap::areaOf(m);
   return *area_;
 }
@@ -133,8 +177,10 @@ const timing::TimingReport& Design::timing(const timing::TechParams& params) {
   ensureSynthesized();
   std::lock_guard<std::mutex> lock(latches_->chain);
   if (!timing_) {
-    const techmap::MappedNetlist& m =
-        mappedLocked(mappedK_ == 0 ? 4 : mappedK_);
+    techmap::MapOptions o;
+    o.k = mappedK_ == 0 ? 4 : mappedK_;
+    o.rounds = mappedRounds_;
+    const techmap::MappedNetlist& m = mappedLocked(o);
     StageTimer timer(*this, &Design::recordStage, "sta");
     timing_ = timing::analyze(m, params);
   }

@@ -9,10 +9,14 @@
 // wall-timed, so passes stay cheap to reorder and a Report pass only pays
 // for what earlier passes (or direct accessor calls) actually produced.
 //
-// Invalidation: remapping with a different k drops the area and timing
-// caches; the netlist, once synthesized, is immutable for the Design's
-// lifetime (it lives behind a unique_ptr so MappedNetlist::source stays
-// valid across moves).
+// Invalidation: remapping with a different (k, rounds) drops the area and
+// timing caches but never the synthesized netlist; running the AIG
+// optimizer (or re-running it at a different effort) additionally drops
+// the whole map→area→timing chain, since mapping consumes the optimized
+// netlist once one exists. The synthesized netlist itself, once built, is
+// immutable for the Design's lifetime (it lives behind a unique_ptr so
+// MappedNetlist::source stays valid across moves), and the optimizer
+// always starts from it — efforts don't compound.
 //
 // Thread-safety: the lazy producers are guarded per artifact, not by one
 // Design-wide mutex — synthesis behind a once-latch (concurrent first
@@ -35,6 +39,7 @@
 #include <string>
 #include <string_view>
 
+#include "aig/optimize.hpp"
 #include "lis/cosim.hpp"
 #include "lis/system.hpp"
 #include "lis/wrapper.hpp"
@@ -81,9 +86,25 @@ public:
   /// Aggregated FSM minimization stats; null for prebuilt designs.
   const sync::FsmSynthStats* controlStats();
 
-  /// k-LUT mapping. A different k than the cached one remaps and drops the
-  /// area/timing caches.
+  /// AIG-optimized netlist (see aig::optimizeNetlist), derived from the
+  /// synthesized netlist and cached per effort. Once it exists, mapping
+  /// consumes it instead of the raw synthesis; (re)optimizing drops the
+  /// map/area/timing caches but never re-runs synthesis.
+  const netlist::Netlist& optimize(const aig::OptimizeOptions& options = {});
+  /// Stats of the cached optimization; null before optimize() ran.
+  const aig::OptimizeStats* optimizeStats() const {
+    return optimized_ ? &optStats_ : nullptr;
+  }
+
+  /// k-LUT mapping of the synthesized (or, once optimize() ran, the
+  /// optimized) netlist. Cached per (k, rounds); a different key remaps
+  /// and drops the area/timing caches. options.runner is a wall-time-only
+  /// knob and not part of the key. The k-only conveniences preserve the
+  /// cached rounds (like timing()), so reading area() after a rounds>0
+  /// mapping never silently remaps greedily.
+  const techmap::MappedNetlist& mapped(const techmap::MapOptions& options);
   const techmap::MappedNetlist& mapped(unsigned k = 4);
+  const techmap::AreaReport& area(const techmap::MapOptions& options);
   const techmap::AreaReport& area(unsigned k = 4);
   /// Timing under `params`. Cached until the mapping changes; the params
   /// of the first call after a (re)map stick — pass them through the Sta
@@ -91,9 +112,11 @@ public:
   const timing::TimingReport& timing(const timing::TechParams& params = {});
 
   bool hasNetlist() const { return netlistPtr() != nullptr; }
+  bool hasOptimized() const { return optimized_ != nullptr; }
   bool hasMapped() const { return mapped_.has_value(); }
   bool hasTiming() const { return timing_.has_value(); }
   unsigned mappedK() const { return mappedK_; }
+  unsigned mappedRounds() const { return mappedRounds_; }
 
   // --- pass-produced artifacts ------------------------------------------
   const sync::CosimResult* cosimResult() const {
@@ -124,7 +147,7 @@ private:
 
   void ensureSynthesized();
   void synthesize();
-  const techmap::MappedNetlist& mappedLocked(unsigned k);
+  const techmap::MappedNetlist& mappedLocked(const techmap::MapOptions& o);
   const netlist::Netlist* netlistPtr() const;
   void recordStage(const char* stage, double seconds);
 
@@ -136,8 +159,14 @@ private:
   std::unique_ptr<netlist::Netlist> prebuilt_;
   std::unique_ptr<sync::Wrapper> wrapper_;
   std::unique_ptr<sync::System> system_;
+  // Optimized netlist + its stats; boxed for address stability
+  // (MappedNetlist::source points at it once mapping reran).
+  std::unique_ptr<netlist::Netlist> optimized_;
+  aig::OptimizeStats optStats_;
+  unsigned optimizedEffort_ = 0;
   std::optional<techmap::MappedNetlist> mapped_;
   unsigned mappedK_ = 0;
+  unsigned mappedRounds_ = 0;
   std::optional<techmap::AreaReport> area_;
   std::optional<timing::TimingReport> timing_;
   std::optional<sync::CosimResult> cosim_;

@@ -8,6 +8,7 @@
 #include "lis/fsm.hpp"
 #include "lis/synth.hpp"
 #include "netlist/equiv.hpp"
+#include "netlist/seq_equiv.hpp"
 #include "netlist/verilog.hpp"
 
 namespace lis::flow {
@@ -61,10 +62,46 @@ void SynthesizeControl::run(Design& design, PassContext& ctx) {
   }
 }
 
+void OptimizeAig::run(Design& design, PassContext& ctx) {
+  const netlist::Netlist& before = design.netlist();
+  const netlist::Netlist& optimized =
+      design.optimize({.effort = effort_});
+  const aig::OptimizeStats& st = *design.optimizeStats();
+  ctx.metric("effort", static_cast<double>(effort_));
+  ctx.metric("aig_ands_before", static_cast<double>(st.andsBefore));
+  ctx.metric("aig_ands_after", static_cast<double>(st.andsAfter));
+  ctx.metric("aig_depth_before", static_cast<double>(st.depthBefore));
+  ctx.metric("aig_depth_after", static_cast<double>(st.depthAfter));
+  ctx.metric("rounds_run", static_cast<double>(st.roundsRun));
+  if (prove_) {
+    const netlist::SeqEquivResult proof =
+        netlist::checkSeqEquivalence(before, optimized);
+    if (!proof.equivalent) {
+      ctx.error(design.name() +
+                ": optimized netlist is NOT equivalent: " + proof.detail);
+      return;
+    }
+    ctx.metric("equiv_proved", 1.0);
+  }
+}
+
 void MapLuts::run(Design& design, PassContext& ctx) {
-  const techmap::MappedNetlist& mapped = design.mapped(k_);
-  const techmap::AreaReport& area = design.area(k_);
+  techmap::MapOptions options;
+  options.k = k_;
+  options.rounds = rounds_;
+  // Per-level cut enumeration rides the shared pool when the pipeline
+  // carries an executor; the chosen cover is identical either way.
+  if (Executor* exec = ctx.executor();
+      exec != nullptr && exec->parallel() && rounds_ > 0) {
+    options.runner = [exec](std::size_t n,
+                            const std::function<void(std::size_t)>& f) {
+      exec->forEach(n, f);
+    };
+  }
+  const techmap::MappedNetlist& mapped = design.mapped(options);
+  const techmap::AreaReport& area = design.area(options);
   ctx.metric("k", static_cast<double>(k_));
+  ctx.metric("rounds", static_cast<double>(rounds_));
   ctx.metric("luts", static_cast<double>(area.luts));
   ctx.metric("ffs", static_cast<double>(area.ffs));
   ctx.metric("slices", static_cast<double>(area.slices));
@@ -196,9 +233,20 @@ void Report::run(Design& design, PassContext& ctx) {
        << ", \"cubes\": " << fs->cubesAfter
        << ", \"literals\": " << fs->literalsAfter << "}";
   }
+  if (const aig::OptimizeStats* opt = design.optimizeStats()) {
+    os << ",\n  \"optimize\": {\"aig_ands_before\": " << opt->andsBefore
+       << ", \"aig_ands_after\": " << opt->andsAfter
+       << ", \"aig_depth_before\": " << opt->depthBefore
+       << ", \"aig_depth_after\": " << opt->depthAfter
+       << ", \"rounds_run\": " << opt->roundsRun << "}";
+  }
   if (design.hasMapped()) {
-    const techmap::AreaReport& area = design.area(design.mappedK());
+    techmap::MapOptions mo;
+    mo.k = design.mappedK();
+    mo.rounds = design.mappedRounds();
+    const techmap::AreaReport& area = design.area(mo);
     os << ",\n  \"area\": {\"k\": " << design.mappedK()
+       << ", \"rounds\": " << design.mappedRounds()
        << ", \"luts\": " << area.luts << ", \"ffs\": " << area.ffs
        << ", \"slices\": " << area.slices << "}";
   }
@@ -237,8 +285,12 @@ Pipeline& Pipeline::synthesizeControl() {
   return add(std::make_unique<SynthesizeControl>());
 }
 
-Pipeline& Pipeline::mapLuts(unsigned k) {
-  return add(std::make_unique<MapLuts>(k));
+Pipeline& Pipeline::optimizeAig(unsigned effort, bool prove) {
+  return add(std::make_unique<OptimizeAig>(effort, prove));
+}
+
+Pipeline& Pipeline::mapLuts(unsigned k, unsigned rounds) {
+  return add(std::make_unique<MapLuts>(k, rounds));
 }
 
 Pipeline& Pipeline::sta(const timing::TechParams& params) {

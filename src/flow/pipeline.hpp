@@ -7,7 +7,10 @@
 //
 // Passes:
 //   SynthesizeControl      spec -> netlist (FSM encode + minimize + datapath)
-//   MapLuts{k}             netlist -> k-LUT cover
+//   OptimizeAig{effort}    AIG rewrite/balance of the combinational logic,
+//                          proven against the unoptimized netlist
+//   MapLuts{k, rounds}     netlist -> k-LUT cover (rounds == 0: greedy;
+//                          >= 1: priority cuts with area recovery)
 //   Sta{TechParams}        mapped netlist -> timing report
 //   ProveEncodingEquiv     one-hot == binary control proof per FSM spec
 //   Cosim{CosimOptions}    randomized-stall co-simulation oracle
@@ -124,14 +127,33 @@ public:
   void run(Design& design, PassContext& ctx) override;
 };
 
+/// AIG optimization of the design's combinational logic. Every run is
+/// proven equivalent to the unoptimized netlist through the sequential
+/// envelope (netlist::checkSeqEquivalence); a failed proof is a pass
+/// error, so an unsound rewrite can never reach mapping. `prove` exists
+/// for benchmarking the optimizer in isolation, not for shipping.
+class OptimizeAig final : public Pass {
+public:
+  explicit OptimizeAig(unsigned effort = 2, bool prove = true)
+      : effort_(effort), prove_(prove) {}
+  std::string name() const override { return "optimize-aig"; }
+  void run(Design& design, PassContext& ctx) override;
+
+private:
+  unsigned effort_;
+  bool prove_;
+};
+
 class MapLuts final : public Pass {
 public:
-  explicit MapLuts(unsigned k = 4) : k_(k) {}
+  explicit MapLuts(unsigned k = 4, unsigned rounds = 0)
+      : k_(k), rounds_(rounds) {}
   std::string name() const override { return "map-luts"; }
   void run(Design& design, PassContext& ctx) override;
 
 private:
   unsigned k_;
+  unsigned rounds_;
 };
 
 class Sta final : public Pass {
@@ -180,7 +202,8 @@ public:
 
   // Fluent builders for the standard passes.
   Pipeline& synthesizeControl();
-  Pipeline& mapLuts(unsigned k = 4);
+  Pipeline& optimizeAig(unsigned effort = 2, bool prove = true);
+  Pipeline& mapLuts(unsigned k = 4, unsigned rounds = 0);
   Pipeline& sta(const timing::TechParams& params = {});
   Pipeline& proveEncodingEquiv();
   Pipeline& cosim(const sync::CosimOptions& options = {});

@@ -170,6 +170,14 @@ BddRef BddManager::restrict(BddRef f, unsigned v, bool value) {
 }
 
 bool BddManager::evaluate(BddRef f, std::uint64_t assignment) const {
+  // The uint64 assignment encoding caps these two APIs (and only these)
+  // at 64 variables; wide managers are fine for building and identity
+  // proofs, but a shift by var >= 64 here would be silent UB.
+  if (numVars_ > 64) {
+    throw std::invalid_argument(
+        "BddManager::evaluate: more than 64 variables cannot be encoded "
+        "in a uint64 assignment");
+  }
   while (f > kTrue) {
     const Node& n = nodes_[f];
     f = ((assignment >> n.var) & 1u) != 0 ? n.hi : n.lo;
@@ -198,6 +206,11 @@ double BddManager::satCount(BddRef f) const {
 }
 
 bool BddManager::anySat(BddRef f, std::uint64_t& assignment) const {
+  if (numVars_ > 64) {
+    throw std::invalid_argument(
+        "BddManager::anySat: more than 64 variables cannot be encoded "
+        "in a uint64 assignment"); // see evaluate()
+  }
   if (f == kFalse) return false;
   assignment = 0;
   while (f > kTrue) {

@@ -56,13 +56,16 @@ public:
   /// Restrict variable v to a constant value.
   BddRef restrict(BddRef f, unsigned v, bool value);
 
+  /// Evaluate under a packed assignment (bit v = variable v). Throws
+  /// std::invalid_argument on managers wider than 64 variables — the
+  /// uint64 encoding cannot address them (building/proving is unlimited).
   bool evaluate(BddRef f, std::uint64_t assignment) const;
 
   /// Number of satisfying assignments over all numVars variables.
   double satCount(BddRef f) const;
 
   /// One satisfying assignment (lexicographically smallest), or false if
-  /// unsatisfiable.
+  /// unsatisfiable. Same 64-variable encoding cap as evaluate().
   bool anySat(BddRef f, std::uint64_t& assignment) const;
 
 private:

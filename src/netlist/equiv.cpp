@@ -17,11 +17,10 @@ std::vector<logic::BddRef> buildAllBdds(
   if (!nl.dffs().empty()) {
     throw std::invalid_argument("buildAllBdds: netlist is sequential");
   }
-  if (nl.inputs().size() > 64) {
-    // The counterexample-extraction APIs (evaluate/anySat) encode an
-    // assignment in one uint64_t; wider interfaces would shift past it.
-    throw std::invalid_argument("buildAllBdds: more than 64 inputs");
-  }
+  // Note: more than 64 inputs is fine for BDD construction and identity
+  // proofs; only the counterexample-extraction APIs (evaluate/anySat)
+  // encode an assignment in one uint64_t. Callers guard those themselves
+  // (see checkCombEquivalence's wide mode).
   std::vector<logic::BddRef> node2bdd(nl.nodeCount(),
                                       logic::BddManager::kFalse);
   for (NodeId id : nl.topoOrder()) {
@@ -115,9 +114,10 @@ EquivResult checkCombEquivalence(const Netlist& a, const Netlist& b,
   if (!a.dffs().empty() || !b.dffs().empty()) {
     throw std::invalid_argument("checkCombEquivalence: netlist is sequential");
   }
-  if (a.inputs().size() > 64) {
-    throw std::invalid_argument("checkCombEquivalence: more than 64 inputs");
-  }
+  // Wide mode: beyond 64 inputs the verdict machinery is unchanged (the
+  // sweep and the BDD identity proof are width-agnostic) but the compact
+  // uint64 counterexample cannot be formed, so it stays empty.
+  const bool wide = a.inputs().size() > 64;
 
   std::map<std::string, NodeId> bInputByName;
   for (NodeId id : b.inputs()) bInputByName[b.node(id).name] = id;
@@ -154,27 +154,59 @@ EquivResult checkCombEquivalence(const Netlist& a, const Netlist& b,
           result.equivalent = false;
           result.failingOutput = name;
           result.foundBySimulation = true;
-          std::uint64_t cex = 0;
-          for (std::size_t i = 0; i < a.inputs().size(); ++i) {
-            if (simA.lane(a.inputs()[i], laneIdx)) {
-              cex |= std::uint64_t{1} << i;
+          if (!wide) {
+            std::uint64_t cex = 0;
+            for (std::size_t i = 0; i < a.inputs().size(); ++i) {
+              if (simA.lane(a.inputs()[i], laneIdx)) {
+                cex |= std::uint64_t{1} << i;
+              }
             }
+            result.counterexample = cex;
           }
-          result.counterexample = cex;
           return result;
         }
       }
     }
   }
 
-  // --- Phase 2: BDD proof for the survivors. Variable i = i-th input of
-  // `a`; b's inputs map to the same variables by name.
+  // --- Phase 2: BDD proof for the survivors. The variable order is a
+  // fanin-DFS from a's outputs (in name order): inputs of one cone cluster
+  // together and datapath operands interleave per bit, which keeps carry
+  // chains linear where the naive inputs()-index order is exponential
+  // (e.g. an accumulator adding a register bus to a mux of buffer buses).
+  // b's inputs map to the same variables by name, so both sides share one
+  // variable space regardless of their own input order.
+  constexpr unsigned kUnassigned = ~0u;
+  std::vector<unsigned> varOfA(a.nodeCount(), kUnassigned);
+  {
+    std::vector<char> visited(a.nodeCount(), 0);
+    unsigned nextVar = 0;
+    std::vector<NodeId> stack;
+    for (const auto& [name, outId] : aOutByName) stack.push_back(outId);
+    // aOutByName pushed in name order; DFS explores the last first, which
+    // is fine — any fixed order works, determinism is what matters.
+    while (!stack.empty()) {
+      const NodeId id = stack.back();
+      stack.pop_back();
+      if (visited[id]) continue;
+      visited[id] = 1;
+      if (a.node(id).op == Op::Input) {
+        varOfA[id] = nextVar++;
+        continue;
+      }
+      const auto& fanin = a.node(id).fanin;
+      for (auto it = fanin.rbegin(); it != fanin.rend(); ++it) {
+        stack.push_back(*it);
+      }
+    }
+    for (NodeId id : a.inputs()) {
+      if (varOfA[id] == kUnassigned) varOfA[id] = nextVar++;
+    }
+  }
   logic::BddManager mgr(static_cast<unsigned>(a.inputs().size()));
-  std::vector<unsigned> varOfA(a.nodeCount(), 0);
   std::map<std::string, unsigned> varOfName;
-  for (unsigned i = 0; i < a.inputs().size(); ++i) {
-    varOfA[a.inputs()[i]] = i;
-    varOfName[a.node(a.inputs()[i]).name] = i;
+  for (NodeId id : a.inputs()) {
+    varOfName[a.node(id).name] = varOfA[id];
   }
   auto bddsA = buildAllBdds(a, mgr, [&](NodeId id) { return varOfA[id]; });
   auto bddsB = buildAllBdds(
@@ -188,9 +220,21 @@ EquivResult checkCombEquivalence(const Netlist& a, const Netlist& b,
     if (fa == fb) continue;
     result.equivalent = false;
     result.failingOutput = name;
-    const logic::BddRef diff = mgr.bddXor(fa, fb);
-    std::uint64_t assignment = 0;
-    if (mgr.anySat(diff, assignment)) result.counterexample = assignment;
+    if (!wide) {
+      const logic::BddRef diff = mgr.bddXor(fa, fb);
+      std::uint64_t assignment = 0;
+      if (mgr.anySat(diff, assignment)) {
+        // anySat speaks BDD-variable space; translate back to the
+        // documented "bit i = input i of a" encoding.
+        std::uint64_t cex = 0;
+        for (std::size_t i = 0; i < a.inputs().size(); ++i) {
+          if ((assignment >> varOfA[a.inputs()[i]]) & 1u) {
+            cex |= std::uint64_t{1} << i;
+          }
+        }
+        result.counterexample = cex;
+      }
+    }
     break;
   }
   return result;

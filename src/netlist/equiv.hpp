@@ -35,6 +35,8 @@ struct EquivResult {
   /// Name of the first mismatching output, when not equivalent.
   std::string failingOutput;
   /// A distinguishing input assignment (bit i = input i of `a`), if found.
+  /// Never populated for interfaces wider than 64 inputs (the verdict is
+  /// still exact; only this compact witness cannot be encoded).
   std::optional<std::uint64_t> counterexample;
   /// True when the counterexample came out of the simulation sweep, i.e.
   /// the BDD phase was never entered.
@@ -43,8 +45,9 @@ struct EquivResult {
 
 /// Check that two combinational netlists with identical input/output name
 /// sets compute the same functions. Throws std::invalid_argument if the
-/// interfaces differ or either netlist has registers, or if there are more
-/// than 64 inputs.
+/// interfaces differ or either netlist has registers. Interfaces wider
+/// than 64 inputs are proven the same way (sim sweep + BDD identity), just
+/// without a compact counterexample.
 EquivResult checkCombEquivalence(const Netlist& a, const Netlist& b,
                                  const EquivOptions& opts = {});
 

@@ -212,6 +212,25 @@ void testRunManySweepSection() {
   }
 }
 
+void testRunManyOptPipeline() {
+  // The optimize pipeline (AIG rewrite + envelope proof + priority-cut
+  // mapping whose per-level cut enumeration fans out on the pool): the
+  // cover and every metric must be identical at --jobs 1 and --jobs 8.
+  Pipeline pipe = lis::bench::optPasses();
+  pipe.report({});
+  auto designs1 = lis::bench::wrapperSuite();
+  auto designs8 = lis::bench::wrapperSuite();
+  const std::vector<RunResult> serial = pipe.runMany(designs1, 1u);
+  const std::vector<RunResult> parallel = pipe.runMany(designs8, 8u);
+  checkIdenticalResults(serial, parallel);
+  for (std::size_t i = 0; i < designs1.size(); ++i) {
+    CHECK(serial[i].ok);
+    CHECK(designs1[i].hasOptimized());
+    CHECK(stripTimes(designs1[i].reportJson()) ==
+          stripTimes(designs8[i].reportJson()));
+  }
+}
+
 void testRunManyBuffersFailuresPerDesign() {
   // A failing design among healthy ones: its diagnostics stay in its own
   // RunResult slot (no interleaving), neighbours are untouched, and the
@@ -251,6 +270,7 @@ int main() {
   testShardedCosimReproducible();
   testRunManyJobs1VsJobs8();
   testRunManySweepSection();
+  testRunManyOptPipeline();
   testRunManyBuffersFailuresPerDesign();
   return testExit();
 }

@@ -12,6 +12,13 @@ outputs, so the threshold only trips on real synthesis/mapping regressions,
 never on runner noise. A configuration dropped from the fresh results also
 fails.
 
+The "opt" section is gated on its own invariant, checked within the fresh
+results alone: for every entry of opt.wrapper / opt.system / opt.sweep,
+the optimized mapping must never need more slices than the unoptimized
+one (slices_opt <= slices_unopt), and the equivalence proof must have
+run (equiv_proved). A fresh file without an "opt" section only warns, so
+the gate still accepts bench output from before the optimizer landed.
+
 Sections or keys present in only one of baseline/current are *warnings*,
 not errors: a PR may add a new section (e.g. "sweep") or a new per-entry
 key without a flag-day baseline update, and an old baseline must not crash
@@ -27,6 +34,40 @@ import sys
 def wrapper_key(entry):
     return (entry["inputs"], entry["outputs"], entry["relay_depth"],
             entry["encoding"])
+
+
+def check_opt(fresh):
+    """Self-contained invariants of the fresh "opt" section.
+
+    Returns (failures, warnings). Key-tolerant like compare(): a missing
+    key warns and skips that entry, only a present-and-violated invariant
+    fails.
+    """
+    failures = []
+    warnings = []
+    opt = fresh.get("opt")
+    if opt is None:
+        warnings.append('no "opt" section in fresh results; '
+                        "optimizer gate skipped")
+        return failures, warnings
+    for group in ("wrapper", "system", "sweep"):
+        for entry in opt.get(group, []):
+            name = entry.get("design", f"<unnamed {group} entry>")
+            if "slices_unopt" not in entry or "slices_opt" not in entry:
+                warnings.append(f"opt.{group} {name}: slice keys missing; "
+                                f"invariant skipped")
+            elif entry["slices_opt"] > entry["slices_unopt"]:
+                failures.append(
+                    f"opt.{group} {name}: optimized mapping needs "
+                    f"{entry['slices_opt']} slices, more than the "
+                    f"unoptimized {entry['slices_unopt']}")
+            if "equiv_proved" not in entry:
+                warnings.append(f"opt.{group} {name}: equiv_proved key "
+                                f"missing; proof check skipped")
+            elif not entry["equiv_proved"]:
+                failures.append(f"opt.{group} {name}: equivalence not "
+                                f"proved for the optimized design")
+    return failures, warnings
 
 
 def compare(baseline, fresh, max_regress):
@@ -94,6 +135,9 @@ def run_gate(args):
         fresh = json.load(f)
 
     failures, warnings, rows = compare(baseline, fresh, args.max_regress)
+    opt_failures, opt_warnings = check_opt(fresh)
+    failures += opt_failures
+    warnings += opt_warnings
 
     print(f"{'config':>22} {'slices':>15} {'fmax_mhz':>19}")
     for name, old, new, notes in rows:
@@ -102,6 +146,13 @@ def run_gate(args):
                 return "   (skipped)"
             return f"{old[metric]:>5} -> {new[metric]:<6} {notes[metric]}"
         print(f"{name:>22} {cell('slices')} {cell('fmax_mhz')}")
+    opt = fresh.get("opt", {})
+    for group in ("wrapper", "system", "sweep"):
+        for entry in opt.get(group, []):
+            if "slices_unopt" in entry and "slices_opt" in entry:
+                print(f"opt {entry.get('design', '?'):>24} "
+                      f"{entry['slices_unopt']:>5} -> "
+                      f"{entry['slices_opt']:<6}")
 
     for w in warnings:
         print(f"warning: {w}", file=sys.stderr)
@@ -162,6 +213,42 @@ def self_test():
     f, w, _ = compare({"wrapper": [entry]},
                       {"wrapper": [entry, entry_with(inputs=2)]}, 0.25)
     checks.append(("added config passes", not f))
+
+    # --- "opt" section invariants ---------------------------------------
+    opt_entry = {"design": "wrapper_n1m1d2_binary", "slices_unopt": 40,
+                 "slices_opt": 31, "equiv_proved": True}
+
+    def opt_with(**kw):
+        e = dict(opt_entry)
+        e.update(kw)
+        return e
+
+    # Optimized never worse: the happy path passes cleanly.
+    f, w = check_opt({"opt": {"wrapper": [opt_entry], "system": [],
+                              "sweep": []}})
+    checks.append(("opt improvement passes", not f and not w))
+    # Equal slices are allowed (FF-bound designs can't shrink)...
+    f, _ = check_opt({"opt": {"wrapper": [opt_with(slices_opt=40)]}})
+    checks.append(("opt equal slices passes", not f))
+    # ...but exceeding the unoptimized mapping fails, in any group.
+    f, _ = check_opt({"opt": {"sweep": [opt_with(slices_opt=41)]}})
+    checks.append(("opt regression fails", bool(f)))
+    # A design whose equivalence proof did not run fails; a file that
+    # predates the proof metric (key absent) only warns.
+    f, _ = check_opt({"opt": {"wrapper": [opt_with(equiv_proved=False)]}})
+    checks.append(("opt unproved fails", bool(f)))
+    no_proof_key = dict(opt_entry)
+    del no_proof_key["equiv_proved"]
+    f, w = check_opt({"opt": {"wrapper": [no_proof_key]}})
+    checks.append(("opt missing proof key warns", not f and bool(w)))
+    # Missing keys warn and skip, never crash; a pre-optimizer fresh file
+    # (no "opt" section at all) warns and passes.
+    slim_opt = dict(opt_entry)
+    del slim_opt["slices_opt"]
+    f, w = check_opt({"opt": {"wrapper": [slim_opt]}})
+    checks.append(("opt missing key warns", not f and bool(w)))
+    f, w = check_opt({"wrapper": [entry]})
+    checks.append(("absent opt section warns only", not f and bool(w)))
 
     ok = True
     for name, passed in checks:
