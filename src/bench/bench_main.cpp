@@ -152,25 +152,32 @@ EquivBench benchEquiv(std::string name, const Netlist& a, const Netlist& b) {
 }
 
 // Replay every buffered diagnostic in submission order (that ordering is
-// the parallel-vs-serial determinism contract) and abort the bench if any
-// design failed — a broken flow must fail the bench (and CI).
-void requireOk(const std::vector<lis::flow::RunResult>& results) {
-  bool ok = true;
+// the parallel-vs-serial determinism contract) and count the designs that
+// failed. A broken config no longer aborts the bench: its row is marked
+// "failed": true in the JSON, every other config still reports, and the
+// bench exits nonzero at the end so CI notices.
+std::size_t reportFailures(const std::vector<lis::flow::RunResult>& results) {
+  std::size_t failed = 0;
   for (const lis::flow::RunResult& r : results) {
     for (const auto& diag : r.diagnostics) {
       std::fprintf(stderr, "%s [%s/%s]: %s\n", severityName(diag.severity),
                    r.design.c_str(), diag.pass.c_str(),
                    diag.message.c_str());
     }
-    if (!r.ok) ok = false;
+    if (!r.ok) {
+      std::fprintf(stderr, "FAILED config: %s (marked in JSON)\n",
+                   r.design.c_str());
+      ++failed;
+    }
   }
-  if (!ok) std::exit(1);
+  return failed;
 }
 
 // Table-1-style numbers for the wrapper synthesis flow: area (LUT/FF/
 // slice via lutmap), fmax (via STA) and two-level control cost per channel
 // configuration and state encoding.
 struct WrapperBench {
+  bool failed = false; // pipeline failed; only identity fields are valid
   unsigned inputs = 0;
   unsigned outputs = 0;
   unsigned relayDepth = 0;
@@ -188,24 +195,31 @@ struct WrapperBench {
   double synthSeconds = 0;
 };
 
-WrapperBench wrapperBenchOf(lis::flow::Design& d) {
+WrapperBench wrapperBenchOf(lis::flow::Design& d,
+                            const lis::flow::RunResult& res) {
   const lis::sync::WrapperConfig& cfg = *d.wrapperConfig();
   WrapperBench r;
   r.inputs = cfg.numInputs;
   r.outputs = cfg.numOutputs;
   r.relayDepth = cfg.relayDepth;
   r.encoding = lis::sync::encodingName(cfg.encoding);
+  r.failed = !res.ok;
+  if (r.failed) return r; // artifacts may be missing or half-built
   const lis::netlist::NetlistStats st = d.netlist().stats();
   r.gates = st.gates;
   r.dffs = st.dffs;
-  r.sopCubes = d.controlStats()->cubesAfter;
-  r.sopLiterals = d.controlStats()->literalsAfter;
+  if (const lis::sync::FsmSynthStats* cs = d.controlStats()) {
+    r.sopCubes = cs->cubesAfter;
+    r.sopLiterals = cs->literalsAfter;
+  }
   r.luts = d.area().luts;
   r.ffs = d.area().ffs;
   r.slices = d.area().slices;
   r.lutDepth = d.mapped().depth;
   r.fmaxMHz = d.timing().fmaxMHz;
-  r.cosimTokens = d.cosimResult()->tokens;
+  if (const lis::sync::CosimResult* cr = d.cosimResult()) {
+    r.cosimTokens = cr->tokens;
+  }
   r.synthSeconds = d.stageSeconds("synthesize");
   return r;
 }
@@ -213,6 +227,7 @@ WrapperBench wrapperBenchOf(lis::flow::Design& d) {
 // System-scale numbers: topologies through the same flow, so later PRs can
 // track synthesis cost and area/fmax as networks grow.
 struct SystemBench {
+  bool failed = false; // pipeline failed; only identity fields are valid
   std::string topology;
   const char* encoding = "";
   std::size_t pearls = 0;
@@ -231,13 +246,16 @@ struct SystemBench {
   double staSeconds = 0;
 };
 
-SystemBench systemBenchOf(lis::flow::Design& d) {
+SystemBench systemBenchOf(lis::flow::Design& d,
+                          const lis::flow::RunResult& res) {
   const lis::sync::SystemSpec& spec = *d.systemSpec();
   SystemBench r;
   r.topology = spec.name;
   r.encoding = lis::sync::encodingName(spec.encoding);
   r.pearls = spec.pearls.size();
   r.channels = spec.channels.size();
+  r.failed = !res.ok;
+  if (r.failed) return r; // artifacts may be missing or half-built
   r.relayStations = d.system()->relayStations;
   const lis::netlist::NetlistStats st = d.netlist().stats();
   r.gates = st.gates;
@@ -246,8 +264,10 @@ SystemBench systemBenchOf(lis::flow::Design& d) {
   r.ffs = d.area().ffs;
   r.slices = d.area().slices;
   r.fmaxMHz = d.timing().fmaxMHz;
-  r.cosimCycles = d.cosimResult()->cyclesRun;
-  r.cosimTokens = d.cosimResult()->tokens;
+  if (const lis::sync::CosimResult* cr = d.cosimResult()) {
+    r.cosimCycles = cr->cyclesRun;
+    r.cosimTokens = cr->tokens;
+  }
   r.synthSeconds = d.stageSeconds("synthesize");
   r.mapSeconds = d.stageSeconds("map");
   r.staSeconds = d.stageSeconds("sta");
@@ -256,6 +276,12 @@ SystemBench systemBenchOf(lis::flow::Design& d) {
 
 std::string jsonWrapper(const WrapperBench& b) {
   std::ostringstream os;
+  if (b.failed) {
+    os << "    {\"inputs\": " << b.inputs << ", \"outputs\": " << b.outputs
+       << ", \"relay_depth\": " << b.relayDepth << ", \"encoding\": \""
+       << b.encoding << "\", \"failed\": true}";
+    return os.str();
+  }
   os << "    {\"inputs\": " << b.inputs << ", \"outputs\": " << b.outputs
      << ", \"relay_depth\": " << b.relayDepth << ", \"encoding\": \""
      << b.encoding << "\", \"gates\": " << b.gates << ", \"dffs\": " << b.dffs
@@ -270,6 +296,12 @@ std::string jsonWrapper(const WrapperBench& b) {
 
 std::string jsonSystem(const SystemBench& b) {
   std::ostringstream os;
+  if (b.failed) {
+    os << "    {\"topology\": \"" << b.topology << "\", \"encoding\": \""
+       << b.encoding << "\", \"pearls\": " << b.pearls
+       << ", \"channels\": " << b.channels << ", \"failed\": true}";
+    return os.str();
+  }
   os << "    {\"topology\": \"" << b.topology << "\", \"encoding\": \""
      << b.encoding << "\", \"pearls\": " << b.pearls
      << ", \"channels\": " << b.channels
@@ -302,6 +334,7 @@ std::string jsonEquiv(const EquivBench& e) {
 // optimize pipeline; entries pair the two by suite index.
 struct OptBench {
   std::string design;
+  bool failed = false; // either side's pipeline failed
   std::size_t slicesUnopt = 0;
   std::size_t slicesOpt = 0;
   std::size_t lutsUnopt = 0;
@@ -317,9 +350,12 @@ struct OptBench {
 };
 
 OptBench optBenchOf(lis::flow::Design& unopt, lis::flow::Design& opt,
+                    const lis::flow::RunResult& unoptResult,
                     const lis::flow::RunResult& optResult) {
   OptBench r;
   r.design = unopt.name();
+  r.failed = !unoptResult.ok || !optResult.ok;
+  if (r.failed) return r;
   r.slicesUnopt = unopt.area().slices;
   r.lutsUnopt = unopt.area().luts;
   r.depthUnopt = unopt.mapped().depth;
@@ -345,6 +381,10 @@ OptBench optBenchOf(lis::flow::Design& unopt, lis::flow::Design& opt,
 
 std::string jsonOpt(const OptBench& b) {
   std::ostringstream os;
+  if (b.failed) {
+    os << "    {\"design\": \"" << b.design << "\", \"failed\": true}";
+    return os.str();
+  }
   os << "    {\"design\": \"" << b.design
      << "\", \"slices_unopt\": " << b.slicesUnopt
      << ", \"slices_opt\": " << b.slicesOpt
@@ -378,6 +418,8 @@ struct FlowSections {
   std::vector<lis::flow::RunResult> systemOptResults;
   std::vector<lis::flow::Design> sweepOpt;
   std::vector<lis::flow::RunResult> sweepOptResults;
+  std::vector<lis::flow::Design> faults;
+  std::vector<lis::flow::RunResult> faultResults;
 };
 
 constexpr std::uint64_t kMatrixCosimCycles = 2000;
@@ -402,7 +444,61 @@ FlowSections runFlowSections(lis::flow::Executor& exec) {
   s.systemOptResults = optPipe.runMany(s.systemsOpt, exec);
   s.sweepOpt = lis::bench::sweepSuite();
   s.sweepOptResults = optPipe.runMany(s.sweepOpt, exec);
+  lis::flow::Pipeline faultPipe = lis::bench::faultPasses();
+  s.faults = lis::bench::faultSuite();
+  s.faultResults = faultPipe.runMany(s.faults, exec);
   return s;
+}
+
+// The fault section: seeded injection-campaign tallies per robustness-
+// suite design (see bench::faultSuite / fault::runCampaign).
+struct FaultBench {
+  std::string design;
+  bool failed = false;
+  std::size_t sites = 0;
+  std::size_t detected = 0;
+  std::size_t recovered = 0;
+  std::size_t silent = 0;
+  std::size_t hang = 0;
+  double coverage = 0;
+  std::size_t controlSeuSites = 0;
+  double controlSeuCoverage = 0;
+};
+
+FaultBench faultBenchOf(lis::flow::Design& d,
+                        const lis::flow::RunResult& res) {
+  FaultBench r;
+  r.design = d.name();
+  r.failed = !res.ok;
+  const lis::fault::CampaignResult* f = d.faultResult();
+  if (f == nullptr) {
+    r.failed = true;
+    return r;
+  }
+  r.sites = f->all.total();
+  r.detected = f->all.detected;
+  r.recovered = f->all.recovered;
+  r.silent = f->all.silent;
+  r.hang = f->all.hang;
+  r.coverage = f->all.coverage();
+  r.controlSeuSites = f->controlSeu.total();
+  r.controlSeuCoverage = f->controlSeu.coverage();
+  return r;
+}
+
+std::string jsonFault(const FaultBench& b) {
+  std::ostringstream os;
+  if (b.failed) {
+    os << "    {\"design\": \"" << b.design << "\", \"failed\": true}";
+    return os.str();
+  }
+  os << "    {\"design\": \"" << b.design << "\", \"sites\": " << b.sites
+     << ", \"detected\": " << b.detected
+     << ", \"recovered\": " << b.recovered << ", \"silent\": " << b.silent
+     << ", \"hang\": " << b.hang << ", \"coverage\": " << b.coverage
+     << ", \"control_seu_sites\": " << b.controlSeuSites
+     << ", \"control_seu_coverage\": " << b.controlSeuCoverage << "}";
+  return os.str();
 }
 
 void usage(const char* argv0) {
@@ -477,12 +573,14 @@ int main(int argc, char** argv) {
   lis::flow::Executor exec(jobs);
   FlowSections sections;
   const double flowWall = secondsOf([&] { sections = runFlowSections(exec); });
-  requireOk(sections.wrapperResults);
-  requireOk(sections.systemResults);
-  requireOk(sections.sweepResults);
-  requireOk(sections.wrapperOptResults);
-  requireOk(sections.systemOptResults);
-  requireOk(sections.sweepOptResults);
+  std::size_t failedConfigs = 0;
+  failedConfigs += reportFailures(sections.wrapperResults);
+  failedConfigs += reportFailures(sections.systemResults);
+  failedConfigs += reportFailures(sections.sweepResults);
+  failedConfigs += reportFailures(sections.wrapperOptResults);
+  failedConfigs += reportFailures(sections.systemOptResults);
+  failedConfigs += reportFailures(sections.sweepOptResults);
+  failedConfigs += reportFailures(sections.faultResults);
 
   // The serial re-run only exists to measure speedup — whose fields are
   // scrubbed to 0 under --strip-times, so skip the (doubled) work there.
@@ -491,20 +589,20 @@ int main(int argc, char** argv) {
     lis::flow::Executor serial(1);
     FlowSections serialSections;
     serialWall = secondsOf([&] { serialSections = runFlowSections(serial); });
-    requireOk(serialSections.wrapperResults);
-    requireOk(serialSections.systemResults);
-    requireOk(serialSections.sweepResults);
-    requireOk(serialSections.wrapperOptResults);
-    requireOk(serialSections.systemOptResults);
-    requireOk(serialSections.sweepOptResults);
   }
   const double flowSpeedup = flowWall > 0 ? serialWall / flowWall : 1.0;
 
   std::vector<WrapperBench> wrappers;
-  for (lis::flow::Design& d : sections.wrappers) {
-    wrappers.push_back(wrapperBenchOf(d));
+  for (std::size_t i = 0; i < sections.wrappers.size(); ++i) {
+    wrappers.push_back(
+        wrapperBenchOf(sections.wrappers[i], sections.wrapperResults[i]));
   }
   for (const WrapperBench& b : wrappers) {
+    if (b.failed) {
+      std::printf("wrapper %ux%u d%u %-6s FAILED\n", b.inputs, b.outputs,
+                  b.relayDepth, b.encoding);
+      continue;
+    }
     std::printf("wrapper %ux%u d%u %-6s %4zu LUT %4zu FF %4zu slices "
                 "depth %u fmax %.1f MHz (%zu cubes, %zu literals, %.3fs)\n",
                 b.inputs, b.outputs, b.relayDepth, b.encoding, b.luts, b.ffs,
@@ -513,14 +611,21 @@ int main(int argc, char** argv) {
   }
 
   std::vector<SystemBench> systems;
-  for (lis::flow::Design& d : sections.systems) {
-    systems.push_back(systemBenchOf(d));
+  for (std::size_t i = 0; i < sections.systems.size(); ++i) {
+    systems.push_back(
+        systemBenchOf(sections.systems[i], sections.systemResults[i]));
   }
   std::vector<SystemBench> sweep;
-  for (lis::flow::Design& d : sections.sweep) {
-    sweep.push_back(systemBenchOf(d));
+  for (std::size_t i = 0; i < sections.sweep.size(); ++i) {
+    sweep.push_back(
+        systemBenchOf(sections.sweep[i], sections.sweepResults[i]));
   }
   for (const SystemBench& b : systems) {
+    if (b.failed) {
+      std::printf("system %-12s %-6s FAILED\n", b.topology.c_str(),
+                  b.encoding);
+      continue;
+    }
     std::printf("system %-12s %-6s %zu pearls %4zu LUT %4zu FF %4zu slices "
                 "fmax %.1f MHz (synth %.3fs, map %.3fs, sta %.3fs)\n",
                 b.topology.c_str(), b.encoding, b.pearls, b.luts, b.ffs,
@@ -528,6 +633,10 @@ int main(int argc, char** argv) {
                 scrub(b.mapSeconds), scrub(b.staSeconds));
   }
   for (const SystemBench& b : sweep) {
+    if (b.failed) {
+      std::printf("sweep  %-12s FAILED\n", b.topology.c_str());
+      continue;
+    }
     std::printf("sweep  %-12s %3zu pearls %3zu chans %5zu LUT %5zu slices "
                 "fmax %.1f MHz (synth %.3fs, map %.3fs, %llu tokens)\n",
                 b.topology.c_str(), b.pearls, b.channels, b.luts, b.slices,
@@ -537,30 +646,57 @@ int main(int argc, char** argv) {
 
   // The optimization comparison: every suite design once more through
   // optimize-aig + iterated mapping, paired with its greedy twin above.
-  auto extractOpt = [](std::vector<lis::flow::Design>& unopt,
-                       std::vector<lis::flow::Design>& opt,
-                       const std::vector<lis::flow::RunResult>& optResults) {
-    std::vector<OptBench> rows;
-    for (std::size_t i = 0; i < unopt.size(); ++i) {
-      rows.push_back(optBenchOf(unopt[i], opt[i], optResults[i]));
-    }
-    return rows;
-  };
-  std::vector<OptBench> optWrappers = extractOpt(
-      sections.wrappers, sections.wrappersOpt, sections.wrapperOptResults);
-  std::vector<OptBench> optSystems = extractOpt(
-      sections.systems, sections.systemsOpt, sections.systemOptResults);
-  std::vector<OptBench> optSweep = extractOpt(
-      sections.sweep, sections.sweepOpt, sections.sweepOptResults);
+  auto extractOpt =
+      [](std::vector<lis::flow::Design>& unopt,
+         const std::vector<lis::flow::RunResult>& unoptResults,
+         std::vector<lis::flow::Design>& opt,
+         const std::vector<lis::flow::RunResult>& optResults) {
+        std::vector<OptBench> rows;
+        for (std::size_t i = 0; i < unopt.size(); ++i) {
+          rows.push_back(
+              optBenchOf(unopt[i], opt[i], unoptResults[i], optResults[i]));
+        }
+        return rows;
+      };
+  std::vector<OptBench> optWrappers =
+      extractOpt(sections.wrappers, sections.wrapperResults,
+                 sections.wrappersOpt, sections.wrapperOptResults);
+  std::vector<OptBench> optSystems =
+      extractOpt(sections.systems, sections.systemResults,
+                 sections.systemsOpt, sections.systemOptResults);
+  std::vector<OptBench> optSweep =
+      extractOpt(sections.sweep, sections.sweepResults, sections.sweepOpt,
+                 sections.sweepOptResults);
   for (const std::vector<OptBench>* rows :
        {&optWrappers, &optSystems, &optSweep}) {
     for (const OptBench& b : *rows) {
+      if (b.failed) {
+        std::printf("opt    %-22s FAILED\n", b.design.c_str());
+        continue;
+      }
       std::printf("opt    %-22s %4zu -> %4zu slices, depth %2u -> %2u, "
                   "aig %5zu -> %5zu, %s\n",
                   b.design.c_str(), b.slicesUnopt, b.slicesOpt, b.depthUnopt,
                   b.depthOpt, b.aigAndsBefore, b.aigAndsAfter,
                   b.equivProved ? "proved" : "UNPROVED");
     }
+  }
+
+  std::vector<FaultBench> faults;
+  for (std::size_t i = 0; i < sections.faults.size(); ++i) {
+    faults.push_back(
+        faultBenchOf(sections.faults[i], sections.faultResults[i]));
+  }
+  for (const FaultBench& b : faults) {
+    if (b.failed) {
+      std::printf("fault  %-22s FAILED\n", b.design.c_str());
+      continue;
+    }
+    std::printf("fault  %-22s %3zu sites: %3zu det %3zu rec %2zu silent "
+                "%2zu hang, coverage %.3f (ctrl-SEU %.3f over %zu)\n",
+                b.design.c_str(), b.sites, b.detected, b.recovered,
+                b.silent, b.hang, b.coverage, b.controlSeuCoverage,
+                b.controlSeuSites);
   }
   if (gStripTimes) {
     std::printf("flow suites: 0.000s\n"); // job count and walls scrubbed
@@ -622,6 +758,15 @@ int main(int argc, char** argv) {
   emitOptRows("system", optSystems, false);
   emitOptRows("sweep", optSweep, true);
   js << "  },\n"
+     << "  \"fault\": {\n"
+     << "    \"inject_cycles\": "
+     << lis::bench::faultCampaignOptions().inject.cycles << ",\n"
+     << "    \"entries\": [\n";
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    js << jsonFault(faults[i]) << (i + 1 < faults.size() ? ",\n" : "\n");
+  }
+  js << "    ]\n"
+     << "  },\n"
      << "  \"sweep\": {\n"
      << "    \"jobs\": " << (gStripTimes ? 0 : jobs) << ",\n"
      << "    \"cosim_shards\": " << lis::bench::kCosimShards << ",\n"
@@ -642,5 +787,10 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("wrote %s\n", outPath.c_str());
+  if (failedConfigs != 0) {
+    std::fprintf(stderr, "%zu config(s) failed (marked in %s)\n",
+                 failedConfigs, outPath.c_str());
+    return 1;
+  }
   return 0;
 }

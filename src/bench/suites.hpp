@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "fault/campaign.hpp"
 #include "flow/design.hpp"
 #include "flow/pipeline.hpp"
 #include "lis/system.hpp"
@@ -84,6 +85,46 @@ inline flow::Pipeline standardPasses(std::uint64_t cosimCycles) {
   flow::Pipeline pipe;
   pipe.synthesizeControl().mapLuts(4).sta().proveEncodingEquiv().cosim(
       cosim);
+  return pipe;
+}
+
+/// Robustness suite: the acceptance-critical fault-injection targets — the
+/// 3x1 wrapper in both encodings and the 4x4 mesh in both encodings.
+inline std::vector<flow::Design> faultSuite() {
+  std::vector<flow::Design> designs;
+  for (sync::Encoding enc :
+       {sync::Encoding::OneHot, sync::Encoding::Binary}) {
+    sync::WrapperConfig cfg;
+    cfg.numInputs = 3;
+    cfg.numOutputs = 1;
+    cfg.relayDepth = 2;
+    cfg.encoding = enc;
+    designs.emplace_back(cfg);
+  }
+  for (sync::Encoding enc :
+       {sync::Encoding::OneHot, sync::Encoding::Binary}) {
+    designs.emplace_back(sync::meshSpec(4, 4, 1, enc));
+  }
+  return designs;
+}
+
+/// Campaign shape for the bench's fault section: 32 control-register SEUs
+/// (the acceptance-gated pool), 8 data-register SEUs, 8 gate stuck-ats and
+/// 4 channel faults per design, all from fixed seeds — byte-identical at
+/// any job count.
+inline fault::CampaignOptions faultCampaignOptions() {
+  fault::CampaignOptions o;
+  o.controlSeuCount = 32;
+  o.dataSeuCount = 8;
+  o.stuckCount = 8;
+  o.channelCount = 4;
+  return o;
+}
+
+/// The robustness pipeline: synthesis, then the seeded injection campaign.
+inline flow::Pipeline faultPasses() {
+  flow::Pipeline pipe;
+  pipe.synthesizeControl().faultCampaign(faultCampaignOptions());
   return pipe;
 }
 

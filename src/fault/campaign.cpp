@@ -1,0 +1,136 @@
+#include "fault/campaign.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "support/rng.hpp"
+
+namespace lis::fault {
+
+void OutcomeCounts::count(Outcome o) {
+  switch (o) {
+    case Outcome::Detected: ++detected; break;
+    case Outcome::Recovered: ++recovered; break;
+    case Outcome::SilentCorruption: ++silent; break;
+    case Outcome::Hang: ++hang; break;
+  }
+}
+
+namespace {
+
+std::string nodeLabel(const netlist::Netlist& nl, netlist::NodeId id) {
+  const netlist::Node& n = nl.node(id);
+  if (!n.name.empty()) return n.name;
+  return std::string(netlist::opName(n.op)) + "#" + std::to_string(id);
+}
+
+} // namespace
+
+std::vector<FaultSite> planSites(const Target& t,
+                                 const CampaignOptions& opts) {
+  const netlist::Netlist& nl = *t.netlist;
+  const std::vector<netlist::NodeId> ctrl = controlRegisters(nl);
+  const std::vector<netlist::NodeId> data = dataRegisters(nl);
+  const std::vector<netlist::NodeId> gates = gateNodes(nl);
+  const std::size_t nOut = t.ports.outValid.size();
+  const std::size_t nIn = t.ports.inValid.size();
+
+  // Injection cycles: after a warm-up (tokens in flight, FSMs off their
+  // reset states) and within the first half of the horizon, so recovery
+  // has at least half the run to manifest.
+  const std::uint64_t warmup = opts.inject.cycles / 8 + 1;
+  const std::uint64_t window =
+      std::max<std::uint64_t>(1, opts.inject.cycles / 2);
+
+  support::SplitMix64 rng(opts.seed);
+  const auto drawCycle = [&] { return warmup + rng.below(window); };
+
+  std::vector<FaultSite> sites;
+  for (std::size_t k = 0; k < opts.controlSeuCount && !ctrl.empty(); ++k) {
+    FaultSite s;
+    s.kind = FaultKind::SeuFlip;
+    s.node = ctrl[rng.below(ctrl.size())];
+    s.cycle = drawCycle();
+    s.controlTarget = true;
+    s.label = "seu " + nodeLabel(nl, s.node);
+    sites.push_back(std::move(s));
+  }
+  for (std::size_t k = 0; k < opts.dataSeuCount && !data.empty(); ++k) {
+    FaultSite s;
+    s.kind = FaultKind::SeuFlip;
+    s.node = data[rng.below(data.size())];
+    s.cycle = drawCycle();
+    s.label = "seu " + nodeLabel(nl, s.node);
+    sites.push_back(std::move(s));
+  }
+  for (std::size_t k = 0; k < opts.stuckCount && !gates.empty(); ++k) {
+    FaultSite s;
+    s.kind = (k % 2 == 0) ? FaultKind::StuckAt0 : FaultKind::StuckAt1;
+    s.node = gates[rng.below(gates.size())];
+    s.cycle = drawCycle();
+    s.duration = 0; // permanent
+    s.label = std::string(faultKindName(s.kind)) + " " +
+              nodeLabel(nl, s.node);
+    sites.push_back(std::move(s));
+  }
+  for (std::size_t k = 0; k < opts.channelCount; ++k) {
+    FaultSite s;
+    if (k % 2 == 0) {
+      if (nOut == 0) continue;
+      s.kind = FaultKind::ChannelStall;
+      s.channel = rng.below(nOut);
+      s.duration = 24;
+      s.label = "stall out" + std::to_string(s.channel);
+    } else {
+      if (nIn == 0) continue;
+      s.kind = FaultKind::ChannelGlitch;
+      s.channel = rng.below(nIn);
+      s.label = "glitch in" + std::to_string(s.channel);
+    }
+    s.cycle = drawCycle();
+    sites.push_back(std::move(s));
+  }
+  return sites;
+}
+
+CampaignResult runCampaign(const Target& t, const CampaignOptions& opts) {
+  const std::vector<FaultSite> sites = planSites(t, opts);
+  CampaignResult res;
+  res.results.resize(sites.size());
+  std::vector<char> done(sites.size(), 0);
+
+  const auto body = [&](std::size_t i) {
+    if (opts.cancel != nullptr && opts.cancel->cancelled()) return;
+    InjectionOptions io = opts.inject;
+    io.seed = support::SplitMix64(opts.inject.seed).forkSeed(4096 + i);
+    res.results[i] = injectOne(t, sites[i], io);
+    done[i] = 1;
+  };
+
+  if (opts.runner) {
+    opts.runner(sites.size(), body);
+  } else {
+    for (std::size_t i = 0; i < sites.size(); ++i) body(i);
+  }
+
+  // Tally in site-plan order; a skipped slot marks the campaign cancelled
+  // and contributes nothing to the counts.
+  std::vector<FaultResult> ran;
+  ran.reserve(sites.size());
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    if (done[i] == 0) {
+      res.cancelled = true;
+      continue;
+    }
+    res.all.count(res.results[i].outcome);
+    if (res.results[i].site.kind == FaultKind::SeuFlip &&
+        res.results[i].site.controlTarget) {
+      res.controlSeu.count(res.results[i].outcome);
+    }
+    ran.push_back(std::move(res.results[i]));
+  }
+  res.results = std::move(ran);
+  return res;
+}
+
+} // namespace lis::fault

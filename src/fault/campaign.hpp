@@ -1,0 +1,74 @@
+#pragma once
+// Seeded fault-injection campaigns: plan a deterministic list of fault
+// sites over a target (control-register SEUs, data-register SEUs, gate
+// stuck-ats, channel faults), run one injectOne experiment per site, and
+// tally outcome counts. The coverage figure of merit is
+// (detected + recovered) / total — faults the protocol either flagged or
+// fully absorbed.
+//
+// Determinism: planSites draws every site serially from the campaign seed,
+// and experiment i gets stimulus seed forkSeed(4096 + i) of the injection
+// seed — a pure function of (options, i). The optional parallel runner
+// therefore cannot change any result, only wall-clock time: results join
+// by index, exactly like cosim shard merging.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "support/cancellation.hpp"
+
+namespace lis::fault {
+
+struct CampaignOptions {
+  InjectionOptions inject;
+  std::uint64_t seed = 0xCA3A16; // site-planning seed
+  std::size_t controlSeuCount = 32;
+  std::size_t dataSeuCount = 8;
+  std::size_t stuckCount = 8;
+  std::size_t channelCount = 4;
+  /// Parallel-for hook, same contract as CosimOptions::runner: must call
+  /// f(0..n-1) in any order and return when all are done. Null = serial.
+  std::function<void(std::size_t, const std::function<void(std::size_t)>&)>
+      runner;
+  /// Checked between experiments (and honoured by parallel runners that
+  /// skip work): a tripped token leaves the remaining experiments unrun
+  /// and marks the campaign cancelled.
+  const support::CancellationToken* cancel = nullptr;
+};
+
+struct OutcomeCounts {
+  std::size_t detected = 0;
+  std::size_t recovered = 0;
+  std::size_t silent = 0;
+  std::size_t hang = 0;
+
+  std::size_t total() const { return detected + recovered + silent + hang; }
+  /// Fraction of faults the protocol detected or fully recovered from.
+  double coverage() const {
+    const std::size_t t = total();
+    return t == 0 ? 1.0
+                  : static_cast<double>(detected + recovered) /
+                        static_cast<double>(t);
+  }
+  void count(Outcome o);
+};
+
+struct CampaignResult {
+  std::vector<FaultResult> results; // site-plan order
+  OutcomeCounts all;
+  OutcomeCounts controlSeu; // the acceptance-critical subset
+  bool cancelled = false;   // some experiments were skipped
+};
+
+/// Deterministic site plan for `t` under `opts` (no simulation happens
+/// here). Injection cycles land after a short warm-up and inside the first
+/// half of the horizon, leaving room for recovery to be observed.
+std::vector<FaultSite> planSites(const Target& t, const CampaignOptions& opts);
+
+/// Run the full campaign: planSites, one injectOne per site, tallies.
+CampaignResult runCampaign(const Target& t, const CampaignOptions& opts);
+
+} // namespace lis::fault

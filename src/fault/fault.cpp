@@ -1,0 +1,304 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <memory>
+#include <stdexcept>
+
+#include "lis/behavioral.hpp"
+#include "netlist/netlist_sim.hpp"
+#include "support/rng.hpp"
+
+namespace lis::fault {
+
+const char* faultKindName(FaultKind k) {
+  switch (k) {
+    case FaultKind::StuckAt0: return "stuck-at-0";
+    case FaultKind::StuckAt1: return "stuck-at-1";
+    case FaultKind::SeuFlip: return "seu";
+    case FaultKind::ChannelStall: return "channel-stall";
+    case FaultKind::ChannelGlitch: return "channel-glitch";
+  }
+  return "?";
+}
+
+const char* outcomeName(Outcome o) {
+  switch (o) {
+    case Outcome::Detected: return "detected";
+    case Outcome::Recovered: return "recovered";
+    case Outcome::SilentCorruption: return "silent-corruption";
+    case Outcome::Hang: return "hang";
+  }
+  return "?";
+}
+
+Target targetOf(const sync::Wrapper& w, const sync::WrapperConfig& cfg) {
+  Target t;
+  t.netlist = &w.netlist;
+  t.ports = sync::portView(w.ports);
+  t.dataWidth = cfg.dataWidth;
+  t.wrapperCfg = &cfg;
+  return t;
+}
+
+Target targetOf(const sync::System& s, const sync::SystemSpec& spec) {
+  Target t;
+  t.netlist = &s.netlist;
+  t.ports = sync::portView(s.ports);
+  t.dataWidth = spec.dataWidth;
+  t.systemSpec = &spec;
+  return t;
+}
+
+namespace {
+
+/// True for registerBus state-bit names: "..._s_<digits>".
+bool isControlStateName(const std::string& name) {
+  const std::size_t us = name.rfind('_');
+  if (us == std::string::npos || us + 1 >= name.size() || us < 2) {
+    return false;
+  }
+  for (std::size_t i = us + 1; i < name.size(); ++i) {
+    if (std::isdigit(static_cast<unsigned char>(name[i])) == 0) return false;
+  }
+  return name.compare(us - 2, 2, "_s") == 0;
+}
+
+} // namespace
+
+std::vector<netlist::NodeId> controlRegisters(const netlist::Netlist& nl) {
+  std::vector<netlist::NodeId> out;
+  for (netlist::NodeId id : nl.dffs()) {
+    if (isControlStateName(nl.node(id).name)) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<netlist::NodeId> dataRegisters(const netlist::Netlist& nl) {
+  std::vector<netlist::NodeId> out;
+  for (netlist::NodeId id : nl.dffs()) {
+    if (!isControlStateName(nl.node(id).name)) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<netlist::NodeId> gateNodes(const netlist::Netlist& nl) {
+  std::vector<netlist::NodeId> out;
+  for (netlist::NodeId id = 0;
+       id < static_cast<netlist::NodeId>(nl.nodeCount()); ++id) {
+    switch (nl.node(id).op) {
+      case netlist::Op::And:
+      case netlist::Op::Or:
+      case netlist::Op::Xor:
+      case netlist::Op::Not:
+      case netlist::Op::Mux:
+        out.push_back(id);
+        break;
+      default:
+        break;
+    }
+  }
+  return out;
+}
+
+FaultResult injectOne(const Target& t, const FaultSite& site,
+                      const InjectionOptions& opts) {
+  if (t.netlist == nullptr ||
+      (t.wrapperCfg == nullptr) == (t.systemSpec == nullptr)) {
+    throw std::invalid_argument(
+        "injectOne: target needs a netlist and exactly one oracle spec");
+  }
+  const netlist::Netlist& nl = *t.netlist;
+  netlist::NetlistSim faulted(nl);
+  netlist::NetlistSim golden(nl);
+  std::unique_ptr<sync::Oracle> behPtr =
+      t.wrapperCfg != nullptr
+          ? std::make_unique<sync::Oracle>(*t.wrapperCfg)
+          : std::make_unique<sync::Oracle>(*t.systemSpec);
+  sync::Oracle& beh = *behPtr;
+
+  faulted.reset();
+  golden.reset();
+  beh.reset();
+
+  support::SplitMix64 rng(opts.seed);
+  const std::uint64_t mask = sync::widthMask(t.dataWidth);
+  const std::size_t nIn = t.ports.inValid.size();
+  const std::size_t nOut = t.ports.outValid.size();
+
+  // Same persistent-source discipline as the cosim drive loop; one driver
+  // feeds all three simulators so they stay comparable cycle by cycle.
+  std::vector<bool> pending(nIn, false);
+  std::vector<std::uint64_t> pendingData(nIn, 0);
+  std::vector<char> stalled(nOut, 0);
+
+  FaultResult res;
+  res.site = site;
+
+  // Token-conservation bookkeeping, all on the faulted design's own
+  // handshakes. The register count is a deliberately loose storage bound;
+  // the checker is a backstop for gross token fabrication — in practice
+  // the oracle comparison flags those faults first.
+  std::vector<std::uint64_t> accepted(nIn, 0);
+  std::vector<std::uint64_t> delivered(nOut, 0);
+  const std::uint64_t storageBound = nl.dffs().size();
+
+  std::uint64_t lastProgress = 0;
+  bool stuckActive = false;
+
+  const auto detect = [&](std::uint64_t cycle, const std::string& what) {
+    res.outcome = Outcome::Detected;
+    res.atCycle = cycle;
+    res.detail = what;
+  };
+
+  for (std::uint64_t cycle = 0; cycle < opts.cycles; ++cycle) {
+    // --- inject / clear node faults (channel faults act while driving)
+    switch (site.kind) {
+      case FaultKind::StuckAt0:
+      case FaultKind::StuckAt1:
+        if (cycle == site.cycle) {
+          faulted.setForce(site.node, site.kind == FaultKind::StuckAt1);
+          faulted.settle();
+          stuckActive = true;
+        } else if (stuckActive && site.duration != 0 &&
+                   cycle == site.cycle + site.duration) {
+          faulted.clearForce(site.node);
+          faulted.settle();
+          stuckActive = false;
+        }
+        break;
+      case FaultKind::SeuFlip:
+        if (cycle == site.cycle) {
+          faulted.poke(site.node, !faulted.value(site.node));
+          faulted.settle();
+        }
+        break;
+      default:
+        break;
+    }
+
+    beh.settle(); // expose post-clock Moore stop outputs (see cosim)
+    for (std::size_t i = 0; i < nIn; ++i) {
+      const bool stopGate = faulted.value(t.ports.inStop[i]);
+      const bool stopBeh = beh.inStop(i);
+      if (stopGate != stopBeh) {
+        detect(cycle,
+               "in" + std::to_string(i) + "_stop diverged from oracle");
+        return res;
+      }
+      if (!pending[i] && rng.below(100) < opts.offerPercent) {
+        pending[i] = true;
+        pendingData[i] = rng.next() & mask;
+      }
+      const bool valid = pending[i];
+      faulted.setInput(t.ports.inValid[i], valid);
+      faulted.setInputBus(t.ports.inData[i], pendingData[i]);
+      golden.setInput(t.ports.inValid[i], valid);
+      golden.setInputBus(t.ports.inData[i], pendingData[i]);
+      beh.driveInput(i, valid, pendingData[i]);
+      if (valid && !stopGate) {
+        ++accepted[i];
+        lastProgress = cycle;
+      }
+      if (valid && !stopBeh) pending[i] = false; // transfer completes
+      if (site.kind == FaultKind::ChannelGlitch && cycle == site.cycle &&
+          i == site.channel) {
+        // Spurious handshake on the faulted side only: a one-cycle valid
+        // pulse carrying a corrupted payload.
+        faulted.setInput(t.ports.inValid[i], true);
+        faulted.setInputBus(t.ports.inData[i], ~pendingData[i] & mask);
+      }
+    }
+    bool burstActive = false;
+    for (std::size_t j = 0; j < nOut; ++j) {
+      bool stall = rng.below(100) < opts.stallPercent;
+      if (site.kind == FaultKind::ChannelStall && j == site.channel &&
+          cycle >= site.cycle &&
+          (site.duration == 0 || cycle < site.cycle + site.duration)) {
+        // The stall burst hits all three simulators alike: the fault is in
+        // the environment, and the property probed is that the design
+        // tolerates it (latency-insensitivity) without diverging.
+        stall = true;
+        burstActive = true;
+      }
+      faulted.setInput(t.ports.outStop[j], stall);
+      golden.setInput(t.ports.outStop[j], stall);
+      beh.driveOutStop(j, stall);
+      stalled[j] = stall ? 1 : 0;
+    }
+    // A forced burst legitimately freezes deliveries — exempt it from the
+    // watchdog so environment faults are not misread as design hangs.
+    if (burstActive) lastProgress = cycle;
+
+    faulted.settle();
+    golden.settle();
+    beh.settle();
+
+    for (std::size_t j = 0; j < nOut; ++j) {
+      const bool vGate = faulted.value(t.ports.outValid[j]);
+      const bool vBeh = beh.outValid(j);
+      if (vGate != vBeh) {
+        detect(cycle,
+               "out" + std::to_string(j) + "_valid diverged from oracle");
+        return res;
+      }
+      if (vGate) {
+        if (faulted.busValue(t.ports.outData[j]) != beh.outData(j)) {
+          detect(cycle, "out" + std::to_string(j) + "_data corrupted");
+          return res;
+        }
+        if (stalled[j] == 0) {
+          ++delivered[j];
+          lastProgress = cycle;
+        }
+      }
+    }
+
+    std::uint64_t maxAccepted = 0;
+    for (std::uint64_t a : accepted) maxAccepted = std::max(maxAccepted, a);
+    for (std::size_t j = 0; j < nOut; ++j) {
+      if (delivered[j] > maxAccepted + storageBound) {
+        detect(cycle,
+               "token conservation violated on out" + std::to_string(j));
+        return res;
+      }
+    }
+
+    if (cycle > site.cycle && cycle - lastProgress > opts.watchdogCycles) {
+      bool offerHeld = false;
+      for (std::size_t i = 0; i < nIn; ++i) {
+        if (pending[i]) offerHeld = true;
+      }
+      if (offerHeld) {
+        res.outcome = Outcome::Hang;
+        res.atCycle = cycle;
+        res.detail = "no handshake for " +
+                     std::to_string(opts.watchdogCycles) +
+                     " cycles with an offer held";
+        return res;
+      }
+    }
+
+    faulted.clock();
+    golden.clock();
+    beh.step();
+  }
+
+  // Horizon reached with every observable output agreeing with the oracle
+  // throughout. Recovered if the faulted register state re-converged with
+  // the fault-free twin; otherwise the fault still lurks in latent state.
+  res.atCycle = opts.cycles;
+  for (netlist::NodeId id : nl.dffs()) {
+    if (faulted.value(id) != golden.value(id)) {
+      res.outcome = Outcome::SilentCorruption;
+      res.detail = "register " + nl.node(id).name +
+                   " differs from the fault-free run at the horizon";
+      return res;
+    }
+  }
+  res.outcome = Outcome::Recovered;
+  return res;
+}
+
+} // namespace lis::fault

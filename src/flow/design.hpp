@@ -40,9 +40,11 @@
 #include <string_view>
 
 #include "aig/optimize.hpp"
+#include "fault/campaign.hpp"
 #include "lis/cosim.hpp"
 #include "lis/system.hpp"
 #include "lis/wrapper.hpp"
+#include "netlist/equiv.hpp"
 #include "netlist/netlist.hpp"
 #include "techmap/lutmap.hpp"
 #include "timing/sta.hpp"
@@ -123,6 +125,20 @@ public:
     return cosim_ ? &*cosim_ : nullptr;
   }
   void setCosimResult(sync::CosimResult r) { cosim_ = std::move(r); }
+  const fault::CampaignResult* faultResult() const {
+    return fault_ ? &*fault_ : nullptr;
+  }
+  void setFaultResult(fault::CampaignResult r) { fault_ = std::move(r); }
+  /// BDD proof footprint, accumulated across every equivalence check the
+  /// passes ran for this design (AIG proof, encoding proofs); null until
+  /// the first one reports in.
+  const netlist::ProofStats* proofStats() const {
+    return hasProof_ ? &proof_ : nullptr;
+  }
+  void addProofStats(const netlist::ProofStats& s) {
+    proof_.accumulate(s);
+    hasProof_ = true;
+  }
   const std::string& reportJson() const { return reportJson_; }
   void setReportJson(std::string json) { reportJson_ = std::move(json); }
   const std::string& verilog() const { return verilog_; }
@@ -170,6 +186,9 @@ private:
   std::optional<techmap::AreaReport> area_;
   std::optional<timing::TimingReport> timing_;
   std::optional<sync::CosimResult> cosim_;
+  std::optional<fault::CampaignResult> fault_;
+  netlist::ProofStats proof_;
+  bool hasProof_ = false;
   std::string reportJson_;
   std::string verilog_;
   std::map<std::string, double> times_;

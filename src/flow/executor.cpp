@@ -3,11 +3,31 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
-#include <exception>
 #include <mutex>
-#include <vector>
+#include <utility>
 
 namespace lis::flow {
+
+namespace {
+
+std::string describeException(const std::exception_ptr& e) {
+  try {
+    std::rethrow_exception(e);
+  } catch (const std::exception& ex) {
+    return ex.what();
+  } catch (...) {
+    return "unknown exception";
+  }
+}
+
+/// First line only: aggregate messages stay one-per-failure readable even
+/// when an iteration threw something multi-line.
+std::string firstLine(const std::string& s) {
+  const std::size_t nl = s.find('\n');
+  return nl == std::string::npos ? s : s.substr(0, nl);
+}
+
+} // namespace
 
 Executor::Executor(unsigned jobs) : jobs_(jobs == 0 ? 1 : jobs) {
   if (jobs_ > 1) pool_ = std::make_unique<support::ThreadPool>(jobs_);
@@ -15,12 +35,21 @@ Executor::Executor(unsigned jobs) : jobs_(jobs == 0 ? 1 : jobs) {
 
 Executor::~Executor() = default;
 
-void Executor::forEach(std::size_t n,
-                       const std::function<void(std::size_t)>& f) {
-  if (n == 0) return;
+std::vector<std::exception_ptr> Executor::forEachAll(
+    std::size_t n, const std::function<void(std::size_t)>& f,
+    const support::CancellationToken* cancel) {
+  std::vector<std::exception_ptr> errors(n);
+  if (n == 0) return errors;
   if (pool_ == nullptr) {
-    for (std::size_t i = 0; i < n; ++i) f(i);
-    return;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (cancel != nullptr && cancel->cancelled()) break;
+      try {
+        f(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+    return errors;
   }
 
   // The join state is shared-owned by every task: the caller may observe
@@ -33,17 +62,18 @@ void Executor::forEach(std::size_t n,
   };
   auto state = std::make_shared<JoinState>();
   state->remaining.store(n, std::memory_order_relaxed);
-  std::vector<std::exception_ptr> errors(n);
 
   for (std::size_t i = 0; i < n; ++i) {
     // f and errors are only touched before the decrement, so the caller
     // (which waits for remaining == 0 before returning) keeps them alive
     // long enough; only `state` is used afterwards.
-    pool_->submit([state, &f, &errors, i] {
-      try {
-        f(i);
-      } catch (...) {
-        errors[i] = std::current_exception();
+    pool_->submit([state, &f, &errors, cancel, i] {
+      if (cancel == nullptr || !cancel->cancelled()) {
+        try {
+          f(i);
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
       }
       if (state->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         std::lock_guard<std::mutex> lock(state->mutex);
@@ -63,10 +93,34 @@ void Executor::forEach(std::size_t n,
       return state->remaining.load(std::memory_order_acquire) == 0;
     });
   }
+  return errors;
+}
 
+void Executor::forEach(std::size_t n,
+                       const std::function<void(std::size_t)>& f,
+                       const support::CancellationToken* cancel) {
+  const std::vector<std::exception_ptr> errors = forEachAll(n, f, cancel);
+
+  std::vector<ForEachError::Item> failures;
   for (std::size_t i = 0; i < n; ++i) {
-    if (errors[i]) std::rethrow_exception(errors[i]);
+    if (errors[i]) failures.push_back({i, describeException(errors[i])});
   }
+  if (failures.empty()) return;
+  if (failures.size() == 1) {
+    // Preserve the original exception type for the single-failure case —
+    // callers often catch something more specific than runtime_error.
+    for (const std::exception_ptr& e : errors) {
+      if (e) std::rethrow_exception(e);
+    }
+  }
+  std::string what = std::to_string(failures.size()) + " of " +
+                     std::to_string(n) + " iterations failed:";
+  for (const ForEachError::Item& item : failures) {
+    what += " [" + std::to_string(item.index) + "] " +
+            firstLine(item.message) + ";";
+  }
+  what.pop_back();
+  throw ForEachError(what, std::move(failures));
 }
 
 } // namespace lis::flow

@@ -12,17 +12,46 @@
 // parallel paths therefore produce identical joined results, which is what
 // lets `--jobs 1` and `--jobs 8` emit byte-identical artifacts.
 //
-// Exceptions thrown by an iteration are captured and the lowest-index one
-// is rethrown on the calling thread after every iteration has finished —
-// again index-deterministic, independent of execution interleaving.
+// Exceptions thrown by iterations are captured per index and surfaced
+// after every iteration has finished — index-deterministic, independent of
+// execution interleaving. One failure rethrows the original exception;
+// several failures aggregate into a ForEachError carrying every (index,
+// message) pair, so multi-failure sweeps are diagnosable instead of
+// silently reporting only the lowest index. forEachAll exposes the raw
+// per-index exceptions for callers (runMany) that isolate failures
+// per item rather than throwing at all.
 
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
 
+#include "support/cancellation.hpp"
 #include "support/thread_pool.hpp"
 
 namespace lis::flow {
+
+/// Thrown by forEach when two or more iterations failed. what() carries
+/// the count and the first line of every failure; failures() the full
+/// per-index messages, in index order.
+class ForEachError : public std::runtime_error {
+public:
+  struct Item {
+    std::size_t index;
+    std::string message;
+  };
+
+  ForEachError(const std::string& what, std::vector<Item> failures)
+      : std::runtime_error(what), failures_(std::move(failures)) {}
+
+  const std::vector<Item>& failures() const { return failures_; }
+
+private:
+  std::vector<Item> failures_;
+};
 
 class Executor {
 public:
@@ -38,9 +67,21 @@ public:
   bool parallel() const { return pool_ != nullptr; }
 
   /// Run f(i) for every i in [0, n); returns when all are done. Serial
-  /// executors run inline in index order. The first (lowest-index)
-  /// exception is rethrown after the join.
-  void forEach(std::size_t n, const std::function<void(std::size_t)>& f);
+  /// executors run inline in index order (every index still runs even if
+  /// an earlier one threw — same coverage as the pool). Exactly one
+  /// failing iteration rethrows its original exception; two or more
+  /// aggregate into a ForEachError. A cancelled token makes not-yet-
+  /// started iterations no-ops (completed work is unaffected).
+  void forEach(std::size_t n, const std::function<void(std::size_t)>& f,
+               const support::CancellationToken* cancel = nullptr);
+
+  /// Like forEach but never throws for iteration failures: returns the
+  /// per-index exceptions (null where the iteration succeeded or was
+  /// skipped by cancellation). The error-isolation primitive under
+  /// Pipeline::runMany.
+  std::vector<std::exception_ptr> forEachAll(
+      std::size_t n, const std::function<void(std::size_t)>& f,
+      const support::CancellationToken* cancel = nullptr);
 
 private:
   unsigned jobs_;

@@ -75,13 +75,23 @@ void OptimizeAig::run(Design& design, PassContext& ctx) {
   ctx.metric("rounds_run", static_cast<double>(st.roundsRun));
   if (prove_) {
     const netlist::SeqEquivResult proof =
-        netlist::checkSeqEquivalence(before, optimized);
+        netlist::checkSeqEquivalence(before, optimized, equiv_);
+    design.addProofStats(proof.proof);
     if (!proof.equivalent) {
       ctx.error(design.name() +
                 ": optimized netlist is NOT equivalent: " + proof.detail);
       return;
     }
-    ctx.metric("equiv_proved", 1.0);
+    // equiv_proved counts full proofs only; a budget-degraded screen is
+    // still a pass, but reported as such with its residual confidence.
+    ctx.metric("equiv_proved", proof.degraded ? 0.0 : 1.0);
+    ctx.metric("equiv_confidence", proof.confidence);
+    if (proof.degraded) {
+      ctx.warning(design.name() + ": equivalence degraded to " +
+                  std::string(netlist::equivMethodName(proof.method)) +
+                  " screen (BDD budget exceeded), confidence " +
+                  std::to_string(proof.confidence));
+    }
   }
 }
 
@@ -149,7 +159,9 @@ void ProveEncodingEquiv::run(Design& design, PassContext& ctx) {
   // reported, exactly as a serial stop-at-first-failure loop would.
   struct Verdict {
     bool equivalent = false;
+    bool degraded = false;
     std::string failingOutput;
+    netlist::ProofStats proof;
   };
   std::vector<Verdict> verdicts(specs.size());
   ctx.parallelFor(specs.size(), [&](std::size_t i) {
@@ -159,14 +171,20 @@ void ProveEncodingEquiv::run(Design& design, PassContext& ctx) {
         sync::fsmTransitionNetlist(specs[i], sync::Encoding::Binary);
     const netlist::EquivResult res =
         netlist::checkCombEquivalence(oneHot, binary);
-    verdicts[i] = {res.equivalent, res.failingOutput};
+    verdicts[i] = {res.equivalent, res.degraded, res.failingOutput,
+                   res.proof};
   });
   for (std::size_t i = 0; i < specs.size(); ++i) {
+    design.addProofStats(verdicts[i].proof);
     if (!verdicts[i].equivalent) {
       ctx.error(specs[i].name +
                 ": one-hot and binary control differ at output " +
                 verdicts[i].failingOutput);
       return;
+    }
+    if (verdicts[i].degraded) {
+      ctx.warning(specs[i].name +
+                  ": encoding proof degraded to a simulation screen");
     }
   }
   ctx.metric("proofs", static_cast<double>(specs.size()));
@@ -179,6 +197,7 @@ void Cosim::run(Design& design, PassContext& ctx) {
   // pure function of the options (see CosimOptions::shards), so wiring
   // the runner changes wall time only, never the outcome.
   sync::CosimOptions opts = options_;
+  if (opts.cancel == nullptr) opts.cancel = ctx.cancel();
   if (Executor* exec = ctx.executor(); exec != nullptr && opts.shards > 1) {
     opts.runner = [exec](std::size_t n,
                          const std::function<void(std::size_t)>& f) {
@@ -198,9 +217,50 @@ void Cosim::run(Design& design, PassContext& ctx) {
   ctx.metric("fires", static_cast<double>(r.fires));
   ctx.metric("tokens", static_cast<double>(r.tokens));
   const bool ok = r.ok;
+  const bool cancelled = r.cancelled;
   const std::string mismatch = r.mismatch;
   design.setCosimResult(std::move(r));
-  if (!ok) ctx.error("co-simulation mismatch: " + mismatch);
+  if (cancelled) {
+    ctx.error("co-simulation cancelled: " + mismatch);
+  } else if (!ok) {
+    ctx.error("co-simulation mismatch: " + mismatch);
+  }
+}
+
+void FaultCampaign::run(Design& design, PassContext& ctx) {
+  fault::CampaignOptions opts = options_;
+  if (opts.cancel == nullptr) opts.cancel = ctx.cancel();
+  if (Executor* exec = ctx.executor();
+      exec != nullptr && exec->parallel()) {
+    opts.runner = [exec](std::size_t n,
+                         const std::function<void(std::size_t)>& f) {
+      exec->forEach(n, f);
+    };
+  }
+  fault::Target target;
+  if (const sync::WrapperConfig* cfg = design.wrapperConfig()) {
+    target = fault::targetOf(*design.wrapper(), *cfg);
+  } else if (const sync::SystemSpec* spec = design.systemSpec()) {
+    target = fault::targetOf(*design.system(), *spec);
+  } else {
+    ctx.note(design.name() + ": prebuilt netlist has no behavioural model");
+    return;
+  }
+  fault::CampaignResult r = fault::runCampaign(target, opts);
+  ctx.metric("sites", static_cast<double>(r.all.total()));
+  ctx.metric("detected", static_cast<double>(r.all.detected));
+  ctx.metric("recovered", static_cast<double>(r.all.recovered));
+  ctx.metric("silent", static_cast<double>(r.all.silent));
+  ctx.metric("hang", static_cast<double>(r.all.hang));
+  ctx.metric("coverage", r.all.coverage());
+  ctx.metric("control_seu_sites",
+             static_cast<double>(r.controlSeu.total()));
+  ctx.metric("control_seu_coverage", r.controlSeu.coverage());
+  const bool cancelled = r.cancelled;
+  design.setFaultResult(std::move(r));
+  if (cancelled) {
+    ctx.error("fault campaign cancelled before all sites ran");
+  }
 }
 
 namespace {
@@ -261,6 +321,23 @@ void Report::run(Design& design, PassContext& ctx) {
        << ", \"cycles\": " << r->cyclesRun << ", \"fires\": " << r->fires
        << ", \"tokens\": " << r->tokens << "}";
   }
+  if (const netlist::ProofStats* p = design.proofStats()) {
+    os << ",\n  \"proof\": {\"bdd_nodes\": " << p->bddNodes
+       << ", \"unique_capacity\": " << p->uniqueCapacity
+       << ", \"occupancy\": " << p->occupancy()
+       << ", \"apply_calls\": " << p->applyCalls
+       << ", \"unique_growths\": " << p->uniqueGrowths << "}";
+  }
+  if (const fault::CampaignResult* f = design.faultResult()) {
+    os << ",\n  \"fault\": {\"sites\": " << f->all.total()
+       << ", \"detected\": " << f->all.detected
+       << ", \"recovered\": " << f->all.recovered
+       << ", \"silent\": " << f->all.silent << ", \"hang\": " << f->all.hang
+       << ", \"coverage\": " << f->all.coverage()
+       << ", \"control_seu_sites\": " << f->controlSeu.total()
+       << ", \"control_seu_coverage\": " << f->controlSeu.coverage()
+       << ", \"cancelled\": " << (f->cancelled ? "true" : "false") << "}";
+  }
   os << ",\n  \"stage_seconds\": {";
   bool first = true;
   for (const auto& [stage, seconds] : design.stageTimes()) {
@@ -285,8 +362,9 @@ Pipeline& Pipeline::synthesizeControl() {
   return add(std::make_unique<SynthesizeControl>());
 }
 
-Pipeline& Pipeline::optimizeAig(unsigned effort, bool prove) {
-  return add(std::make_unique<OptimizeAig>(effort, prove));
+Pipeline& Pipeline::optimizeAig(unsigned effort, bool prove,
+                                const netlist::EquivOptions& equiv) {
+  return add(std::make_unique<OptimizeAig>(effort, prove, equiv));
 }
 
 Pipeline& Pipeline::mapLuts(unsigned k, unsigned rounds) {
@@ -305,6 +383,15 @@ Pipeline& Pipeline::cosim(const sync::CosimOptions& options) {
   return add(std::make_unique<Cosim>(options));
 }
 
+Pipeline& Pipeline::faultCampaign(const fault::CampaignOptions& options) {
+  return add(std::make_unique<FaultCampaign>(options));
+}
+
+Pipeline& Pipeline::passDeadline(double seconds) {
+  passDeadline_ = seconds;
+  return *this;
+}
+
 Pipeline& Pipeline::report(const ReportOptions& options) {
   return add(std::make_unique<Report>(options));
 }
@@ -316,15 +403,30 @@ RunResult Pipeline::runOne(Design& design, Executor* exec) {
   for (const std::unique_ptr<Pass>& pass : passes_) {
     PassRecord rec;
     rec.name = pass->name();
-    PassContext ctx(rec.name, result.diagnostics, rec.metrics, exec);
+    // Fresh deadline token per pass; passes read it via ctx.cancel().
+    support::CancellationToken deadline;
+    const support::CancellationToken* cancel = nullptr;
+    if (passDeadline_ > 0) {
+      deadline.setDeadlineAfter(passDeadline_);
+      cancel = &deadline;
+    }
+    PassContext ctx(rec.name, result.diagnostics, rec.metrics, exec, cancel);
     const auto t0 = std::chrono::steady_clock::now();
     try {
       pass->run(design, ctx);
     } catch (const std::exception& e) {
       ctx.error(e.what());
+    } catch (...) {
+      ctx.error("unknown exception");
     }
     const auto t1 = std::chrono::steady_clock::now();
     rec.seconds = std::chrono::duration<double>(t1 - t0).count();
+    // A pass that outlived its budget fails even if it eventually
+    // returned a result — deadlines are a promise to the whole sweep.
+    if (cancel != nullptr && cancel->cancelled() && !ctx.failed()) {
+      ctx.error("pass exceeded its " + std::to_string(passDeadline_) +
+                "s deadline");
+    }
     rec.ok = !ctx.failed();
     result.records.push_back(std::move(rec));
     if (ctx.failed()) {
@@ -354,9 +456,30 @@ bool Pipeline::run(Design& design, Executor& exec) {
 std::vector<RunResult> Pipeline::runMany(std::vector<Design>& designs,
                                          Executor& exec) {
   std::vector<RunResult> results(designs.size());
-  exec.forEach(designs.size(), [&](std::size_t i) {
-    results[i] = runOne(designs[i], &exec);
-  });
+  // forEachAll never throws: every design runs to completion (or to its
+  // own failure), and anything that escaped runOne's per-pass handling is
+  // converted to a failure record here instead of aborting the batch.
+  const std::vector<std::exception_ptr> errors =
+      exec.forEachAll(designs.size(), [&](std::size_t i) {
+        results[i] = runOne(designs[i], &exec);
+      });
+  for (std::size_t i = 0; i < errors.size(); ++i) {
+    if (errors[i] == nullptr) continue;
+    std::string what = "unknown exception";
+    try {
+      std::rethrow_exception(errors[i]);
+    } catch (const std::exception& e) {
+      what = e.what();
+    } catch (...) {
+    }
+    RunResult fail;
+    fail.design = designs[i].name();
+    fail.ok = false;
+    fail.diagnostics.push_back(
+        {Severity::Error, "pipeline",
+         "design failed outside pass scope: " + what});
+    results[i] = std::move(fail);
+  }
   return results;
 }
 

@@ -42,9 +42,12 @@
 #include <utility>
 #include <vector>
 
+#include "fault/campaign.hpp"
 #include "flow/design.hpp"
 #include "flow/executor.hpp"
 #include "lis/cosim.hpp"
+#include "netlist/equiv.hpp"
+#include "support/cancellation.hpp"
 #include "timing/techparams.hpp"
 
 namespace lis::flow {
@@ -72,6 +75,11 @@ public:
 
   /// Executor for intra-pass subtask fan-out; null in a plain run().
   Executor* executor() const { return exec_; }
+  /// Per-pass deadline token (null without Pipeline::passDeadline). Passes
+  /// with long inner loops hand this to their drivers (cosim, fault
+  /// campaigns) so a blown deadline winds down cooperatively with a
+  /// partial result; the pipeline then fails the pass.
+  const support::CancellationToken* cancel() const { return cancel_; }
   /// Run f(0..n-1), serially in index order when no executor (or a
   /// 1-job one) is attached, on the shared pool otherwise. Callers must
   /// join results by index and emit diagnostics only after this returns.
@@ -82,14 +90,15 @@ private:
   friend class Pipeline;
   PassContext(std::string pass, std::vector<Diagnostic>& diags,
               std::vector<std::pair<std::string, double>>& metrics,
-              Executor* exec)
+              Executor* exec, const support::CancellationToken* cancel)
       : pass_(std::move(pass)), diags_(&diags), metrics_(&metrics),
-        exec_(exec) {}
+        exec_(exec), cancel_(cancel) {}
 
   std::string pass_;
   std::vector<Diagnostic>* diags_;
   std::vector<std::pair<std::string, double>>* metrics_;
   Executor* exec_ = nullptr;
+  const support::CancellationToken* cancel_ = nullptr;
   bool failed_ = false;
 };
 
@@ -134,14 +143,18 @@ public:
 /// for benchmarking the optimizer in isolation, not for shipping.
 class OptimizeAig final : public Pass {
 public:
-  explicit OptimizeAig(unsigned effort = 2, bool prove = true)
-      : effort_(effort), prove_(prove) {}
+  explicit OptimizeAig(unsigned effort = 2, bool prove = true,
+                       netlist::EquivOptions equiv = {})
+      : effort_(effort), prove_(prove), equiv_(equiv) {}
   std::string name() const override { return "optimize-aig"; }
   void run(Design& design, PassContext& ctx) override;
 
 private:
   unsigned effort_;
   bool prove_;
+  // Tiered-checker knobs for the proof: budgets make an explosive BDD
+  // degrade to a reported simulation screen instead of hanging the flow.
+  netlist::EquivOptions equiv_;
 };
 
 class MapLuts final : public Pass {
@@ -182,6 +195,22 @@ private:
   sync::CosimOptions options_;
 };
 
+/// Seeded fault-injection campaign over the design's synthesized netlist
+/// (see fault::runCampaign). Experiments fan out onto the executor's pool;
+/// results join by plan index, so job count never changes the outcome. A
+/// campaign cut short by the pass deadline fails the pass but keeps the
+/// partial tallies on the design for reporting.
+class FaultCampaign final : public Pass {
+public:
+  explicit FaultCampaign(fault::CampaignOptions options = {})
+      : options_(std::move(options)) {}
+  std::string name() const override { return "fault-campaign"; }
+  void run(Design& design, PassContext& ctx) override;
+
+private:
+  fault::CampaignOptions options_;
+};
+
 struct ReportOptions {
   bool verilog = false; // also emit structural Verilog into the design
 };
@@ -202,12 +231,21 @@ public:
 
   // Fluent builders for the standard passes.
   Pipeline& synthesizeControl();
-  Pipeline& optimizeAig(unsigned effort = 2, bool prove = true);
+  Pipeline& optimizeAig(unsigned effort = 2, bool prove = true,
+                        const netlist::EquivOptions& equiv = {});
   Pipeline& mapLuts(unsigned k = 4, unsigned rounds = 0);
   Pipeline& sta(const timing::TechParams& params = {});
   Pipeline& proveEncodingEquiv();
   Pipeline& cosim(const sync::CosimOptions& options = {});
+  Pipeline& faultCampaign(const fault::CampaignOptions& options = {});
   Pipeline& report(const ReportOptions& options = {});
+
+  /// Wall-clock budget per pass, in seconds (0 disables, the default).
+  /// Each pass gets a fresh deadline token via PassContext::cancel();
+  /// a pass that outlives its budget is failed with an error diagnostic —
+  /// cooperative passes wind down early, stubborn ones are flagged the
+  /// moment they return.
+  Pipeline& passDeadline(double seconds);
 
   /// Run every pass in order against `design`; stops at the first failing
   /// pass. Records and diagnostics are reset per run. Returns overall
@@ -224,6 +262,10 @@ public:
   /// returned vector is indexed by submission order, so output derived
   /// from it is identical at any job count. Does not touch this
   /// Pipeline's records()/diagnostics() (which stay owned by run()).
+  /// Failures are isolated per design: a design whose run escapes the
+  /// per-pass error handling (a throwing Design accessor, a non-standard
+  /// exception) yields a failure RunResult while every other design still
+  /// completes.
   std::vector<RunResult> runMany(std::vector<Design>& designs,
                                  Executor& exec);
   /// Convenience: runMany on a fresh Executor(jobs).
@@ -245,6 +287,7 @@ private:
   std::vector<std::unique_ptr<Pass>> passes_;
   std::vector<PassRecord> records_;
   std::vector<Diagnostic> diagnostics_;
+  double passDeadline_ = 0; // seconds; 0 = no deadline
   bool ok_ = false;
 };
 

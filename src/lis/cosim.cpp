@@ -1,10 +1,10 @@
 #include "lis/cosim.hpp"
 
-#include <memory>
 #include <sstream>
 #include <vector>
 
 #include "lis/behavioral.hpp"
+#include "lis/oracle.hpp"
 #include "netlist/netlist_sim.hpp"
 #include "sim/simulator.hpp"
 #include "support/rng.hpp"
@@ -56,6 +56,7 @@ CosimResult mergeShards(std::vector<CosimResult> parts) {
     }
     if (!p.ok) {
       total.ok = false;
+      total.cancelled = p.cancelled;
       total.mismatch = std::move(p.mismatch);
       break;
     }
@@ -77,6 +78,115 @@ CosimResult runSharded(const CosimOptions& opts, RunShard&& runShard) {
   return mergeShards(std::move(parts));
 }
 
+/// The single drive loop behind both entry points: persistent LIS sources
+/// (a token, once offered, holds valid/data until valid && !stop), Moore
+/// stop outputs read *before* offering, randomized per-channel sink
+/// stalls, cycle-accurate comparison of every protocol output.
+CosimResult driveCosim(netlist::NetlistSim& gate, const PortView& ports,
+                       Oracle& beh, const CosimOptions& opts) {
+  gate.reset();
+  beh.reset();
+
+  support::SplitMix64 rng(opts.seed);
+  const std::uint64_t mask = widthMask(beh.dataWidth());
+  const std::size_t nIn = ports.inValid.size();
+  const std::size_t nOut = ports.outValid.size();
+
+  // Persistent LIS sources: once a token is offered, valid and data are
+  // held until the transfer completes (valid && !stop) — the behaviour of
+  // a real upstream shell or relay station. This is what exercises the
+  // offer-under-stop path of the shell control.
+  std::vector<bool> pending(nIn, false);
+  std::vector<std::uint64_t> pendingData(nIn, 0);
+  std::vector<char> stalled(nOut, 0);
+
+  CosimResult result;
+  result.tokensPerOutput.assign(nOut, 0);
+  for (std::uint64_t cycle = 0; cycle < opts.cycles; ++cycle) {
+    if (opts.cancel != nullptr && (cycle & 127u) == 0 &&
+        opts.cancel->cancelled()) {
+      result.cancelled = true;
+      result.mismatch = cyc(cycle, "cancelled (deadline exceeded)");
+      return result;
+    }
+    // Re-settle the behavioural side so its wires reflect the post-clock
+    // register state (Simulator::step clocks *after* settling, so wires are
+    // one phase stale here; the gate side re-settles inside clock()). The
+    // stop outputs are Moore, so sources may then read them before
+    // offering tokens.
+    beh.settle();
+    for (std::size_t i = 0; i < nIn; ++i) {
+      const bool stopGate = gate.value(ports.inStop[i]);
+      const bool stopBeh = beh.inStop(i);
+      if (stopGate != stopBeh) {
+        result.mismatch = cyc(cycle, "in" + std::to_string(i) + "_stop: gate=" +
+                                         std::to_string(stopGate) +
+                                         " behavioural=" +
+                                         std::to_string(stopBeh));
+        return result;
+      }
+      if (!pending[i] && rng.below(100) < opts.offerPercent) {
+        pending[i] = true;
+        pendingData[i] = rng.next() & mask;
+      }
+      const bool valid = pending[i];
+      gate.setInput(ports.inValid[i], valid);
+      gate.setInputBus(ports.inData[i], pendingData[i]);
+      beh.driveInput(i, valid, pendingData[i]);
+      if (valid && !stopBeh) pending[i] = false; // transfer completes
+    }
+    for (std::size_t j = 0; j < nOut; ++j) {
+      const bool stall = rng.below(100) < opts.stallPercent;
+      gate.setInput(ports.outStop[j], stall);
+      beh.driveOutStop(j, stall);
+      stalled[j] = stall ? 1 : 0;
+    }
+
+    gate.settle();
+    beh.settle();
+
+    for (std::size_t j = 0; j < nOut; ++j) {
+      const bool vGate = gate.value(ports.outValid[j]);
+      const bool vBeh = beh.outValid(j);
+      if (vGate != vBeh) {
+        result.mismatch = cyc(cycle, "out" + std::to_string(j) + "_valid: gate=" +
+                                         std::to_string(vGate) +
+                                         " behavioural=" + std::to_string(vBeh));
+        return result;
+      }
+      if (vGate) {
+        const std::uint64_t dGate = gate.busValue(ports.outData[j]);
+        const std::uint64_t dBeh = beh.outData(j);
+        if (dGate != dBeh) {
+          std::ostringstream os;
+          os << "out" << j << "_data: gate=0x" << std::hex << dGate
+             << " behavioural=0x" << dBeh;
+          result.mismatch = cyc(cycle, os.str());
+          return result;
+        }
+        if (stalled[j] == 0) {
+          ++result.tokens;
+          ++result.tokensPerOutput[j];
+        }
+      }
+    }
+
+    gate.clock();
+    beh.step();
+    ++result.cyclesRun;
+  }
+  result.fires = beh.fires();
+  result.ok = true;
+  return result;
+}
+
+void maybeAttachVcd(Oracle& beh, const CosimOptions& opts) {
+  if (opts.vcd != nullptr) {
+    opts.vcd->traceAll(beh.simulator().wires());
+    beh.simulator().attachVcd(opts.vcd);
+  }
+}
+
 } // namespace
 
 CosimResult cosimWrapper(const WrapperConfig& cfg, const CosimOptions& opts) {
@@ -91,160 +201,9 @@ CosimResult cosimWrapper(const Wrapper& w, const WrapperConfig& cfg,
     });
   }
   netlist::NetlistSim gate(w.netlist);
-
-  // Behavioural fleet. Wires are owned here; modules reference them.
-  sim::Simulator beh;
-  auto boolWire = [&](const std::string& name) {
-    return std::make_unique<sim::Wire<bool>>(beh, name);
-  };
-  auto dataWire = [&](const std::string& name) {
-    return std::make_unique<sim::Wire<std::uint64_t>>(beh, name,
-                                                      cfg.dataWidth);
-  };
-  std::vector<std::unique_ptr<sim::Wire<bool>>> bools;
-  std::vector<std::unique_ptr<sim::Wire<std::uint64_t>>> datas;
-
-  ShellModel::Io io;
-  for (unsigned i = 0; i < cfg.numInputs; ++i) {
-    const std::string n = "in" + std::to_string(i);
-    bools.push_back(boolWire(n + "_valid"));
-    io.inValid.push_back(bools.back().get());
-    datas.push_back(dataWire(n + "_data"));
-    io.inData.push_back(datas.back().get());
-    bools.push_back(boolWire(n + "_stop"));
-    io.inStop.push_back(bools.back().get());
-    datas.push_back(dataWire(n + "_pearl"));
-    io.pearlIn.push_back(datas.back().get());
-  }
-  bools.push_back(boolWire("fire"));
-  io.pearlFire = bools.back().get();
-  datas.push_back(dataWire("pearl_out"));
-  io.pearlOut = datas.back().get();
-
-  // Per output channel: shell->relay link wires and wrapper-level ports.
-  std::vector<sim::Wire<bool>*> outValid, outStop;
-  std::vector<sim::Wire<std::uint64_t>*> outData;
-  std::vector<std::unique_ptr<RelayStationModel>> relays;
-  for (unsigned j = 0; j < cfg.numOutputs; ++j) {
-    const std::string n = "out" + std::to_string(j);
-    bools.push_back(boolWire(n + "_link_valid"));
-    sim::Wire<bool>& linkValid = *bools.back();
-    io.outValid.push_back(&linkValid);
-    datas.push_back(dataWire(n + "_link_data"));
-    sim::Wire<std::uint64_t>& linkData = *datas.back();
-    io.outData.push_back(&linkData);
-    bools.push_back(boolWire(n + "_link_stop"));
-    sim::Wire<bool>& linkStop = *bools.back();
-    io.outStop.push_back(&linkStop);
-
-    bools.push_back(boolWire(n + "_valid"));
-    outValid.push_back(bools.back().get());
-    datas.push_back(dataWire(n + "_data"));
-    outData.push_back(datas.back().get());
-    bools.push_back(boolWire(n + "_stop"));
-    outStop.push_back(bools.back().get());
-
-    relays.push_back(std::make_unique<RelayStationModel>(
-        "rs" + std::to_string(j), cfg.relayDepth, linkValid, linkData,
-        linkStop, *outValid.back(), *outData.back(), *outStop.back()));
-  }
-
-  ShellModel shell("shell", cfg.dataWidth, io);
-  PearlModel pearl("pearl", cfg.dataWidth, *io.pearlFire, io.pearlIn,
-                   *io.pearlOut);
-  beh.add(shell);
-  beh.add(pearl);
-  for (auto& rs : relays) beh.add(*rs);
-  if (opts.vcd != nullptr) {
-    opts.vcd->traceAll(beh.wires());
-    beh.attachVcd(opts.vcd);
-  }
-
-  gate.reset();
-  beh.reset();
-
-  support::SplitMix64 rng(opts.seed);
-  const std::uint64_t mask = widthMask(cfg.dataWidth);
-
-  // Persistent LIS sources: once a token is offered, valid and data are
-  // held until the transfer completes (valid && !stop) — the behaviour of
-  // a real upstream shell or relay station. This is what exercises the
-  // offer-under-stop path of the shell control.
-  std::vector<bool> pending(cfg.numInputs, false);
-  std::vector<std::uint64_t> pendingData(cfg.numInputs, 0);
-
-  CosimResult result;
-  result.tokensPerOutput.assign(cfg.numOutputs, 0);
-  for (std::uint64_t cycle = 0; cycle < opts.cycles; ++cycle) {
-    // Re-settle the behavioural side so its wires reflect the post-clock
-    // register state (Simulator::step clocks *after* settling, so wires are
-    // one phase stale here; the gate side re-settles inside clock()). The
-    // stop outputs are Moore, so sources may then read them before
-    // offering tokens.
-    beh.settle();
-    for (unsigned i = 0; i < cfg.numInputs; ++i) {
-      const bool stopGate = gate.value(w.ports.inStop[i]);
-      const bool stopBeh = io.inStop[i]->read();
-      if (stopGate != stopBeh) {
-        result.mismatch = cyc(cycle, "in" + std::to_string(i) + "_stop: gate=" +
-                                         std::to_string(stopGate) +
-                                         " behavioural=" +
-                                         std::to_string(stopBeh));
-        return result;
-      }
-      if (!pending[i] && rng.below(100) < opts.offerPercent) {
-        pending[i] = true;
-        pendingData[i] = rng.next() & mask;
-      }
-      const bool valid = pending[i];
-      gate.setInput(w.ports.inValid[i], valid);
-      gate.setInputBus(w.ports.inData[i], pendingData[i]);
-      io.inValid[i]->write(valid);
-      io.inData[i]->write(pendingData[i]);
-      if (valid && !stopBeh) pending[i] = false; // transfer completes
-    }
-    for (unsigned j = 0; j < cfg.numOutputs; ++j) {
-      const bool stall = rng.below(100) < opts.stallPercent;
-      gate.setInput(w.ports.outStop[j], stall);
-      outStop[j]->write(stall);
-    }
-
-    gate.settle();
-    beh.settle();
-
-    for (unsigned j = 0; j < cfg.numOutputs; ++j) {
-      const bool vGate = gate.value(w.ports.outValid[j]);
-      const bool vBeh = outValid[j]->read();
-      if (vGate != vBeh) {
-        result.mismatch = cyc(cycle, "out" + std::to_string(j) + "_valid: gate=" +
-                                         std::to_string(vGate) +
-                                         " behavioural=" + std::to_string(vBeh));
-        return result;
-      }
-      if (vGate) {
-        const std::uint64_t dGate = gate.busValue(w.ports.outData[j]);
-        const std::uint64_t dBeh = outData[j]->read();
-        if (dGate != dBeh) {
-          std::ostringstream os;
-          os << "out" << j << "_data: gate=0x" << std::hex << dGate
-             << " behavioural=0x" << dBeh;
-          result.mismatch = cyc(cycle, os.str());
-          return result;
-        }
-        if (!outStop[j]->read()) {
-          ++result.tokens;
-          ++result.tokensPerOutput[j];
-        }
-      }
-    }
-
-    gate.clock();
-    beh.step();
-    ++result.cyclesRun;
-  }
-  result.fires = shell.fires();
-  result.ok = true;
-  return result;
+  Oracle beh(cfg);
+  maybeAttachVcd(beh, opts);
+  return driveCosim(gate, portView(w.ports), beh, opts);
 }
 
 CosimResult cosimSystem(const SystemSpec& spec, const CosimOptions& opts) {
@@ -259,178 +218,9 @@ CosimResult cosimSystem(const System& sys, const SystemSpec& spec,
     });
   }
   netlist::NetlistSim gate(sys.netlist);
-
-  // Behavioural reference network mirroring the topology. A channel with d
-  // relay stations has d+1 wire stages (valid/data/stop triples); stage 0
-  // is the source side, stage d the sink side. A relay-free channel is one
-  // shared stage, so an upstream shell's output wires simply *are* the
-  // downstream shell's input wires.
-  sim::Simulator beh;
-  std::vector<std::unique_ptr<sim::Wire<bool>>> bools;
-  std::vector<std::unique_ptr<sim::Wire<std::uint64_t>>> datas;
-  auto boolWire = [&](const std::string& name) {
-    bools.push_back(std::make_unique<sim::Wire<bool>>(beh, name));
-    return bools.back().get();
-  };
-  auto dataWire = [&](const std::string& name) {
-    datas.push_back(std::make_unique<sim::Wire<std::uint64_t>>(
-        beh, name, spec.dataWidth));
-    return datas.back().get();
-  };
-
-  struct Stage {
-    sim::Wire<bool>* valid;
-    sim::Wire<std::uint64_t>* data;
-    sim::Wire<bool>* stop;
-  };
-  std::vector<std::vector<Stage>> stages(spec.channels.size());
-  std::vector<std::unique_ptr<RelayStationModel>> relayModels;
-  for (std::size_t c = 0; c < spec.channels.size(); ++c) {
-    const ChannelSpec& ch = spec.channels[c];
-    for (unsigned s = 0; s <= ch.relays; ++s) {
-      const std::string n =
-          "ch" + std::to_string(c) + "_s" + std::to_string(s);
-      stages[c].push_back(
-          {boolWire(n + "_valid"), dataWire(n + "_data"),
-           boolWire(n + "_stop")});
-    }
-    for (unsigned k = 0; k < ch.relays; ++k) {
-      const bool seeded = k >= ch.relays - ch.initialTokens;
-      relayModels.push_back(std::make_unique<RelayStationModel>(
-          "ch" + std::to_string(c) + "_rs" + std::to_string(k),
-          ch.relayDepth, *stages[c][k].valid, *stages[c][k].data,
-          *stages[c][k].stop, *stages[c][k + 1].valid, *stages[c][k + 1].data,
-          *stages[c][k + 1].stop, seeded ? 1u : 0u));
-    }
-  }
-
-  // Port-to-channel lookups.
-  std::vector<std::vector<std::size_t>> inChan(spec.pearls.size());
-  std::vector<std::vector<std::size_t>> outChan(spec.pearls.size());
-  for (std::size_t p = 0; p < spec.pearls.size(); ++p) {
-    inChan[p].assign(spec.pearls[p].numInputs, 0);
-    outChan[p].assign(spec.pearls[p].numOutputs, 0);
-  }
-  for (std::size_t c = 0; c < spec.channels.size(); ++c) {
-    const ChannelSpec& ch = spec.channels[c];
-    if (ch.fromPearl >= 0) outChan[ch.fromPearl][ch.fromPort] = c;
-    if (ch.toPearl >= 0) inChan[ch.toPearl][ch.toPort] = c;
-  }
-
-  std::vector<std::unique_ptr<ShellModel>> shellModels;
-  std::vector<std::unique_ptr<PearlModel>> pearlModels;
-  for (std::size_t p = 0; p < spec.pearls.size(); ++p) {
-    const PearlSpec& ps = spec.pearls[p];
-    ShellModel::Io io;
-    for (unsigned i = 0; i < ps.numInputs; ++i) {
-      const Stage& sink = stages[inChan[p][i]].back();
-      io.inValid.push_back(sink.valid);
-      io.inData.push_back(sink.data);
-      io.inStop.push_back(sink.stop);
-      io.pearlIn.push_back(
-          dataWire(ps.name + "_pearl" + std::to_string(i)));
-    }
-    io.pearlFire = boolWire(ps.name + "_fire");
-    io.pearlOut = dataWire(ps.name + "_out");
-    for (unsigned j = 0; j < ps.numOutputs; ++j) {
-      const Stage& src = stages[outChan[p][j]].front();
-      io.outValid.push_back(src.valid);
-      io.outData.push_back(src.data);
-      io.outStop.push_back(src.stop);
-    }
-    pearlModels.push_back(std::make_unique<PearlModel>(
-        ps.name, spec.dataWidth, *io.pearlFire, io.pearlIn, *io.pearlOut));
-    shellModels.push_back(std::make_unique<ShellModel>(
-        ps.name + "_shell", spec.dataWidth, std::move(io)));
-  }
-  for (auto& m : shellModels) beh.add(*m);
-  for (auto& m : pearlModels) beh.add(*m);
-  for (auto& m : relayModels) beh.add(*m);
-  if (opts.vcd != nullptr) {
-    opts.vcd->traceAll(beh.wires());
-    beh.attachVcd(opts.vcd);
-  }
-
-  gate.reset();
-  beh.reset();
-
-  support::SplitMix64 rng(opts.seed);
-  const std::uint64_t mask = widthMask(spec.dataWidth);
-  const std::vector<std::size_t> extIn = spec.externalInputs();
-  const std::vector<std::size_t> extOut = spec.externalOutputs();
-
-  std::vector<bool> pending(extIn.size(), false);
-  std::vector<std::uint64_t> pendingData(extIn.size(), 0);
-
-  CosimResult result;
-  result.tokensPerOutput.assign(extOut.size(), 0);
-  for (std::uint64_t cycle = 0; cycle < opts.cycles; ++cycle) {
-    beh.settle(); // see cosimWrapper: expose post-clock Moore stop outputs
-    for (std::size_t k = 0; k < extIn.size(); ++k) {
-      const Stage& src = stages[extIn[k]].front();
-      const bool stopGate = gate.value(sys.ports.inStop[k]);
-      const bool stopBeh = src.stop->read();
-      if (stopGate != stopBeh) {
-        result.mismatch = cyc(cycle, "in" + std::to_string(k) + "_stop: gate=" +
-                                         std::to_string(stopGate) +
-                                         " behavioural=" +
-                                         std::to_string(stopBeh));
-        return result;
-      }
-      if (!pending[k] && rng.below(100) < opts.offerPercent) {
-        pending[k] = true;
-        pendingData[k] = rng.next() & mask;
-      }
-      const bool valid = pending[k];
-      gate.setInput(sys.ports.inValid[k], valid);
-      gate.setInputBus(sys.ports.inData[k], pendingData[k]);
-      src.valid->write(valid);
-      src.data->write(pendingData[k]);
-      if (valid && !stopBeh) pending[k] = false; // transfer completes
-    }
-    for (std::size_t k = 0; k < extOut.size(); ++k) {
-      const bool stall = rng.below(100) < opts.stallPercent;
-      gate.setInput(sys.ports.outStop[k], stall);
-      stages[extOut[k]].back().stop->write(stall);
-    }
-
-    gate.settle();
-    beh.settle();
-
-    for (std::size_t k = 0; k < extOut.size(); ++k) {
-      const Stage& sink = stages[extOut[k]].back();
-      const bool vGate = gate.value(sys.ports.outValid[k]);
-      const bool vBeh = sink.valid->read();
-      if (vGate != vBeh) {
-        result.mismatch = cyc(cycle, "out" + std::to_string(k) + "_valid: gate=" +
-                                         std::to_string(vGate) +
-                                         " behavioural=" + std::to_string(vBeh));
-        return result;
-      }
-      if (vGate) {
-        const std::uint64_t dGate = gate.busValue(sys.ports.outData[k]);
-        const std::uint64_t dBeh = sink.data->read();
-        if (dGate != dBeh) {
-          std::ostringstream os;
-          os << "out" << k << "_data: gate=0x" << std::hex << dGate
-             << " behavioural=0x" << dBeh;
-          result.mismatch = cyc(cycle, os.str());
-          return result;
-        }
-        if (!sink.stop->read()) {
-          ++result.tokens;
-          ++result.tokensPerOutput[k];
-        }
-      }
-    }
-
-    gate.clock();
-    beh.step();
-    ++result.cyclesRun;
-  }
-  for (const auto& m : shellModels) result.fires += m->fires();
-  result.ok = true;
-  return result;
+  Oracle beh(spec);
+  maybeAttachVcd(beh, opts);
+  return driveCosim(gate, portView(sys.ports), beh, opts);
 }
 
 } // namespace lis::sync

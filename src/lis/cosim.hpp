@@ -22,6 +22,7 @@
 #include "lis/system.hpp"
 #include "lis/wrapper.hpp"
 #include "sim/vcd.hpp"
+#include "support/cancellation.hpp"
 
 namespace lis::sync {
 
@@ -48,6 +49,11 @@ struct CosimOptions {
   /// all wires traced). Must not have sampled yet. Tracing forces a
   /// single continuous run (shards is ignored).
   sim::VcdWriter* vcd = nullptr;
+  /// Cooperative cancellation (per-pass deadline): polled every 128
+  /// cycles; a tripped token ends the run early with ok == false,
+  /// cancelled == true and the counters accumulated so far. Polling
+  /// consumes no randomness, so an untripped token never changes results.
+  const support::CancellationToken* cancel = nullptr;
 };
 
 struct CosimResult {
@@ -57,6 +63,7 @@ struct CosimResult {
   std::uint64_t tokens = 0; // tokens delivered across all output channels
   std::vector<std::uint64_t> tokensPerOutput; // per external output channel
   std::string mismatch;     // first disagreement, empty when ok
+  bool cancelled = false;   // ended early by a tripped CancellationToken
 };
 
 /// Build the wrapper for `cfg` and co-simulate it against the behavioural

@@ -1,0 +1,217 @@
+#include "lis/oracle.hpp"
+
+#include <string>
+#include <utility>
+
+#include "lis/behavioral.hpp"
+#include "sim/simulator.hpp"
+
+namespace lis::sync {
+
+PortView portView(const WrapperPorts& p) {
+  return {p.inValid, p.inData, p.inStop, p.outValid, p.outData, p.outStop};
+}
+
+PortView portView(const SystemPorts& p) {
+  return {p.inValid, p.inData, p.inStop, p.outValid, p.outData, p.outStop};
+}
+
+struct Oracle::Impl {
+  sim::Simulator beh;
+  std::vector<std::unique_ptr<sim::Wire<bool>>> bools;
+  std::vector<std::unique_ptr<sim::Wire<std::uint64_t>>> datas;
+  std::vector<std::unique_ptr<ShellModel>> shells;
+  std::vector<std::unique_ptr<PearlModel>> pearls;
+  std::vector<std::unique_ptr<RelayStationModel>> relays;
+  unsigned dataWidth = 0;
+
+  // External channel ports, uniformly indexed for both constructions.
+  std::vector<sim::Wire<bool>*> extInValid, extInStop, extOutValid,
+      extOutStop;
+  std::vector<sim::Wire<std::uint64_t>*> extInData, extOutData;
+
+  sim::Wire<bool>* boolWire(const std::string& name) {
+    bools.push_back(std::make_unique<sim::Wire<bool>>(beh, name));
+    return bools.back().get();
+  }
+  sim::Wire<std::uint64_t>* dataWire(const std::string& name) {
+    datas.push_back(
+        std::make_unique<sim::Wire<std::uint64_t>>(beh, name, dataWidth));
+    return datas.back().get();
+  }
+};
+
+Oracle::Oracle(const WrapperConfig& cfg) : impl_(std::make_unique<Impl>()) {
+  Impl& m = *impl_;
+  m.dataWidth = cfg.dataWidth;
+
+  ShellModel::Io io;
+  for (unsigned i = 0; i < cfg.numInputs; ++i) {
+    const std::string n = "in" + std::to_string(i);
+    io.inValid.push_back(m.boolWire(n + "_valid"));
+    io.inData.push_back(m.dataWire(n + "_data"));
+    io.inStop.push_back(m.boolWire(n + "_stop"));
+    io.pearlIn.push_back(m.dataWire(n + "_pearl"));
+    m.extInValid.push_back(io.inValid.back());
+    m.extInData.push_back(io.inData.back());
+    m.extInStop.push_back(io.inStop.back());
+  }
+  io.pearlFire = m.boolWire("fire");
+  io.pearlOut = m.dataWire("pearl_out");
+
+  // Per output channel: shell->relay link wires and wrapper-level ports.
+  for (unsigned j = 0; j < cfg.numOutputs; ++j) {
+    const std::string n = "out" + std::to_string(j);
+    sim::Wire<bool>& linkValid = *m.boolWire(n + "_link_valid");
+    io.outValid.push_back(&linkValid);
+    sim::Wire<std::uint64_t>& linkData = *m.dataWire(n + "_link_data");
+    io.outData.push_back(&linkData);
+    sim::Wire<bool>& linkStop = *m.boolWire(n + "_link_stop");
+    io.outStop.push_back(&linkStop);
+
+    m.extOutValid.push_back(m.boolWire(n + "_valid"));
+    m.extOutData.push_back(m.dataWire(n + "_data"));
+    m.extOutStop.push_back(m.boolWire(n + "_stop"));
+
+    m.relays.push_back(std::make_unique<RelayStationModel>(
+        "rs" + std::to_string(j), cfg.relayDepth, linkValid, linkData,
+        linkStop, *m.extOutValid.back(), *m.extOutData.back(),
+        *m.extOutStop.back()));
+  }
+
+  m.pearls.push_back(std::make_unique<PearlModel>(
+      "pearl", cfg.dataWidth, *io.pearlFire, io.pearlIn, *io.pearlOut));
+  m.shells.push_back(std::make_unique<ShellModel>("shell", cfg.dataWidth,
+                                                  std::move(io)));
+
+  // Registration order matches the historical cosimWrapper fleet: shell,
+  // pearl, relay stations.
+  m.beh.add(*m.shells.back());
+  m.beh.add(*m.pearls.back());
+  for (auto& rs : m.relays) m.beh.add(*rs);
+}
+
+Oracle::Oracle(const SystemSpec& spec) : impl_(std::make_unique<Impl>()) {
+  Impl& m = *impl_;
+  m.dataWidth = spec.dataWidth;
+
+  // A channel with d relay stations has d+1 wire stages (valid/data/stop
+  // triples); stage 0 is the source side, stage d the sink side. A
+  // relay-free channel is one shared stage, so an upstream shell's output
+  // wires simply *are* the downstream shell's input wires.
+  struct Stage {
+    sim::Wire<bool>* valid;
+    sim::Wire<std::uint64_t>* data;
+    sim::Wire<bool>* stop;
+  };
+  std::vector<std::vector<Stage>> stages(spec.channels.size());
+  for (std::size_t c = 0; c < spec.channels.size(); ++c) {
+    const ChannelSpec& ch = spec.channels[c];
+    for (unsigned s = 0; s <= ch.relays; ++s) {
+      const std::string n =
+          "ch" + std::to_string(c) + "_s" + std::to_string(s);
+      stages[c].push_back({m.boolWire(n + "_valid"), m.dataWire(n + "_data"),
+                           m.boolWire(n + "_stop")});
+    }
+    for (unsigned k = 0; k < ch.relays; ++k) {
+      const bool seeded = k >= ch.relays - ch.initialTokens;
+      m.relays.push_back(std::make_unique<RelayStationModel>(
+          "ch" + std::to_string(c) + "_rs" + std::to_string(k),
+          ch.relayDepth, *stages[c][k].valid, *stages[c][k].data,
+          *stages[c][k].stop, *stages[c][k + 1].valid, *stages[c][k + 1].data,
+          *stages[c][k + 1].stop, seeded ? 1u : 0u));
+    }
+  }
+
+  // Port-to-channel lookups.
+  std::vector<std::vector<std::size_t>> inChan(spec.pearls.size());
+  std::vector<std::vector<std::size_t>> outChan(spec.pearls.size());
+  for (std::size_t p = 0; p < spec.pearls.size(); ++p) {
+    inChan[p].assign(spec.pearls[p].numInputs, 0);
+    outChan[p].assign(spec.pearls[p].numOutputs, 0);
+  }
+  for (std::size_t c = 0; c < spec.channels.size(); ++c) {
+    const ChannelSpec& ch = spec.channels[c];
+    if (ch.fromPearl >= 0) outChan[ch.fromPearl][ch.fromPort] = c;
+    if (ch.toPearl >= 0) inChan[ch.toPearl][ch.toPort] = c;
+  }
+
+  for (std::size_t p = 0; p < spec.pearls.size(); ++p) {
+    const PearlSpec& ps = spec.pearls[p];
+    ShellModel::Io io;
+    for (unsigned i = 0; i < ps.numInputs; ++i) {
+      const Stage& sink = stages[inChan[p][i]].back();
+      io.inValid.push_back(sink.valid);
+      io.inData.push_back(sink.data);
+      io.inStop.push_back(sink.stop);
+      io.pearlIn.push_back(m.dataWire(ps.name + "_pearl" + std::to_string(i)));
+    }
+    io.pearlFire = m.boolWire(ps.name + "_fire");
+    io.pearlOut = m.dataWire(ps.name + "_out");
+    for (unsigned j = 0; j < ps.numOutputs; ++j) {
+      const Stage& src = stages[outChan[p][j]].front();
+      io.outValid.push_back(src.valid);
+      io.outData.push_back(src.data);
+      io.outStop.push_back(src.stop);
+    }
+    m.pearls.push_back(std::make_unique<PearlModel>(
+        ps.name, spec.dataWidth, *io.pearlFire, io.pearlIn, *io.pearlOut));
+    m.shells.push_back(std::make_unique<ShellModel>(
+        ps.name + "_shell", spec.dataWidth, std::move(io)));
+  }
+  for (auto& s : m.shells) m.beh.add(*s);
+  for (auto& p : m.pearls) m.beh.add(*p);
+  for (auto& r : m.relays) m.beh.add(*r);
+
+  for (std::size_t c : spec.externalInputs()) {
+    m.extInValid.push_back(stages[c].front().valid);
+    m.extInData.push_back(stages[c].front().data);
+    m.extInStop.push_back(stages[c].front().stop);
+  }
+  for (std::size_t c : spec.externalOutputs()) {
+    m.extOutValid.push_back(stages[c].back().valid);
+    m.extOutData.push_back(stages[c].back().data);
+    m.extOutStop.push_back(stages[c].back().stop);
+  }
+}
+
+Oracle::~Oracle() = default;
+
+std::size_t Oracle::numInputs() const { return impl_->extInValid.size(); }
+std::size_t Oracle::numOutputs() const { return impl_->extOutValid.size(); }
+unsigned Oracle::dataWidth() const { return impl_->dataWidth; }
+
+void Oracle::reset() { impl_->beh.reset(); }
+void Oracle::settle() { impl_->beh.settle(); }
+void Oracle::step() { impl_->beh.step(); }
+
+bool Oracle::inStop(std::size_t i) const {
+  return impl_->extInStop[i]->read();
+}
+
+void Oracle::driveInput(std::size_t i, bool valid, std::uint64_t data) {
+  impl_->extInValid[i]->write(valid);
+  impl_->extInData[i]->write(data);
+}
+
+void Oracle::driveOutStop(std::size_t j, bool stall) {
+  impl_->extOutStop[j]->write(stall);
+}
+
+bool Oracle::outValid(std::size_t j) const {
+  return impl_->extOutValid[j]->read();
+}
+
+std::uint64_t Oracle::outData(std::size_t j) const {
+  return impl_->extOutData[j]->read();
+}
+
+std::uint64_t Oracle::fires() const {
+  std::uint64_t total = 0;
+  for (const auto& s : impl_->shells) total += s->fires();
+  return total;
+}
+
+sim::Simulator& Oracle::simulator() { return impl_->beh; }
+
+} // namespace lis::sync

@@ -70,6 +70,10 @@ BddRef BddManager::mkNode(unsigned var, BddRef lo, BddRef hi) {
     if (n.var == var && n.lo == lo && n.hi == hi) return ref;
     slot = (slot + 1) & mask;
   }
+  if (budget_.maxNodes != 0 && nodes_.size() >= budget_.maxNodes) {
+    throw ResourceLimitExceeded("BddManager::mkNode", "node",
+                                budget_.maxNodes, nodes_.size() + 1);
+  }
   nodes_.push_back({var, lo, hi});
   const BddRef ref = static_cast<BddRef>(nodes_.size() - 1);
   unique_[slot] = ref;
@@ -123,6 +127,10 @@ BddRef BddManager::apply(std::uint8_t op, BddRef a, BddRef b) {
     b = t;
   }
   ++stats_.applyCalls;
+  if (budget_.maxSteps != 0 && stats_.applyCalls > budget_.maxSteps) {
+    throw ResourceLimitExceeded("BddManager::apply", "step",
+                                budget_.maxSteps, stats_.applyCalls);
+  }
   {
     const CacheEntry& e = computed_[hash3(op, a, b) & (computed_.size() - 1)];
     if (e.a == a && e.b == b && e.op == op) {

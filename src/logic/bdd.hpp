@@ -18,6 +18,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace lis::logic {
@@ -33,6 +35,36 @@ struct BddStats {
   std::uint64_t uniqueGrowths = 0;
 };
 
+/// Resource ceiling for a proof attempt; 0 means unlimited. The equivalence
+/// checkers set a budget, catch ResourceLimitExceeded, and degrade to a
+/// simulation verdict instead of letting a blown-up proof hang the flow.
+struct BddBudget {
+  std::size_t maxNodes = 0;   // arena nodes (terminals included)
+  std::uint64_t maxSteps = 0; // apply() calls past the terminal shortcut
+};
+
+/// Structured signal that a BddBudget ceiling was hit. Carries which
+/// resource tripped and the limit/usage so callers can report a precise,
+/// machine-readable degradation reason.
+class ResourceLimitExceeded : public std::runtime_error {
+public:
+  ResourceLimitExceeded(const std::string& where, const char* resource,
+                        std::uint64_t limit, std::uint64_t used)
+      : std::runtime_error(where + ": " + resource + " budget exceeded (" +
+                           std::to_string(used) + " > " +
+                           std::to_string(limit) + ")"),
+        resource_(resource), limit_(limit), used_(used) {}
+
+  const char* resource() const { return resource_; }
+  std::uint64_t limit() const { return limit_; }
+  std::uint64_t used() const { return used_; }
+
+private:
+  const char* resource_;
+  std::uint64_t limit_;
+  std::uint64_t used_;
+};
+
 class BddManager {
 public:
   static constexpr BddRef kFalse = 0;
@@ -42,7 +74,17 @@ public:
 
   unsigned numVars() const { return numVars_; }
   std::size_t nodeCount() const { return nodes_.size(); }
+  /// Unique-table slot count — with nodeCount() this gives the arena
+  /// occupancy that the flow Report pass surfaces per design.
+  std::size_t uniqueCapacity() const { return unique_.size(); }
   const BddStats& stats() const { return stats_; }
+
+  /// Install a resource ceiling; mkNode/apply throw ResourceLimitExceeded
+  /// once it is crossed. The manager stays usable afterwards (reads and
+  /// further growth under a raised budget are fine) — only the interrupted
+  /// construction is abandoned.
+  void setBudget(const BddBudget& budget) { budget_ = budget; }
+  const BddBudget& budget() const { return budget_; }
 
   BddRef var(unsigned v);
   BddRef nvar(unsigned v);
@@ -98,6 +140,7 @@ private:
   std::vector<BddRef> unique_;     // open-addressing slots into the arena
   std::vector<CacheEntry> computed_; // direct-mapped lossy apply cache
   BddStats stats_;
+  BddBudget budget_;
 };
 
 } // namespace lis::logic

@@ -92,6 +92,44 @@ void BitSim::setInputAll(NodeId input, bool value) {
   std::fill_n(val(input), numWords_, value ? kAllLanes : 0);
 }
 
+void BitSim::setForce(NodeId node, bool value) {
+  if (node >= nl_->nodeCount()) {
+    throw std::out_of_range("BitSim::setForce: node id");
+  }
+  if (force_.empty()) force_.assign(nl_->nodeCount(), kNoForce);
+  if (force_[node] == kNoForce) ++forceCount_;
+  force_[node] = value ? 1 : 0;
+  std::fill_n(val(node), numWords_, value ? kAllLanes : 0);
+}
+
+void BitSim::clearForce(NodeId node) {
+  if (node >= force_.size() || force_[node] == kNoForce) return;
+  force_[node] = kNoForce;
+  --forceCount_;
+}
+
+void BitSim::clearForces() {
+  std::fill(force_.begin(), force_.end(), kNoForce);
+  forceCount_ = 0;
+}
+
+void BitSim::pokeAll(NodeId node, bool value) {
+  if (node >= nl_->nodeCount()) {
+    throw std::out_of_range("BitSim::pokeAll: node id");
+  }
+  std::fill_n(val(node), numWords_, value ? kAllLanes : 0);
+}
+
+void BitSim::applySourceForces() {
+  // Source nodes (inputs, DFF state, constants) are not in the instruction
+  // stream, so a forced one is re-pinned here; forced combinational nodes
+  // are overwritten inline right after their evaluation in settle().
+  for (NodeId id = 0; id < static_cast<NodeId>(force_.size()); ++id) {
+    if (force_[id] == kNoForce) continue;
+    std::fill_n(val(id), numWords_, force_[id] != 0 ? kAllLanes : 0);
+  }
+}
+
 void BitSim::evalRom(const Instr& ins, const NodeId* f,
                      std::uint64_t* dst) const {
   const Rom& rom = nl_->rom(ins.romId);
@@ -136,8 +174,14 @@ void BitSim::settle() {
   const unsigned W = numWords_;
   std::uint64_t* const v = values_.data();
   const NodeId* const fan = fanins_.data();
+  const bool faulted = forceCount_ != 0;
+  if (faulted) applySourceForces();
   for (const Instr& ins : instrs_) {
     std::uint64_t* dst = v + std::size_t{ins.dst} * W;
+    if (faulted && force_[ins.dst] != kNoForce) {
+      std::fill_n(dst, W, force_[ins.dst] != 0 ? kAllLanes : 0);
+      continue;
+    }
     const NodeId* f = fan + ins.faninBegin;
     switch (ins.op) {
       case Op::Not: {

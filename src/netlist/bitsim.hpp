@@ -49,6 +49,23 @@ public:
   /// Latch all DFFs from the settled values (per-lane enables), then settle.
   void clock();
 
+  /// Pin a node to a constant in every lane (stuck-at fault model). The
+  /// force persists across settle()/clock() until cleared: source nodes
+  /// (inputs, DFFs, constants) are overwritten at the start of every
+  /// settle pass, combinational nodes immediately after their own
+  /// evaluation. Zero cost on the hot path while no force is active.
+  void setForce(NodeId node, bool value);
+  void clearForce(NodeId node);
+  void clearForces();
+  bool forced(NodeId node) const {
+    return node < force_.size() && force_[node] != kNoForce;
+  }
+
+  /// Overwrite a node's current value in every lane without registering a
+  /// persistent force — the transient-SEU model: poke a DFF's state, then
+  /// settle() to propagate; the next clock() overwrites it normally.
+  void pokeAll(NodeId node, bool value);
+
   std::uint64_t word(NodeId node, unsigned w) const {
     return values_[std::size_t{node} * numWords_ + w];
   }
@@ -80,6 +97,9 @@ private:
   }
   void checkInput(NodeId input) const;
   void evalRom(const Instr& ins, const NodeId* f, std::uint64_t* dst) const;
+  void applySourceForces();
+
+  static constexpr std::uint8_t kNoForce = 2;
 
   const Netlist* nl_;
   unsigned numWords_;
@@ -87,6 +107,8 @@ private:
   std::vector<NodeId> fanins_; // flat CSR fanin array
   std::vector<std::uint64_t> values_;  // node-major, numWords_ per node
   std::vector<std::uint64_t> dffNext_; // dffs().size() * numWords_
+  std::vector<std::uint8_t> force_;    // per node: 0/1 forced, kNoForce none
+  std::size_t forceCount_ = 0;         // active forces (gates the hot path)
 };
 
 } // namespace lis::netlist

@@ -11,6 +11,15 @@
 
 namespace lis::netlist {
 
+const char* equivMethodName(EquivMethod m) {
+  switch (m) {
+    case EquivMethod::Sim: return "sim";
+    case EquivMethod::Bdd: return "bdd";
+    case EquivMethod::Structural: return "structural";
+  }
+  return "?";
+}
+
 std::vector<logic::BddRef> buildAllBdds(
     const Netlist& nl, logic::BddManager& mgr,
     const std::function<unsigned(NodeId)>& varOfInput) {
@@ -125,13 +134,16 @@ EquivResult checkCombEquivalence(const Netlist& a, const Netlist& b,
   for (NodeId id : a.outputs()) aOutByName[a.node(id).name] = id;
   for (NodeId id : b.outputs()) bOutByName[b.node(id).name] = id;
 
-  // --- Phase 1: bit-parallel random sweep. Disproving is cheap here; the
-  // expensive BDD machinery below only runs on designs that survive it.
-  if (opts.simWords > 0 && opts.simRounds > 0) {
+  // Random sweep over `rounds` rounds of 64*simWords patterns from `seed`.
+  // Used both as the cheap phase-1 disprover and, deepened with a fresh
+  // seed stream, as the degradation path when the BDD budget trips.
+  auto simSweep = [&](unsigned rounds,
+                      std::uint64_t seed) -> std::optional<EquivResult> {
+    if (opts.simWords == 0 || rounds == 0) return std::nullopt;
     BitSim simA(a, opts.simWords);
     BitSim simB(b, opts.simWords);
-    support::SplitMix64 rng(opts.seed);
-    for (unsigned round = 0; round < opts.simRounds; ++round) {
+    support::SplitMix64 rng(seed);
+    for (unsigned round = 0; round < rounds; ++round) {
       for (NodeId ia : a.inputs()) {
         const NodeId ib = bInputByName.at(a.node(ia).name);
         for (unsigned w = 0; w < opts.simWords; ++w) {
@@ -154,6 +166,9 @@ EquivResult checkCombEquivalence(const Netlist& a, const Netlist& b,
           result.equivalent = false;
           result.failingOutput = name;
           result.foundBySimulation = true;
+          // A concrete mismatch is an exact disproof, budget or not.
+          result.method = EquivMethod::Sim;
+          result.confidence = 1.0;
           if (!wide) {
             std::uint64_t cex = 0;
             for (std::size_t i = 0; i < a.inputs().size(); ++i) {
@@ -167,7 +182,12 @@ EquivResult checkCombEquivalence(const Netlist& a, const Netlist& b,
         }
       }
     }
-  }
+    return std::nullopt;
+  };
+
+  // --- Phase 1: bit-parallel random sweep. Disproving is cheap here; the
+  // expensive BDD machinery below only runs on designs that survive it.
+  if (auto refuted = simSweep(opts.simRounds, opts.seed)) return *refuted;
 
   // --- Phase 2: BDD proof for the survivors. The variable order is a
   // fanin-DFS from a's outputs (in name order): inputs of one cone cluster
@@ -204,40 +224,82 @@ EquivResult checkCombEquivalence(const Netlist& a, const Netlist& b,
     }
   }
   logic::BddManager mgr(static_cast<unsigned>(a.inputs().size()));
+  mgr.setBudget({opts.bddNodeBudget, opts.bddStepBudget});
+  const auto proofStatsOf = [&mgr] {
+    ProofStats p;
+    p.bddNodes = mgr.nodeCount();
+    p.uniqueCapacity = mgr.uniqueCapacity();
+    p.applyCalls = mgr.stats().applyCalls;
+    p.uniqueGrowths = mgr.stats().uniqueGrowths;
+    return p;
+  };
   std::map<std::string, unsigned> varOfName;
   for (NodeId id : a.inputs()) {
     varOfName[a.node(id).name] = varOfA[id];
   }
-  auto bddsA = buildAllBdds(a, mgr, [&](NodeId id) { return varOfA[id]; });
-  auto bddsB = buildAllBdds(
-      b, mgr, [&](NodeId id) { return varOfName.at(b.node(id).name); });
+  try {
+    auto bddsA = buildAllBdds(a, mgr, [&](NodeId id) { return varOfA[id]; });
+    auto bddsB = buildAllBdds(
+        b, mgr, [&](NodeId id) { return varOfName.at(b.node(id).name); });
 
-  EquivResult result;
-  result.equivalent = true;
-  for (const auto& [name, idA] : aOutByName) {
-    const logic::BddRef fa = bddsA[idA];
-    const logic::BddRef fb = bddsB[bOutByName.at(name)];
-    if (fa == fb) continue;
-    result.equivalent = false;
-    result.failingOutput = name;
-    if (!wide) {
-      const logic::BddRef diff = mgr.bddXor(fa, fb);
-      std::uint64_t assignment = 0;
-      if (mgr.anySat(diff, assignment)) {
-        // anySat speaks BDD-variable space; translate back to the
-        // documented "bit i = input i of a" encoding.
-        std::uint64_t cex = 0;
-        for (std::size_t i = 0; i < a.inputs().size(); ++i) {
-          if ((assignment >> varOfA[a.inputs()[i]]) & 1u) {
-            cex |= std::uint64_t{1} << i;
+    EquivResult result;
+    result.equivalent = true;
+    for (const auto& [name, idA] : aOutByName) {
+      const logic::BddRef fa = bddsA[idA];
+      const logic::BddRef fb = bddsB[bOutByName.at(name)];
+      if (fa == fb) continue;
+      result.equivalent = false;
+      result.failingOutput = name;
+      result.method = EquivMethod::Bdd;
+      if (!wide) {
+        try {
+          const logic::BddRef diff = mgr.bddXor(fa, fb);
+          std::uint64_t assignment = 0;
+          if (mgr.anySat(diff, assignment)) {
+            // anySat speaks BDD-variable space; translate back to the
+            // documented "bit i = input i of a" encoding.
+            std::uint64_t cex = 0;
+            for (std::size_t i = 0; i < a.inputs().size(); ++i) {
+              if ((assignment >> varOfA[a.inputs()[i]]) & 1u) {
+                cex |= std::uint64_t{1} << i;
+              }
+            }
+            result.counterexample = cex;
           }
+        } catch (const logic::ResourceLimitExceeded&) {
+          // The identity disproof already stands (fa != fb under one shared
+          // variable space); only the compact witness is lost. Keep the
+          // exact verdict rather than degrading it.
         }
-        result.counterexample = cex;
       }
+      break;
     }
-    break;
+    result.proof = proofStatsOf();
+    return result;
+  } catch (const logic::ResourceLimitExceeded&) {
+    // --- Phase 3: budget tripped. Deepen the random screen on a fresh
+    // seed stream; either it finds a counterexample (exact disproof) or
+    // the designs survive and we return a degraded, honestly-quantified
+    // "equivalent". The partial proof's footprint is still reported.
+    const ProofStats partial = proofStatsOf();
+    if (auto refuted = simSweep(opts.fallbackSimRounds,
+                                support::SplitMix64(opts.seed).forkSeed(1))) {
+      refuted->proof = partial;
+      return *refuted;
+    }
+    EquivResult result;
+    result.equivalent = true;
+    result.method = EquivMethod::Sim;
+    result.degraded = true;
+    // Confidence heuristic: P random patterns that failed to distinguish
+    // the designs. Saturates towards 1 but never reaches it — a screen is
+    // not a proof. The 256 pivot is arbitrary and documented as such.
+    const double patterns = 64.0 * opts.simWords *
+                            (double(opts.simRounds) + opts.fallbackSimRounds);
+    result.confidence = patterns / (patterns + 256.0);
+    result.proof = partial;
+    return result;
   }
-  return result;
 }
 
 } // namespace lis::netlist

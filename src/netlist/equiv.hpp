@@ -1,5 +1,5 @@
 #pragma once
-// Combinational equivalence checking, in two phases:
+// Combinational equivalence checking, as a tiered strategy:
 //
 //   1. A random-pattern 64-way bit-parallel simulation sweep (BitSim over
 //      both netlists with name-matched inputs driven identically). Any
@@ -7,10 +7,16 @@
 //      — inequivalent designs are almost always refuted here without a
 //      single BDD node being built.
 //   2. A BDD identity proof (outputs as BDDs over name-matched primary
-//      inputs) for designs that survive the sweep.
+//      inputs) for designs that survive the sweep, optionally under a
+//      node/step budget (EquivOptions::bddNodeBudget / bddStepBudget).
+//   3. If the budget trips, a deepened random screen instead of a hang:
+//      the verdict degrades to method=Sim with an explicit confidence
+//      below 1.0 — sound for "inequivalent" (a counterexample is exact),
+//      honest about "equivalent" (screened, not proven).
 //
 // Only valid for purely combinational netlists; sequential designs are
-// compared by co-simulation (see NetlistSim) in the test suites.
+// compared via their combinational envelopes (see seq_equiv) or by
+// co-simulation in the test suites.
 
 #include <cstdint>
 #include <functional>
@@ -23,11 +29,46 @@
 
 namespace lis::netlist {
 
+/// How a verdict was reached. Structural covers the interface/skeleton
+/// comparisons of the sequential checker, which never touch functions.
+enum class EquivMethod : std::uint8_t { Sim, Bdd, Structural };
+const char* equivMethodName(EquivMethod m);
+
+/// BDD-proof resource footprint, carried on every result (zeros when the
+/// BDD phase never ran) and accumulated per design by the flow so proof
+/// memory pressure is visible in reports.
+struct ProofStats {
+  std::size_t bddNodes = 0;       // arena nodes at the end of the attempt
+  std::size_t uniqueCapacity = 0; // unique-table slots (occupancy basis)
+  std::uint64_t applyCalls = 0;
+  std::uint64_t uniqueGrowths = 0;
+
+  void accumulate(const ProofStats& o) {
+    bddNodes += o.bddNodes;
+    uniqueCapacity += o.uniqueCapacity;
+    applyCalls += o.applyCalls;
+    uniqueGrowths += o.uniqueGrowths;
+  }
+  /// Arena fill fraction, 0 when no BDD was ever built.
+  double occupancy() const {
+    return uniqueCapacity == 0
+               ? 0.0
+               : static_cast<double>(bddNodes) /
+                     static_cast<double>(uniqueCapacity);
+  }
+};
+
 struct EquivOptions {
   /// 64 * simWords random patterns per sweep round. 0 disables the sweep.
   unsigned simWords = 4;
   unsigned simRounds = 4;
   std::uint64_t seed = 0x51f0a11ed5ee7ULL;
+  /// BDD-phase budgets; 0 = unlimited (the historical behaviour). When a
+  /// budget trips the checker falls back to fallbackSimRounds extra sweep
+  /// rounds (fresh seed stream) and returns a degraded verdict.
+  std::size_t bddNodeBudget = 0;
+  std::uint64_t bddStepBudget = 0;
+  unsigned fallbackSimRounds = 64;
 };
 
 struct EquivResult {
@@ -41,6 +82,15 @@ struct EquivResult {
   /// True when the counterexample came out of the simulation sweep, i.e.
   /// the BDD phase was never entered.
   bool foundBySimulation = false;
+  /// How the verdict was reached, and how much to trust it. A completed
+  /// BDD identity proof or any concrete counterexample has confidence 1;
+  /// a budget-degraded "equivalent" is a screen, reported with
+  /// degraded=true and a confidence strictly below 1 derived from the
+  /// number of random patterns that failed to distinguish the designs.
+  EquivMethod method = EquivMethod::Bdd;
+  double confidence = 1.0;
+  bool degraded = false;
+  ProofStats proof;
 };
 
 /// Check that two combinational netlists with identical input/output name

@@ -33,6 +33,13 @@ public:
   /// Latch all DFFs from the settled values, then settle again.
   void clock() { bits_.clock(); }
 
+  /// Fault-injection hooks (see BitSim): persistent stuck-at force on any
+  /// node, and a transient poke that the caller follows with settle().
+  void setForce(NodeId node, bool value) { bits_.setForce(node, value); }
+  void clearForce(NodeId node) { bits_.clearForce(node); }
+  void clearForces() { bits_.clearForces(); }
+  void poke(NodeId node, bool value) { bits_.pokeAll(node, value); }
+
   bool value(NodeId node) const { return bits_.lane(node, 0); }
   /// Throws std::invalid_argument for buses wider than 64 bits.
   std::uint64_t busValue(std::span<const NodeId> bus) const {

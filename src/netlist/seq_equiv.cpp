@@ -78,6 +78,7 @@ Netlist combEnvelope(const Netlist& nl) {
 SeqEquivResult checkSeqEquivalence(const Netlist& a, const Netlist& b,
                                    const EquivOptions& opts) {
   SeqEquivResult r;
+  r.method = EquivMethod::Structural; // until the envelope comparison runs
   if (a.dffs().size() != b.dffs().size()) {
     r.detail = "DFF count differs: " + std::to_string(a.dffs().size()) +
                " vs " + std::to_string(b.dffs().size());
@@ -107,8 +108,14 @@ SeqEquivResult checkSeqEquivalence(const Netlist& a, const Netlist& b,
   const EquivResult comb =
       checkCombEquivalence(combEnvelope(a), combEnvelope(b), opts);
   r.equivalent = comb.equivalent;
+  r.method = comb.method;
+  r.confidence = comb.confidence;
+  r.degraded = comb.degraded;
+  r.proof = comb.proof;
   if (!comb.equivalent) {
     r.detail = "envelope output " + comb.failingOutput + " differs";
+  } else if (comb.degraded) {
+    r.detail = "BDD budget exceeded; verdict from simulation screen";
   }
   return r;
 }

@@ -35,6 +35,14 @@ struct SeqEquivResult {
   /// Human-readable reason when not equivalent (skeleton mismatch or the
   /// failing envelope output).
   std::string detail;
+  /// Verdict provenance, forwarded from the envelope comparison (see
+  /// EquivResult). Skeleton mismatches are Structural with confidence 1 —
+  /// an exact disproof that never touches functions. A budget-degraded
+  /// envelope screen reports method=Sim, degraded=true, confidence < 1.
+  EquivMethod method = EquivMethod::Bdd;
+  double confidence = 1.0;
+  bool degraded = false;
+  ProofStats proof;
 };
 
 /// Prove two same-skeleton sequential netlists equivalent (see header

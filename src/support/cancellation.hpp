@@ -1,0 +1,57 @@
+#pragma once
+// CancellationToken: a cooperative stop signal with an optional wall-clock
+// deadline, threaded through the flow engine (per-pass deadlines), the
+// cosim drive loops and the fault campaigns. Long-running loops poll
+// cancelled() every few hundred iterations and wind down with a partial,
+// clearly-marked result instead of hanging a whole sweep.
+//
+// Thread-safety: cancel()/cancelled() are safe from any thread. The
+// deadline is installed once, before the token is shared (the release
+// store on armed_ publishes deadline_ to every subsequent acquire load).
+
+#include <atomic>
+#include <chrono>
+
+namespace lis::support {
+
+class CancellationToken {
+public:
+  using Clock = std::chrono::steady_clock;
+
+  CancellationToken() = default;
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  /// Manual trip, e.g. on the first hard failure of a batch.
+  void cancel() { cancelled_.store(true, std::memory_order_release); }
+
+  /// Arm a deadline `seconds` from now; non-positive values trip the token
+  /// immediately. Call before sharing the token across threads.
+  void setDeadlineAfter(double seconds) {
+    if (seconds <= 0.0) {
+      cancel();
+      return;
+    }
+    deadline_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double>(seconds));
+    armed_.store(true, std::memory_order_release);
+  }
+
+  /// True once cancelled or past the deadline. Latches: a token that ever
+  /// reported cancelled keeps reporting it.
+  bool cancelled() const {
+    if (cancelled_.load(std::memory_order_acquire)) return true;
+    if (armed_.load(std::memory_order_acquire) && Clock::now() >= deadline_) {
+      cancelled_.store(true, std::memory_order_release);
+      return true;
+    }
+    return false;
+  }
+
+private:
+  mutable std::atomic<bool> cancelled_{false};
+  std::atomic<bool> armed_{false};
+  Clock::time_point deadline_{};
+};
+
+} // namespace lis::support

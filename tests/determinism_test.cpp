@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "bench/suites.hpp"
+#include "fault/campaign.hpp"
 #include "flow/design.hpp"
 #include "flow/executor.hpp"
 #include "flow/pipeline.hpp"
@@ -50,20 +51,55 @@ void testExecutorForEach() {
   CHECK_EQ(total.load(), 64);
   for (const auto& h : hits) CHECK_EQ(h.load(), 1);
 
-  // The lowest-index exception is the one rethrown, regardless of which
-  // iteration failed first in wall-clock terms.
+  // Exactly one failing iteration rethrows its original exception,
+  // regardless of scheduling.
   bool caught = false;
+  try {
+    pool.forEach(8, [&](std::size_t i) {
+      if (i == 5) throw std::runtime_error("boom 5");
+    });
+  } catch (const std::runtime_error& e) {
+    caught = true;
+    CHECK(std::string(e.what()) == "boom 5");
+  }
+  CHECK(caught);
+
+  // Two or more failures aggregate into a ForEachError that names every
+  // failing index in index order — not just the lowest one.
+  caught = false;
   try {
     pool.forEach(8, [&](std::size_t i) {
       if (i == 2 || i == 6) {
         throw std::runtime_error("boom " + std::to_string(i));
       }
     });
-  } catch (const std::runtime_error& e) {
+  } catch (const lis::flow::ForEachError& e) {
     caught = true;
-    CHECK(std::string(e.what()) == "boom 2");
+    CHECK_EQ(e.failures().size(), 2u);
+    CHECK_EQ(e.failures()[0].index, 2u);
+    CHECK_EQ(e.failures()[1].index, 6u);
+    CHECK(e.failures()[0].message == "boom 2");
+    CHECK(e.failures()[1].message == "boom 6");
+    const std::string what = e.what();
+    CHECK(what.find("2 of 8") != std::string::npos);
+    CHECK(what.find("boom 2") != std::string::npos);
+    CHECK(what.find("boom 6") != std::string::npos);
   }
   CHECK(caught);
+
+  // forEachAll isolates failures per index and never throws; every
+  // iteration still runs.
+  std::atomic<int> ran{0};
+  const std::vector<std::exception_ptr> errors =
+      pool.forEachAll(6, [&](std::size_t i) {
+        ran.fetch_add(1);
+        if (i == 1 || i == 4) throw std::runtime_error("x");
+      });
+  CHECK_EQ(ran.load(), 6);
+  CHECK_EQ(errors.size(), 6u);
+  for (std::size_t i = 0; i < errors.size(); ++i) {
+    CHECK_EQ(errors[i] != nullptr, i == 1 || i == 4);
+  }
 }
 
 void testDesignLatchesUnderContention() {
@@ -231,6 +267,52 @@ void testRunManyOptPipeline() {
   }
 }
 
+void testFaultCampaignJobsInvariant() {
+  // A seeded injection campaign is a pure function of its options: the
+  // site plan is drawn serially and each experiment's stimulus seed is a
+  // fork of the injection seed by plan index, so a parallel runner can
+  // only change wall time — every outcome, cycle and detail string must
+  // match the serial run exactly.
+  lis::sync::WrapperConfig cfg;
+  cfg.numInputs = 2;
+  cfg.numOutputs = 1;
+  const lis::sync::Wrapper w = lis::sync::buildWrapper(cfg);
+  const lis::fault::Target target = lis::fault::targetOf(w, cfg);
+
+  lis::fault::CampaignOptions opts;
+  opts.inject.cycles = 200;
+  opts.controlSeuCount = 8;
+  opts.dataSeuCount = 4;
+  opts.stuckCount = 4;
+  opts.channelCount = 2;
+  const lis::fault::CampaignResult serial =
+      lis::fault::runCampaign(target, opts);
+  CHECK(!serial.cancelled);
+  CHECK(serial.all.total() > 0);
+
+  Executor pool(8);
+  opts.runner = [&](std::size_t n,
+                    const std::function<void(std::size_t)>& f) {
+    pool.forEach(n, f);
+  };
+  const lis::fault::CampaignResult parallel =
+      lis::fault::runCampaign(target, opts);
+  CHECK(!parallel.cancelled);
+
+  CHECK_EQ(serial.results.size(), parallel.results.size());
+  for (std::size_t i = 0;
+       i < serial.results.size() && i < parallel.results.size(); ++i) {
+    CHECK(serial.results[i].outcome == parallel.results[i].outcome);
+    CHECK_EQ(serial.results[i].atCycle, parallel.results[i].atCycle);
+    CHECK(serial.results[i].detail == parallel.results[i].detail);
+  }
+  CHECK_EQ(serial.all.detected, parallel.all.detected);
+  CHECK_EQ(serial.all.recovered, parallel.all.recovered);
+  CHECK_EQ(serial.all.silent, parallel.all.silent);
+  CHECK_EQ(serial.all.hang, parallel.all.hang);
+  CHECK_EQ(serial.controlSeu.total(), parallel.controlSeu.total());
+}
+
 void testRunManyBuffersFailuresPerDesign() {
   // A failing design among healthy ones: its diagnostics stay in its own
   // RunResult slot (no interleaving), neighbours are untouched, and the
@@ -271,6 +353,7 @@ int main() {
   testRunManyJobs1VsJobs8();
   testRunManySweepSection();
   testRunManyOptPipeline();
+  testFaultCampaignJobsInvariant();
   testRunManyBuffersFailuresPerDesign();
   return testExit();
 }

@@ -79,6 +79,9 @@ void testWrapperPipelineHappyPath() {
   CHECK(contains(d.reportJson(), "\"area\""));
   CHECK(contains(d.reportJson(), "\"timing\""));
   CHECK(contains(d.reportJson(), "\"cosim\""));
+  // proveEncodingEquiv ran, so the accumulated BDD arena stats surface.
+  CHECK(contains(d.reportJson(), "\"proof\""));
+  CHECK(contains(d.reportJson(), "\"occupancy\""));
   CHECK(contains(d.verilog(), "module wrapper_n2m2d2_binary"));
   CHECK(contains(d.verilog(), "always @(posedge clk)"));
 
@@ -169,6 +172,52 @@ void testSystemDesignThroughPipeline() {
   CHECK(contains(d.reportJson(), "chain2_d1_onehot"));
 }
 
+void testPassDeadlineCancelsCosim() {
+  // A pass deadline reaches cooperative passes through the cancellation
+  // token: a cosim sized far beyond the budget winds down early with a
+  // cancellation error, while the earlier (fast) passes stay green and the
+  // partial result is kept on the design for inspection.
+  lis::sync::WrapperConfig cfg;
+  cfg.numInputs = 1;
+  Design d(cfg);
+  lis::sync::CosimOptions cosim;
+  cosim.cycles = 50'000'000; // far more work than the deadline allows
+  Pipeline pipe;
+  pipe.synthesizeControl().cosim(cosim).passDeadline(0.5);
+  CHECK(!pipe.run(d));
+  CHECK_EQ(pipe.records().size(), 2u);
+  CHECK(pipe.records().front().ok);
+  CHECK(!pipe.records().back().ok);
+  bool sawCancel = false;
+  for (const auto& diag : pipe.diagnostics()) {
+    if (diag.severity == lis::flow::Severity::Error &&
+        contains(diag.message, "cancelled")) {
+      sawCancel = true;
+    }
+  }
+  CHECK(sawCancel);
+  CHECK(d.cosimResult() != nullptr);
+  CHECK(d.cosimResult()->cyclesRun < cosim.cycles);
+}
+
+void testPassDeadlineFlagsStubbornPass() {
+  // A pass that never polls the token still can't bust the budget
+  // silently: the pipeline flags it the moment it returns.
+  lis::sync::WrapperConfig cfg;
+  cfg.numInputs = 1;
+  Design d(cfg);
+  Pipeline pipe;
+  pipe.synthesizeControl().passDeadline(1e-9);
+  CHECK(!pipe.run(d));
+  CHECK_EQ(pipe.records().size(), 1u);
+  CHECK(!pipe.records().front().ok);
+  bool sawDeadline = false;
+  for (const auto& diag : pipe.diagnostics()) {
+    if (contains(diag.message, "deadline")) sawDeadline = true;
+  }
+  CHECK(sawDeadline);
+}
+
 void testReusablePipeline() {
   // One pipeline, many designs — records reset per run.
   Pipeline pipe;
@@ -191,6 +240,8 @@ int main() {
   testInvalidConfigStopsPipeline();
   testPrebuiltDesignSkipsModelPasses();
   testSystemDesignThroughPipeline();
+  testPassDeadlineCancelsCosim();
+  testPassDeadlineFlagsStubbornPass();
   testReusablePipeline();
   return testExit();
 }

@@ -19,6 +19,19 @@ one (slices_opt <= slices_unopt), and the equivalence proof must have
 run (equiv_proved). A fresh file without an "opt" section only warns, so
 the gate still accepts bench output from before the optimizer landed.
 
+The "fault" section (fault-injection campaign coverage) is gated both
+ways: every fresh entry must report control-SEU detection-or-recovery
+coverage of at least 0.95 (the paper-level acceptance bar), and coverage
+must not drop more than 0.05 below the baseline entry for the same
+design. A baseline fault entry missing from the fresh results fails —
+silently shrinking fault coverage is exactly the regression this section
+exists to catch.
+
+Configs the bench marked `"failed": true` (a design whose pipeline run
+errored; the bench records it instead of crashing) are *warnings* here and
+are skipped from metric comparison — the bench's own non-zero exit is the
+gate for those. A baseline-side failed entry is skipped the same way.
+
 Sections or keys present in only one of baseline/current are *warnings*,
 not errors: a PR may add a new section (e.g. "sweep") or a new per-entry
 key without a flag-day baseline update, and an old baseline must not crash
@@ -53,6 +66,10 @@ def check_opt(fresh):
     for group in ("wrapper", "system", "sweep"):
         for entry in opt.get(group, []):
             name = entry.get("design", f"<unnamed {group} entry>")
+            if entry.get("failed"):
+                warnings.append(f"opt.{group} {name}: config failed in the "
+                                f"bench run; invariants skipped")
+                continue
             if "slices_unopt" not in entry or "slices_opt" not in entry:
                 warnings.append(f"opt.{group} {name}: slice keys missing; "
                                 f"invariant skipped")
@@ -67,6 +84,71 @@ def check_opt(fresh):
             elif not entry["equiv_proved"]:
                 failures.append(f"opt.{group} {name}: equivalence not "
                                 f"proved for the optimized design")
+    return failures, warnings
+
+
+# Coverage floor for control-register SEUs (the acceptance bar) and the
+# allowed drop relative to the baseline before the gate trips.
+FAULT_COVERAGE_FLOOR = 0.95
+FAULT_COVERAGE_SLACK = 0.05
+
+
+def check_fault(baseline, fresh):
+    """Gate the fault-injection campaign coverage.
+
+    Returns (failures, warnings). A fresh file without a "fault" section
+    only warns (pre-robustness bench output); with one, every non-failed
+    entry must clear the control-SEU coverage floor, and no design may
+    drop more than FAULT_COVERAGE_SLACK below its baseline coverage or
+    vanish from the fresh results.
+    """
+    failures = []
+    warnings = []
+    fault = fresh.get("fault")
+    if fault is None:
+        warnings.append('no "fault" section in fresh results; '
+                        "fault-coverage gate skipped")
+        return failures, warnings
+
+    fresh_by_design = {}
+    for entry in fault.get("entries", []):
+        name = entry.get("design")
+        if name is None:
+            warnings.append(f"fresh fault entry lacks a design name: {entry}")
+            continue
+        fresh_by_design[name] = entry
+        if entry.get("failed"):
+            warnings.append(f"fault {name}: config failed in the bench run; "
+                            f"coverage checks skipped")
+            continue
+        cov = entry.get("control_seu_coverage")
+        if cov is None:
+            warnings.append(f"fault {name}: control_seu_coverage key "
+                            f"missing; floor check skipped")
+        elif cov < FAULT_COVERAGE_FLOOR:
+            failures.append(
+                f"fault {name}: control-SEU detection-or-recovery coverage "
+                f"{cov:.3f} below the {FAULT_COVERAGE_FLOOR:.2f} floor")
+
+    for old in (baseline.get("fault") or {}).get("entries", []):
+        name = old.get("design")
+        if name is None or old.get("failed"):
+            continue
+        new = fresh_by_design.get(name)
+        if new is None:
+            failures.append(f"fault {name}: missing from fresh results")
+            continue
+        if new.get("failed"):
+            continue  # already warned above
+        old_cov = old.get("control_seu_coverage")
+        new_cov = new.get("control_seu_coverage")
+        if old_cov is None or new_cov is None:
+            continue  # floor check / missing-key warning already covers it
+        if new_cov < old_cov - FAULT_COVERAGE_SLACK:
+            failures.append(
+                f"fault {name}: control-SEU coverage {old_cov:.3f} -> "
+                f"{new_cov:.3f} (dropped more than "
+                f"{FAULT_COVERAGE_SLACK:.2f})")
     return failures, warnings
 
 
@@ -101,9 +183,17 @@ def compare(baseline, fresh, max_regress):
                             f"{old}")
             continue
         name = "%dx%d d%d %s" % key
+        if old.get("failed"):
+            warnings.append(f"{name}: baseline config marked failed; "
+                            f"comparison skipped")
+            continue
         new = fresh_by_key.get(key)
         if new is None:
             failures.append(f"{name}: missing from fresh results")
+            continue
+        if new.get("failed"):
+            warnings.append(f"{name}: config failed in the fresh bench run; "
+                            f"comparison skipped (the bench exit gates it)")
             continue
         notes = {}
         for metric, worse in (("slices", "up"), ("fmax_mhz", "down")):
@@ -138,6 +228,9 @@ def run_gate(args):
     opt_failures, opt_warnings = check_opt(fresh)
     failures += opt_failures
     warnings += opt_warnings
+    fault_failures, fault_warnings = check_fault(baseline, fresh)
+    failures += fault_failures
+    warnings += fault_warnings
 
     print(f"{'config':>22} {'slices':>15} {'fmax_mhz':>19}")
     for name, old, new, notes in rows:
@@ -153,6 +246,13 @@ def run_gate(args):
                 print(f"opt {entry.get('design', '?'):>24} "
                       f"{entry['slices_unopt']:>5} -> "
                       f"{entry['slices_opt']:<6}")
+    for entry in fresh.get("fault", {}).get("entries", []):
+        name = entry.get("design", "?")
+        if entry.get("failed"):
+            print(f"fault {name:>22}   FAILED")
+        elif "control_seu_coverage" in entry:
+            print(f"fault {name:>22}   ctrl-SEU coverage "
+                  f"{entry['control_seu_coverage']:.3f}")
 
     for w in warnings:
         print(f"warning: {w}", file=sys.stderr)
@@ -249,6 +349,62 @@ def self_test():
     checks.append(("opt missing key warns", not f and bool(w)))
     f, w = check_opt({"wrapper": [entry]})
     checks.append(("absent opt section warns only", not f and bool(w)))
+
+    # --- failed-config tolerance ----------------------------------------
+    failed_row = {"inputs": 1, "outputs": 1, "relay_depth": 2,
+                  "encoding": "binary", "failed": True}
+    # A fresh config marked failed warns (the bench's exit code gates it)
+    # instead of crashing on its missing metric keys.
+    f, w, _ = compare({"wrapper": [entry]}, {"wrapper": [failed_row]}, 0.25)
+    checks.append(("failed fresh config warns", not f and
+                   any("failed" in x for x in w)))
+    # A failed baseline entry is skipped the same way.
+    f, w, _ = compare({"wrapper": [failed_row]}, {"wrapper": [entry]}, 0.25)
+    checks.append(("failed baseline config warns", not f and bool(w)))
+    f, w = check_opt({"opt": {"wrapper": [{"design": "w", "failed": True}]}})
+    checks.append(("failed opt config warns", not f and bool(w)))
+
+    # --- "fault" section coverage gate ----------------------------------
+    fault_entry = {"design": "wrapper_n3m1d2_binary", "sites": 48,
+                   "detected": 40, "recovered": 6, "silent": 1, "hang": 1,
+                   "coverage": 0.958, "control_seu_sites": 32,
+                   "control_seu_coverage": 1.0}
+
+    def fault_with(**kw):
+        e = dict(fault_entry)
+        e.update(kw)
+        return e
+
+    def fault_file(entries):
+        return {"fault": {"entries": entries}}
+
+    # Healthy coverage against an identical baseline: clean pass.
+    f, w = check_fault(fault_file([fault_entry]), fault_file([fault_entry]))
+    checks.append(("fault coverage passes", not f and not w))
+    # Below the absolute floor fails, baseline or not.
+    f, _ = check_fault({}, fault_file([
+        fault_with(control_seu_coverage=0.90)]))
+    checks.append(("fault floor violation fails", bool(f)))
+    # A drop beyond the slack relative to the baseline fails even when the
+    # floor still holds.
+    f, _ = check_fault(
+        fault_file([fault_with(control_seu_coverage=1.0)]),
+        fault_file([fault_with(control_seu_coverage=0.94)]))
+    checks.append(("fault coverage drop fails", bool(f)))
+    # Within the slack passes.
+    f, _ = check_fault(
+        fault_file([fault_with(control_seu_coverage=1.0)]),
+        fault_file([fault_with(control_seu_coverage=0.97)]))
+    checks.append(("fault coverage within slack passes", not f))
+    # A baseline design dropped from the fresh section fails.
+    f, _ = check_fault(fault_file([fault_entry]), fault_file([]))
+    checks.append(("dropped fault design fails", bool(f)))
+    # Failed campaign configs warn; a fresh file without the section warns.
+    f, w = check_fault(fault_file([fault_entry]), fault_file([
+        {"design": fault_entry["design"], "failed": True}]))
+    checks.append(("failed fault config warns", not f and bool(w)))
+    f, w = check_fault(fault_file([fault_entry]), {"wrapper": [entry]})
+    checks.append(("absent fault section warns only", not f and bool(w)))
 
     ok = True
     for name, passed in checks:
