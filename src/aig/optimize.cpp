@@ -20,7 +20,9 @@ OptimizeResult optimizeNetlist(const netlist::Netlist& nl,
   rw.cutsPerNode = options.cutsPerNode;
   for (unsigned round = 0; round < options.effort; ++round) {
     bool improved = false;
-    Aig rewritten = rewrite(sa.aig, rw);
+    RewriteStats rs;
+    Aig rewritten = rewrite(sa.aig, rw, &rs);
+    stats.cutsEnumerated += rs.cutsEnumerated;
     const std::size_t rAnds = rewritten.liveAndCount();
     const unsigned rDepth = rewritten.depth();
     if (rAnds < ands || (rAnds == ands && rDepth < depth)) {
@@ -28,6 +30,7 @@ OptimizeResult optimizeNetlist(const netlist::Netlist& nl,
       ands = rAnds;
       depth = rDepth;
       improved = true;
+      stats.rewriteAdoptions += rs.libraryAdoptions;
     }
     Aig balanced = balance(sa.aig);
     const std::size_t bAnds = balanced.liveAndCount();

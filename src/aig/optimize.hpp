@@ -27,6 +27,12 @@ struct OptimizeStats {
   unsigned depthBefore = 0;
   unsigned depthAfter = 0;
   unsigned roundsRun = 0;
+  /// Cuts kept in priority lists across every rewrite round (adopted or
+  /// not) — the work the rewriter did.
+  std::size_t cutsEnumerated = 0;
+  /// NPN library structures instantiated in rounds whose result was
+  /// adopted — the work that made it into the output.
+  std::size_t rewriteAdoptions = 0;
 };
 
 struct OptimizeResult {

@@ -45,6 +45,8 @@ public:
         newLit_(aig.nodeCount(), kLitFalse),
         realized_(aig.nodeCount(), 0) {}
 
+  const RewriteStats& stats() const { return stats_; }
+
   Aig run() {
     enumerateAndChoose();
     for (std::size_t i = 0; i < old_.numPis(); ++i) {
@@ -107,6 +109,7 @@ private:
         m.function = t0 & t1;
         m.areaFlow = cutFlow(m, structSizeOf(m));
         set.insert(m, better);
+        ++stats_.cutsEnumerated;
       };
       const Cut triv0 = trivialCut(n0);
       const Cut triv1 = trivialCut(n1);
@@ -147,6 +150,7 @@ private:
       result = out_.addAnd(a, b);
     } else {
       result = instantiate(chosenCut_[node]);
+      ++stats_.libraryAdoptions;
     }
     newLit_[node] = result;
     realized_[node] = 1;
@@ -196,13 +200,18 @@ private:
   std::vector<Cut> chosenCut_;
   std::vector<Lit> newLit_;
   std::vector<char> realized_;
+  RewriteStats stats_;
   Aig out_;
 };
 
 } // namespace
 
-Aig rewrite(const Aig& aig, const RewriteOptions& options) {
-  return Rewriter(aig, options).run();
+Aig rewrite(const Aig& aig, const RewriteOptions& options,
+            RewriteStats* stats) {
+  Rewriter rewriter(aig, options);
+  Aig result = rewriter.run();
+  if (stats != nullptr) *stats = rewriter.stats();
+  return result;
 }
 
 namespace {

@@ -18,6 +18,8 @@
 // Both passes return a new Aig; callers compare node counts/depth and keep
 // whichever graph wins (see optimize.hpp for the standard iteration).
 
+#include <cstddef>
+
 #include "aig/aig.hpp"
 
 namespace lis::aig {
@@ -26,7 +28,14 @@ struct RewriteOptions {
   unsigned cutsPerNode = 8; // priority cut list bound
 };
 
-Aig rewrite(const Aig& aig, const RewriteOptions& options = {});
+/// Work counters for one rewrite() invocation.
+struct RewriteStats {
+  std::size_t cutsEnumerated = 0;    // cuts kept in the priority lists
+  std::size_t libraryAdoptions = 0;  // nodes rebuilt from an NPN structure
+};
+
+Aig rewrite(const Aig& aig, const RewriteOptions& options = {},
+            RewriteStats* stats = nullptr);
 
 Aig balance(const Aig& aig);
 

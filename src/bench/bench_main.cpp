@@ -17,6 +17,13 @@
 // Results go to stdout and to a JSON file (first positional arg, default
 // "BENCH_sim.json") so successive PRs can track the numbers; CI gates on
 // the wrapper section via tools/check_bench_regression.py.
+//
+// Observability: `--trace out.json` records span traces (obs::Tracer)
+// across the flow suites and writes Chrome trace-event JSON; the "metrics"
+// JSON section reports per-config pass counters, process-wide engine
+// counters, pool scheduling stats, and the executor utilization derived
+// from the trace. `--suite quick` runs only the wrapper + fault suites —
+// the cheap smoke set CI traces on every push.
 
 #include <chrono>
 #include <cstdio>
@@ -38,6 +45,9 @@
 #include "netlist/equiv.hpp"
 #include "netlist/generate.hpp"
 #include "netlist/netlist_sim.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "obs/utilization.hpp"
 #include "support/rng.hpp"
 
 namespace {
@@ -425,28 +435,55 @@ struct FlowSections {
 constexpr std::uint64_t kMatrixCosimCycles = 2000;
 constexpr std::uint64_t kSweepCosimCycles = 3000;
 
-FlowSections runFlowSections(lis::flow::Executor& exec) {
+// `quick` trims the run to the wrapper + fault suites (the other sections
+// emit empty arrays) — the smoke set the CI trace check runs. Each suite's
+// runMany is wrapped in a "suite"-category span: those windows are what
+// computeUtilization measures.
+FlowSections runFlowSections(lis::flow::Executor& exec, bool quick) {
   FlowSections s;
   lis::flow::Pipeline matrixPipe =
       lis::bench::standardPasses(kMatrixCosimCycles);
   lis::flow::Pipeline sweepPipe =
       lis::bench::standardPasses(kSweepCosimCycles);
   lis::flow::Pipeline optPipe = lis::bench::optPasses();
-  s.wrappers = lis::bench::wrapperSuite();
-  s.wrapperResults = matrixPipe.runMany(s.wrappers, exec);
-  s.systems = lis::bench::systemSuite();
-  s.systemResults = matrixPipe.runMany(s.systems, exec);
-  s.sweep = lis::bench::sweepSuite();
-  s.sweepResults = sweepPipe.runMany(s.sweep, exec);
-  s.wrappersOpt = lis::bench::wrapperSuite();
-  s.wrapperOptResults = optPipe.runMany(s.wrappersOpt, exec);
-  s.systemsOpt = lis::bench::systemSuite();
-  s.systemOptResults = optPipe.runMany(s.systemsOpt, exec);
-  s.sweepOpt = lis::bench::sweepSuite();
-  s.sweepOptResults = optPipe.runMany(s.sweepOpt, exec);
-  lis::flow::Pipeline faultPipe = lis::bench::faultPasses();
-  s.faults = lis::bench::faultSuite();
-  s.faultResults = faultPipe.runMany(s.faults, exec);
+  {
+    lis::obs::Span span("suite:wrapper", "suite");
+    s.wrappers = lis::bench::wrapperSuite();
+    s.wrapperResults = matrixPipe.runMany(s.wrappers, exec);
+  }
+  if (!quick) {
+    {
+      lis::obs::Span span("suite:system", "suite");
+      s.systems = lis::bench::systemSuite();
+      s.systemResults = matrixPipe.runMany(s.systems, exec);
+    }
+    {
+      lis::obs::Span span("suite:sweep", "suite");
+      s.sweep = lis::bench::sweepSuite();
+      s.sweepResults = sweepPipe.runMany(s.sweep, exec);
+    }
+    {
+      lis::obs::Span span("suite:wrapper_opt", "suite");
+      s.wrappersOpt = lis::bench::wrapperSuite();
+      s.wrapperOptResults = optPipe.runMany(s.wrappersOpt, exec);
+    }
+    {
+      lis::obs::Span span("suite:system_opt", "suite");
+      s.systemsOpt = lis::bench::systemSuite();
+      s.systemOptResults = optPipe.runMany(s.systemsOpt, exec);
+    }
+    {
+      lis::obs::Span span("suite:sweep_opt", "suite");
+      s.sweepOpt = lis::bench::sweepSuite();
+      s.sweepOptResults = optPipe.runMany(s.sweepOpt, exec);
+    }
+  }
+  {
+    lis::obs::Span span("suite:fault", "suite");
+    lis::flow::Pipeline faultPipe = lis::bench::faultPasses();
+    s.faults = lis::bench::faultSuite();
+    s.faultResults = faultPipe.runMany(s.faults, exec);
+  }
   return s;
 }
 
@@ -503,11 +540,16 @@ std::string jsonFault(const FaultBench& b) {
 
 void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [OUT.json] [--jobs N] [--strip-times]\n"
+               "usage: %s [OUT.json] [--jobs N] [--strip-times] "
+               "[--trace FILE] [--suite all|quick]\n"
                "  --jobs N       run the flow suites on N pool workers "
                "(default 1 = serial)\n"
                "  --strip-times  zero wall-clock/job-count dependent fields "
-               "(byte-identical diffs)\n",
+               "(byte-identical diffs)\n"
+               "  --trace FILE   record flow spans and write Chrome "
+               "trace-event JSON to FILE\n"
+               "  --suite MODE   all (default) or quick (wrapper + fault "
+               "suites only)\n",
                argv0);
   std::exit(2);
 }
@@ -516,7 +558,9 @@ void usage(const char* argv0) {
 
 int main(int argc, char** argv) {
   std::string outPath = "BENCH_sim.json";
+  std::string tracePath;
   unsigned jobs = 1;
+  bool quickSuite = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0) {
       if (i + 1 >= argc) usage(argv[0]);
@@ -525,12 +569,26 @@ int main(int argc, char** argv) {
       jobs = static_cast<unsigned>(n);
     } else if (std::strcmp(argv[i], "--strip-times") == 0) {
       gStripTimes = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      if (i + 1 >= argc) usage(argv[0]);
+      tracePath = argv[++i];
+    } else if (std::strcmp(argv[i], "--suite") == 0) {
+      if (i + 1 >= argc) usage(argv[0]);
+      const char* mode = argv[++i];
+      if (std::strcmp(mode, "quick") == 0) {
+        quickSuite = true;
+      } else if (std::strcmp(mode, "all") != 0) {
+        usage(argv[0]);
+      }
     } else if (argv[i][0] == '-') {
       usage(argv[0]);
     } else {
       outPath = argv[i];
     }
   }
+
+  lis::obs::setThreadName("main");
+  if (!tracePath.empty()) lis::obs::Tracer::instance().enable();
 
   const SimBench sim = benchSim();
   std::printf("sim: %zu nodes (%zu gates), scalar %.0f pat/s, bit-parallel "
@@ -570,9 +628,15 @@ int main(int argc, char** argv) {
   // scheduled across the pool. When parallel, a serial re-run afterwards
   // yields the observed speedup vs --jobs 1 (fresh Designs each time — the
   // artifact caches would otherwise turn the re-run into a no-op).
+  // Engine counters from here on belong to the flow suites: the
+  // microbenches above already flushed their engines' lifetime totals into
+  // the global registry, and their numbers are reported in their own
+  // sections.
+  lis::obs::Registry::global().reset();
   lis::flow::Executor exec(jobs);
   FlowSections sections;
-  const double flowWall = secondsOf([&] { sections = runFlowSections(exec); });
+  const double flowWall =
+      secondsOf([&] { sections = runFlowSections(exec, quickSuite); });
   std::size_t failedConfigs = 0;
   failedConfigs += reportFailures(sections.wrapperResults);
   failedConfigs += reportFailures(sections.systemResults);
@@ -582,13 +646,28 @@ int main(int argc, char** argv) {
   failedConfigs += reportFailures(sections.sweepOptResults);
   failedConfigs += reportFailures(sections.faultResults);
 
+  // Snapshot trace, engine counters and pool stats before the serial
+  // re-run below: its duplicated work must pollute neither the exported
+  // trace (suspend/resume) nor the engine/utilization numbers, so both
+  // stay a pure function of the parallel run.
+  const std::vector<lis::obs::TraceEvent> traceEvents =
+      tracePath.empty() ? std::vector<lis::obs::TraceEvent>{}
+                        : lis::obs::Tracer::instance().snapshot();
+  const std::string engineJson = lis::obs::Registry::global().json();
+  const lis::flow::Executor::PoolStats pool = exec.poolStats();
+  const lis::obs::UtilizationReport util =
+      lis::obs::computeUtilization(traceEvents, jobs);
+
   // The serial re-run only exists to measure speedup — whose fields are
   // scrubbed to 0 under --strip-times, so skip the (doubled) work there.
   double serialWall = flowWall;
   if (jobs > 1 && !gStripTimes) {
+    lis::obs::Tracer::instance().suspend();
     lis::flow::Executor serial(1);
     FlowSections serialSections;
-    serialWall = secondsOf([&] { serialSections = runFlowSections(serial); });
+    serialWall = secondsOf(
+        [&] { serialSections = runFlowSections(serial, quickSuite); });
+    lis::obs::Tracer::instance().resume();
   }
   const double flowSpeedup = flowWall > 0 ? serialWall / flowWall : 1.0;
 
@@ -652,7 +731,9 @@ int main(int argc, char** argv) {
          std::vector<lis::flow::Design>& opt,
          const std::vector<lis::flow::RunResult>& optResults) {
         std::vector<OptBench> rows;
-        for (std::size_t i = 0; i < unopt.size(); ++i) {
+        // --suite quick leaves the opt twins empty while the base suite
+        // ran: emit no rows rather than index past the shorter vector.
+        for (std::size_t i = 0; i < unopt.size() && i < opt.size(); ++i) {
           rows.push_back(
               optBenchOf(unopt[i], opt[i], unoptResults[i], optResults[i]));
         }
@@ -706,6 +787,17 @@ int main(int argc, char** argv) {
       std::printf(" (serial %.3fs, speedup %.2fx)", serialWall, flowSpeedup);
     }
     std::printf("\n");
+  }
+  if (!tracePath.empty() && !gStripTimes) {
+    std::printf("utilization: %.2f overall parallel efficiency over %u "
+                "worker(s)\n",
+                util.overallParallelEfficiency, util.workers);
+    for (const lis::obs::SuiteUtilization& su : util.suites) {
+      std::printf("utilization: %-12s wall %.3fs busy %.3fs (%u threads) "
+                  "efficiency %.2f\n",
+                  su.suite.c_str(), su.wallSeconds, su.busySeconds,
+                  su.threads, su.parallelEfficiency);
+    }
   }
 
   std::ostringstream js;
@@ -767,6 +859,61 @@ int main(int argc, char** argv) {
   }
   js << "    ]\n"
      << "  },\n"
+     << "  \"metrics\": {\n"
+     << "    \"configs\": [";
+  bool firstConfig = true;
+  const auto emitConfigRows =
+      [&js, &firstConfig](const char* suite,
+                          std::vector<lis::flow::Design>& designs,
+                          const std::vector<lis::flow::RunResult>& results) {
+        for (std::size_t i = 0; i < designs.size(); ++i) {
+          js << (firstConfig ? "\n" : ",\n");
+          firstConfig = false;
+          js << "      {\"suite\": \"" << suite << "\", \"design\": \""
+             << designs[i].name() << "\"";
+          if (!results[i].ok) js << ", \"failed\": true";
+          js << ", \"counters\": " << designs[i].metrics().json() << "}";
+        }
+      };
+  emitConfigRows("wrapper", sections.wrappers, sections.wrapperResults);
+  emitConfigRows("system", sections.systems, sections.systemResults);
+  emitConfigRows("sweep", sections.sweep, sections.sweepResults);
+  emitConfigRows("wrapper_opt", sections.wrappersOpt,
+                 sections.wrapperOptResults);
+  emitConfigRows("system_opt", sections.systemsOpt,
+                 sections.systemOptResults);
+  emitConfigRows("sweep_opt", sections.sweepOpt, sections.sweepOptResults);
+  emitConfigRows("fault", sections.faults, sections.faultResults);
+  js << "\n    ],\n"
+     << "    \"engine\": " << engineJson << ",\n"
+     << "    \"pool\": {\"workers\": " << scrub(pool.workers)
+     << ", \"runs\": " << scrub(static_cast<double>(pool.runs))
+     << ", \"steals\": " << scrub(static_cast<double>(pool.steals))
+     << ", \"external_runs\": "
+     << scrub(static_cast<double>(pool.externalRuns))
+     << ", \"idle_seconds\": " << scrub(pool.idleSeconds)
+     << ", \"queue_high_water\": "
+     << scrub(static_cast<double>(pool.queueHighWater)) << "},\n";
+  if (tracePath.empty() || gStripTimes) {
+    // Utilization is wall-clock-derived, so it is absent without a trace
+    // and under --strip-times; the regression gate tolerates null.
+    js << "    \"utilization\": null\n";
+  } else {
+    js << "    \"utilization\": {\"workers\": " << util.workers
+       << ", \"suites\": [\n";
+    for (std::size_t i = 0; i < util.suites.size(); ++i) {
+      const lis::obs::SuiteUtilization& su = util.suites[i];
+      js << "      {\"suite\": \"" << su.suite
+         << "\", \"wall_seconds\": " << su.wallSeconds
+         << ", \"busy_seconds\": " << su.busySeconds
+         << ", \"threads\": " << su.threads
+         << ", \"parallel_efficiency\": " << su.parallelEfficiency << "}"
+         << (i + 1 < util.suites.size() ? ",\n" : "\n");
+    }
+    js << "    ], \"overall_parallel_efficiency\": "
+       << util.overallParallelEfficiency << "}\n";
+  }
+  js << "  },\n"
      << "  \"sweep\": {\n"
      << "    \"jobs\": " << (gStripTimes ? 0 : jobs) << ",\n"
      << "    \"cosim_shards\": " << lis::bench::kCosimShards << ",\n"
@@ -787,6 +934,14 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("wrote %s\n", outPath.c_str());
+  if (!tracePath.empty()) {
+    lis::obs::Tracer::instance().disable();
+    if (!lis::obs::Tracer::instance().writeChromeTrace(tracePath)) {
+      std::fprintf(stderr, "failed to write trace %s\n", tracePath.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", tracePath.c_str());
+  }
   if (failedConfigs != 0) {
     std::fprintf(stderr, "%zu config(s) failed (marked in %s)\n",
                  failedConfigs, outPath.c_str());

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "obs/trace.hpp"
 #include "support/rng.hpp"
 
 namespace lis::fault {
@@ -94,7 +95,9 @@ std::vector<FaultSite> planSites(const Target& t,
 }
 
 CampaignResult runCampaign(const Target& t, const CampaignOptions& opts) {
+  obs::Span span("fault.campaign");
   const std::vector<FaultSite> sites = planSites(t, opts);
+  span.arg("sites", static_cast<double>(sites.size()));
   CampaignResult res;
   res.results.resize(sites.size());
   std::vector<char> done(sites.size(), 0);

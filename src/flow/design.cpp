@@ -4,30 +4,52 @@
 #include <mutex>
 #include <utility>
 
+#include "obs/trace.hpp"
+
 namespace lis::flow {
 
-namespace {
-
-class StageTimer {
+/// RAII scope around one artifact build. Frames nest on a thread-local
+/// stack: when a build triggers another (timing() mapping lazily), the
+/// inner frame's wall time is subtracted from the outer one, so the stage
+/// table records *exclusive* time per stage and summing it never
+/// double-counts. Each frame also emits a "stage:<name>" tracer span whose
+/// duration stays inclusive — the trace shows the real containment.
+class StageFrame {
 public:
-  StageTimer(Design& design, void (Design::*record)(const char*, double),
-             const char* stage)
-      : design_(&design), record_(record), stage_(stage),
-        t0_(std::chrono::steady_clock::now()) {}
-  ~StageTimer() {
-    const auto t1 = std::chrono::steady_clock::now();
-    (design_->*record_)(stage_,
-                        std::chrono::duration<double>(t1 - t0_).count());
+  StageFrame(Design& design, const char* stage)
+      : design_(&design), stage_(stage), parent_(tlsTop_),
+        t0_(std::chrono::steady_clock::now()),
+        span_(std::string("stage:") + stage, "stage") {
+    span_.arg("design", design.name());
+    tlsTop_ = this;
   }
 
-private:
-  Design* design_;
-  void (Design::*record_)(const char*, double);
-  const char* stage_;
-  std::chrono::steady_clock::time_point t0_;
-};
+  ~StageFrame() {
+    const auto t1 = std::chrono::steady_clock::now();
+    const double total = std::chrono::duration<double>(t1 - t0_).count();
+    tlsTop_ = parent_;
+    // Only attribute nested time within the same design: a frame opened by
+    // a different Design on this thread is a coincidence of call stacks,
+    // not a parent stage.
+    if (parent_ != nullptr && parent_->design_ == design_) {
+      parent_->childSeconds_ += total;
+    }
+    design_->recordStage(stage_, total - childSeconds_);
+  }
 
-} // namespace
+  StageFrame(const StageFrame&) = delete;
+  StageFrame& operator=(const StageFrame&) = delete;
+
+private:
+  inline static thread_local StageFrame* tlsTop_ = nullptr;
+
+  Design* design_;
+  const char* stage_;
+  StageFrame* parent_;
+  double childSeconds_ = 0.0;
+  std::chrono::steady_clock::time_point t0_;
+  obs::Span span_;
+};
 
 Design::Design(sync::WrapperConfig cfg) : cfg_(std::move(cfg)) {
   name_ = "wrapper_n" + std::to_string(cfg_->numInputs) + "m" +
@@ -66,7 +88,7 @@ void Design::ensureSynthesized() {
 }
 
 void Design::synthesize() {
-  StageTimer timer(*this, &Design::recordStage, "synthesize");
+  StageFrame frame(*this, "synthesize");
   if (cfg_) {
     wrapper_ = std::make_unique<sync::Wrapper>(sync::buildWrapper(*cfg_));
   } else {
@@ -107,7 +129,7 @@ const netlist::Netlist& Design::optimize(const aig::OptimizeOptions& options) {
   ensureSynthesized();
   std::lock_guard<std::mutex> lock(latches_->chain);
   if (optimized_ == nullptr || optimizedEffort_ != options.effort) {
-    StageTimer timer(*this, &Design::recordStage, "optimize");
+    StageFrame frame(*this, "optimize");
     // Always restart from the synthesized netlist: efforts select a
     // result, they don't compound on a previous optimization.
     aig::OptimizeResult result = aig::optimizeNetlist(*netlistPtr(), options);
@@ -127,7 +149,7 @@ const techmap::MappedNetlist& Design::mappedLocked(
   if (!mapped_ || mappedK_ != o.k || mappedRounds_ != o.rounds) {
     const netlist::Netlist& nl =
         optimized_ != nullptr ? *optimized_ : *netlistPtr();
-    StageTimer timer(*this, &Design::recordStage, "map");
+    StageFrame frame(*this, "map");
     mapped_ = techmap::mapToLuts(nl, o);
     mappedK_ = o.k;
     mappedRounds_ = o.rounds;
@@ -177,11 +199,14 @@ const timing::TimingReport& Design::timing(const timing::TechParams& params) {
   ensureSynthesized();
   std::lock_guard<std::mutex> lock(latches_->chain);
   if (!timing_) {
+    // The sta frame opens before the lazy map so a triggered mapping nests
+    // inside it — the map's wall lands on "map", and "sta" keeps only the
+    // analysis itself (exclusive attribution, see StageFrame).
+    StageFrame frame(*this, "sta");
     techmap::MapOptions o;
     o.k = mappedK_ == 0 ? 4 : mappedK_;
     o.rounds = mappedRounds_;
     const techmap::MappedNetlist& m = mappedLocked(o);
-    StageTimer timer(*this, &Design::recordStage, "sta");
     timing_ = timing::analyze(m, params);
   }
   return *timing_;

@@ -46,6 +46,7 @@
 #include "lis/wrapper.hpp"
 #include "netlist/equiv.hpp"
 #include "netlist/netlist.hpp"
+#include "obs/metrics.hpp"
 #include "techmap/lutmap.hpp"
 #include "timing/sta.hpp"
 #include "timing/techparams.hpp"
@@ -144,8 +145,18 @@ public:
   const std::string& verilog() const { return verilog_; }
   void setVerilog(std::string v) { verilog_ = std::move(v); }
 
-  /// Wall time spent producing an artifact ("synthesize", "map", "sta");
-  /// 0 when it has not been computed.
+  /// Per-config metrics registry, filled by the passes that ran on this
+  /// design (aig.*, cosim.*, fault.*, bdd.*, ...) and serialized by the
+  /// Report pass / the bench. Single-writer like the other pass-produced
+  /// artifacts: exactly one pipeline task owns a Design at a time.
+  obs::Registry& metrics() { return *metrics_; }
+  const obs::Registry& metrics() const { return *metrics_; }
+
+  /// *Exclusive* wall time spent producing an artifact ("synthesize",
+  /// "map", "sta", "optimize"): when one artifact build triggers another
+  /// (timing() mapping lazily), the nested stage's time is attributed to
+  /// the innermost stage only, so summing stageTimes() never double-counts.
+  /// 0 when the stage has not run.
   double stageSeconds(std::string_view stage) const;
   /// The whole stage-time table. The reference is only stable once the
   /// producing accessors have finished — read it from the owning task
@@ -160,6 +171,8 @@ private:
     std::mutex chain; // mapped_ / mappedK_ / area_ / timing_
     mutable std::mutex times;
   };
+
+  friend class StageFrame;
 
   void ensureSynthesized();
   void synthesize();
@@ -193,6 +206,8 @@ private:
   std::string verilog_;
   std::map<std::string, double> times_;
   std::unique_ptr<Latches> latches_ = std::make_unique<Latches>();
+  // Boxed: Registry holds a mutex, and Design must stay movable.
+  std::unique_ptr<obs::Registry> metrics_ = std::make_unique<obs::Registry>();
 };
 
 } // namespace lis::flow

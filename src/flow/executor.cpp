@@ -4,7 +4,10 @@
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
+#include <optional>
 #include <utility>
+
+#include "obs/trace.hpp"
 
 namespace lis::flow {
 
@@ -35,14 +38,47 @@ Executor::Executor(unsigned jobs) : jobs_(jobs == 0 ? 1 : jobs) {
 
 Executor::~Executor() = default;
 
+Executor::PoolStats Executor::poolStats() const {
+  PoolStats stats;
+  if (pool_ == nullptr) return stats;
+  stats.workers = pool_->workerCount();
+  for (std::size_t w = 0; w < stats.workers; ++w) {
+    const support::ThreadPool::WorkerStats ws = pool_->workerStats(w);
+    stats.runs += ws.runs;
+    stats.steals += ws.steals;
+    stats.idleSeconds += ws.idleSeconds;
+  }
+  stats.externalRuns = pool_->externalRuns();
+  stats.queueHighWater = pool_->queueHighWater();
+  return stats;
+}
+
 std::vector<std::exception_ptr> Executor::forEachAll(
     std::size_t n, const std::function<void(std::size_t)>& f,
-    const support::CancellationToken* cancel) {
+    const support::CancellationToken* cancel, const char* label) {
   std::vector<std::exception_ptr> errors(n);
   if (n == 0) return errors;
+
+  // One batch span on the caller plus a "task" span per iteration, emitted
+  // identically on the serial and pooled paths so trace structure does not
+  // depend on the job count.
+  std::optional<obs::Span> batch;
+  std::string taskName;
+  if (label != nullptr && obs::Tracer::enabled()) {
+    batch.emplace(label);
+    batch->arg("n", static_cast<double>(n));
+    taskName = std::string(label) + "/task";
+  }
+  const bool spanTasks = !taskName.empty();
+
   if (pool_ == nullptr) {
     for (std::size_t i = 0; i < n; ++i) {
       if (cancel != nullptr && cancel->cancelled()) break;
+      std::optional<obs::Span> span;
+      if (spanTasks) {
+        span.emplace(taskName, "task");
+        span->arg("i", static_cast<double>(i));
+      }
       try {
         f(i);
       } catch (...) {
@@ -67,8 +103,13 @@ std::vector<std::exception_ptr> Executor::forEachAll(
     // f and errors are only touched before the decrement, so the caller
     // (which waits for remaining == 0 before returning) keeps them alive
     // long enough; only `state` is used afterwards.
-    pool_->submit([state, &f, &errors, cancel, i] {
+    pool_->submit([state, &f, &errors, cancel, i, spanTasks, taskName] {
       if (cancel == nullptr || !cancel->cancelled()) {
+        std::optional<obs::Span> span;
+        if (spanTasks) {
+          span.emplace(taskName, "task");
+          span->arg("i", static_cast<double>(i));
+        }
         try {
           f(i);
         } catch (...) {
@@ -98,8 +139,10 @@ std::vector<std::exception_ptr> Executor::forEachAll(
 
 void Executor::forEach(std::size_t n,
                        const std::function<void(std::size_t)>& f,
-                       const support::CancellationToken* cancel) {
-  const std::vector<std::exception_ptr> errors = forEachAll(n, f, cancel);
+                       const support::CancellationToken* cancel,
+                       const char* label) {
+  const std::vector<std::exception_ptr> errors =
+      forEachAll(n, f, cancel, label);
 
   std::vector<ForEachError::Item> failures;
   for (std::size_t i = 0; i < n; ++i) {

@@ -22,6 +22,7 @@
 // per item rather than throwing at all.
 
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <memory>
@@ -66,14 +67,33 @@ public:
   unsigned jobs() const { return jobs_; }
   bool parallel() const { return pool_ != nullptr; }
 
+  /// Aggregated work-stealing pool counters (all zero for a serial
+  /// executor). Exact once every forEach has joined.
+  struct PoolStats {
+    unsigned workers = 0;
+    std::uint64_t runs = 0;         // tasks executed on pool workers
+    std::uint64_t steals = 0;       // of those, taken from a foreign deque
+    std::uint64_t externalRuns = 0; // tasks drained by helping callers
+    double idleSeconds = 0.0;       // summed worker CV-park time
+    std::size_t queueHighWater = 0; // deepest single deque seen
+  };
+  PoolStats poolStats() const;
+
   /// Run f(i) for every i in [0, n); returns when all are done. Serial
   /// executors run inline in index order (every index still runs even if
   /// an earlier one threw — same coverage as the pool). Exactly one
   /// failing iteration rethrows its original exception; two or more
   /// aggregate into a ForEachError. A cancelled token makes not-yet-
   /// started iterations no-ops (completed work is unaffected).
+  ///
+  /// A non-null `label` makes the call observable: when tracing is enabled
+  /// it emits one batch span named `label` on the caller plus one
+  /// "<label>/task" span (category "task", the utilization report's busy
+  /// signal) per iteration — on the serial and pooled paths alike, so trace
+  /// structure is jobs-count-invariant. Leave null on hot fan-outs.
   void forEach(std::size_t n, const std::function<void(std::size_t)>& f,
-               const support::CancellationToken* cancel = nullptr);
+               const support::CancellationToken* cancel = nullptr,
+               const char* label = nullptr);
 
   /// Like forEach but never throws for iteration failures: returns the
   /// per-index exceptions (null where the iteration succeeded or was
@@ -81,7 +101,8 @@ public:
   /// Pipeline::runMany.
   std::vector<std::exception_ptr> forEachAll(
       std::size_t n, const std::function<void(std::size_t)>& f,
-      const support::CancellationToken* cancel = nullptr);
+      const support::CancellationToken* cancel = nullptr,
+      const char* label = nullptr);
 
 private:
   unsigned jobs_;

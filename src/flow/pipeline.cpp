@@ -10,6 +10,7 @@
 #include "netlist/equiv.hpp"
 #include "netlist/seq_equiv.hpp"
 #include "netlist/verilog.hpp"
+#include "obs/trace.hpp"
 
 namespace lis::flow {
 
@@ -39,10 +40,11 @@ void PassContext::metric(std::string key, double value) {
   metrics_->emplace_back(std::move(key), value);
 }
 
-void PassContext::parallelFor(
-    std::size_t n, const std::function<void(std::size_t)>& f) const {
+void PassContext::parallelFor(std::size_t n,
+                              const std::function<void(std::size_t)>& f,
+                              const char* label) const {
   if (exec_ != nullptr) {
-    exec_->forEach(n, f);
+    exec_->forEach(n, f, nullptr, label);
   } else {
     for (std::size_t i = 0; i < n; ++i) f(i);
   }
@@ -53,10 +55,14 @@ void SynthesizeControl::run(Design& design, PassContext& ctx) {
   const netlist::NetlistStats st = nl.stats();
   ctx.metric("gates", static_cast<double>(st.gates));
   ctx.metric("dffs", static_cast<double>(st.dffs));
+  design.metrics().set("synth.gates", static_cast<double>(st.gates));
+  design.metrics().set("synth.dffs", static_cast<double>(st.dffs));
   if (const sync::FsmSynthStats* fs = design.controlStats()) {
     ctx.metric("sop_functions", static_cast<double>(fs->functions));
     ctx.metric("sop_cubes", static_cast<double>(fs->cubesAfter));
     ctx.metric("sop_literals", static_cast<double>(fs->literalsAfter));
+    design.metrics().set("synth.sop_cubes",
+                         static_cast<double>(fs->cubesAfter));
   } else {
     ctx.note(design.name() + ": prebuilt netlist, nothing to synthesize");
   }
@@ -73,6 +79,14 @@ void OptimizeAig::run(Design& design, PassContext& ctx) {
   ctx.metric("aig_depth_before", static_cast<double>(st.depthBefore));
   ctx.metric("aig_depth_after", static_cast<double>(st.depthAfter));
   ctx.metric("rounds_run", static_cast<double>(st.roundsRun));
+  ctx.metric("rewrite_adoptions", static_cast<double>(st.rewriteAdoptions));
+  ctx.metric("cuts_enumerated", static_cast<double>(st.cutsEnumerated));
+  obs::Registry& m = design.metrics();
+  m.set("aig.ands_before", static_cast<double>(st.andsBefore));
+  m.set("aig.ands_after", static_cast<double>(st.andsAfter));
+  m.set("aig.rounds_run", static_cast<double>(st.roundsRun));
+  m.set("aig.rewrite_adoptions", static_cast<double>(st.rewriteAdoptions));
+  m.set("aig.cuts_enumerated", static_cast<double>(st.cutsEnumerated));
   if (prove_) {
     const netlist::SeqEquivResult proof =
         netlist::checkSeqEquivalence(before, optimized, equiv_);
@@ -100,9 +114,11 @@ void MapLuts::run(Design& design, PassContext& ctx) {
   options.k = k_;
   options.rounds = rounds_;
   // Per-level cut enumeration rides the shared pool when the pipeline
-  // carries an executor; the chosen cover is identical either way.
-  if (Executor* exec = ctx.executor();
-      exec != nullptr && exec->parallel() && rounds_ > 0) {
+  // carries an executor; the chosen cover is identical either way. A
+  // 1-job executor runs the fan-out inline in index order, so the runner
+  // engages at any job count — keeping behavior (and trace structure)
+  // jobs-count-invariant.
+  if (Executor* exec = ctx.executor(); exec != nullptr && rounds_ > 0) {
     options.runner = [exec](std::size_t n,
                             const std::function<void(std::size_t)>& f) {
       exec->forEach(n, f);
@@ -116,6 +132,8 @@ void MapLuts::run(Design& design, PassContext& ctx) {
   ctx.metric("ffs", static_cast<double>(area.ffs));
   ctx.metric("slices", static_cast<double>(area.slices));
   ctx.metric("lut_depth", static_cast<double>(mapped.depth));
+  design.metrics().set("map.slices", static_cast<double>(area.slices));
+  design.metrics().set("map.lut_depth", static_cast<double>(mapped.depth));
 }
 
 void Sta::run(Design& design, PassContext& ctx) {
@@ -173,7 +191,7 @@ void ProveEncodingEquiv::run(Design& design, PassContext& ctx) {
         netlist::checkCombEquivalence(oneHot, binary);
     verdicts[i] = {res.equivalent, res.degraded, res.failingOutput,
                    res.proof};
-  });
+  }, "flow.proofs");
   for (std::size_t i = 0; i < specs.size(); ++i) {
     design.addProofStats(verdicts[i].proof);
     if (!verdicts[i].equivalent) {
@@ -188,6 +206,13 @@ void ProveEncodingEquiv::run(Design& design, PassContext& ctx) {
     }
   }
   ctx.metric("proofs", static_cast<double>(specs.size()));
+  if (const netlist::ProofStats* p = design.proofStats()) {
+    design.metrics().set("bdd.nodes", static_cast<double>(p->bddNodes));
+    design.metrics().set("bdd.apply_calls",
+                         static_cast<double>(p->applyCalls));
+    design.metrics().set("bdd.unique_growths",
+                         static_cast<double>(p->uniqueGrowths));
+  }
 }
 
 void Cosim::run(Design& design, PassContext& ctx) {
@@ -201,7 +226,7 @@ void Cosim::run(Design& design, PassContext& ctx) {
   if (Executor* exec = ctx.executor(); exec != nullptr && opts.shards > 1) {
     opts.runner = [exec](std::size_t n,
                          const std::function<void(std::size_t)>& f) {
-      exec->forEach(n, f);
+      exec->forEach(n, f, nullptr, "cosim.shards");
     };
   }
   sync::CosimResult r;
@@ -216,6 +241,9 @@ void Cosim::run(Design& design, PassContext& ctx) {
   ctx.metric("cycles", static_cast<double>(r.cyclesRun));
   ctx.metric("fires", static_cast<double>(r.fires));
   ctx.metric("tokens", static_cast<double>(r.tokens));
+  design.metrics().set("cosim.cycles", static_cast<double>(r.cyclesRun));
+  design.metrics().set("cosim.fires", static_cast<double>(r.fires));
+  design.metrics().set("cosim.tokens", static_cast<double>(r.tokens));
   const bool ok = r.ok;
   const bool cancelled = r.cancelled;
   const std::string mismatch = r.mismatch;
@@ -230,11 +258,12 @@ void Cosim::run(Design& design, PassContext& ctx) {
 void FaultCampaign::run(Design& design, PassContext& ctx) {
   fault::CampaignOptions opts = options_;
   if (opts.cancel == nullptr) opts.cancel = ctx.cancel();
-  if (Executor* exec = ctx.executor();
-      exec != nullptr && exec->parallel()) {
+  // Engaged at any job count (a 1-job executor runs inline in index
+  // order) so campaign behavior and trace structure never depend on jobs.
+  if (Executor* exec = ctx.executor(); exec != nullptr) {
     opts.runner = [exec](std::size_t n,
                          const std::function<void(std::size_t)>& f) {
-      exec->forEach(n, f);
+      exec->forEach(n, f, nullptr, "fault.sites");
     };
   }
   fault::Target target;
@@ -256,6 +285,10 @@ void FaultCampaign::run(Design& design, PassContext& ctx) {
   ctx.metric("control_seu_sites",
              static_cast<double>(r.controlSeu.total()));
   ctx.metric("control_seu_coverage", r.controlSeu.coverage());
+  design.metrics().set("fault.sites", static_cast<double>(r.all.total()));
+  design.metrics().set("fault.coverage", r.all.coverage());
+  design.metrics().set("fault.control_seu_coverage",
+                       r.controlSeu.coverage());
   const bool cancelled = r.cancelled;
   design.setFaultResult(std::move(r));
   if (cancelled) {
@@ -298,7 +331,9 @@ void Report::run(Design& design, PassContext& ctx) {
        << ", \"aig_ands_after\": " << opt->andsAfter
        << ", \"aig_depth_before\": " << opt->depthBefore
        << ", \"aig_depth_after\": " << opt->depthAfter
-       << ", \"rounds_run\": " << opt->roundsRun << "}";
+       << ", \"rounds_run\": " << opt->roundsRun
+       << ", \"rewrite_adoptions\": " << opt->rewriteAdoptions
+       << ", \"cuts_enumerated\": " << opt->cutsEnumerated << "}";
   }
   if (design.hasMapped()) {
     techmap::MapOptions mo;
@@ -338,6 +373,9 @@ void Report::run(Design& design, PassContext& ctx) {
        << ", \"control_seu_coverage\": " << f->controlSeu.coverage()
        << ", \"cancelled\": " << (f->cancelled ? "true" : "false") << "}";
   }
+  // Before stage_seconds: the determinism tests strip everything from
+  // stage_seconds on, so the metrics block is asserted jobs-invariant.
+  os << ",\n  \"metrics\": " << design.metrics().json();
   os << ",\n  \"stage_seconds\": {";
   bool first = true;
   for (const auto& [stage, seconds] : design.stageTimes()) {
@@ -411,6 +449,8 @@ RunResult Pipeline::runOne(Design& design, Executor* exec) {
       cancel = &deadline;
     }
     PassContext ctx(rec.name, result.diagnostics, rec.metrics, exec, cancel);
+    obs::Span span("pass:" + rec.name);
+    span.arg("design", design.name());
     const auto t0 = std::chrono::steady_clock::now();
     try {
       pass->run(design, ctx);
@@ -462,7 +502,7 @@ std::vector<RunResult> Pipeline::runMany(std::vector<Design>& designs,
   const std::vector<std::exception_ptr> errors =
       exec.forEachAll(designs.size(), [&](std::size_t i) {
         results[i] = runOne(designs[i], &exec);
-      });
+      }, nullptr, "flow.designs");
   for (std::size_t i = 0; i < errors.size(); ++i) {
     if (errors[i] == nullptr) continue;
     std::string what = "unknown exception";

@@ -83,8 +83,9 @@ public:
   /// Run f(0..n-1), serially in index order when no executor (or a
   /// 1-job one) is attached, on the shared pool otherwise. Callers must
   /// join results by index and emit diagnostics only after this returns.
-  void parallelFor(std::size_t n,
-                   const std::function<void(std::size_t)>& f) const;
+  /// A non-null `label` traces the fan-out (see Executor::forEach).
+  void parallelFor(std::size_t n, const std::function<void(std::size_t)>& f,
+                   const char* label = nullptr) const;
 
 private:
   friend class Pipeline;

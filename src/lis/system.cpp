@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "lis/datapath.hpp"
+#include "obs/trace.hpp"
 
 namespace lis::sync {
 
@@ -192,6 +193,9 @@ std::vector<std::size_t> SystemSpec::externalOutputs() const {
 
 System buildSystem(const SystemSpec& spec) {
   spec.validate();
+  obs::Span span("buildSystem");
+  span.arg("pearls", static_cast<double>(spec.pearls.size()));
+  span.arg("channels", static_cast<double>(spec.channels.size()));
   System sys{Netlist(spec.name + "_" + encodingName(spec.encoding)),
              {}, {}, 0};
   Netlist& nl = sys.netlist;
@@ -255,13 +259,15 @@ System buildSystem(const SystemSpec& spec) {
 
   std::vector<FsmInstance> shells;
   shells.reserve(spec.pearls.size());
+  std::vector<std::vector<FsmInstance>> relays(numChan);
+  std::vector<std::vector<std::vector<Bus>>> slots(numChan);
+  {
+  OBS_SPAN("buildSystem/controls");
   for (std::size_t p = 0; p < spec.pearls.size(); ++p) {
     const PearlSpec& ps = spec.pearls[p];
     shells.emplace_back(*shellSpecFor(ps.numInputs, ps.numOutputs),
                         spec.encoding, nl, ps.name + "_ctl");
   }
-  std::vector<std::vector<FsmInstance>> relays(numChan);
-  std::vector<std::vector<std::vector<Bus>>> slots(numChan);
   for (std::size_t c = 0; c < numChan; ++c) {
     const ChannelSpec& ch = spec.channels[c];
     relays[c].reserve(ch.relays);
@@ -279,6 +285,7 @@ System buildSystem(const SystemSpec& spec) {
       ++sys.relayStations;
     }
   }
+  } // controls span
 
   // Phase 2: elaborate shells in topological order over relay-free
   // channels, building each pearl's datapath as soon as its control exists.
@@ -286,6 +293,8 @@ System buildSystem(const SystemSpec& spec) {
   // already-elaborated upstream fire strobe.
   std::vector<NodeId> fire(spec.pearls.size(), kNoNode);
   std::vector<std::vector<Bus>> tagged(spec.pearls.size());
+  {
+  OBS_SPAN("buildSystem/shells");
   for (unsigned p : pearlTopoOrder(spec)) {
     const PearlSpec& ps = spec.pearls[p];
     std::vector<NodeId> cond;
@@ -326,6 +335,7 @@ System buildSystem(const SystemSpec& spec) {
     fire[p] = shells[p].mealy("fire");
     sys.control.accumulate(shells[p].stats());
   }
+  } // shells span
 
   // A channel's source-side valid/data as seen by its first relay station
   // (or, with no relays, by its sink).
@@ -348,6 +358,8 @@ System buildSystem(const SystemSpec& spec) {
   };
 
   // Phase 3: elaborate the relay chains and wire their shift FIFOs.
+  {
+  OBS_SPAN("buildSystem/relays");
   for (std::size_t c = 0; c < numChan; ++c) {
     const ChannelSpec& ch = spec.channels[c];
     for (unsigned k = 0; k < ch.relays; ++k) {
@@ -363,8 +375,10 @@ System buildSystem(const SystemSpec& spec) {
       sys.control.accumulate(relays[c][k].stats());
     }
   }
+  } // relays span
 
   // Phase 4: boundary outputs.
+  OBS_SPAN("buildSystem/boundary");
   for (std::size_t k = 0; k < extIn.size(); ++k) {
     const std::size_t c = extIn[k];
     const ChannelSpec& ch = spec.channels[c];

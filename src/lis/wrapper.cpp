@@ -4,6 +4,7 @@
 #include <string>
 
 #include "lis/datapath.hpp"
+#include "obs/trace.hpp"
 
 namespace lis::sync {
 
@@ -115,6 +116,9 @@ Wrapper buildRelayStation(unsigned dataWidth, unsigned depth, Encoding enc) {
 
 Wrapper buildWrapper(const WrapperConfig& cfg) {
   checkWrapperConfig(cfg, /*needsRelay=*/true);
+  obs::Span span("buildWrapper");
+  span.arg("inputs", static_cast<double>(cfg.numInputs));
+  span.arg("relay_depth", static_cast<double>(cfg.relayDepth));
   Wrapper w{Netlist("wrapper_n" + std::to_string(cfg.numInputs) + "m" +
                     std::to_string(cfg.numOutputs) + "d" +
                     std::to_string(cfg.relayDepth) + "_" +

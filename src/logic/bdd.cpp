@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace lis::logic {
 
 namespace {
@@ -37,6 +39,15 @@ BddManager::BddManager(unsigned numVars)
   nodes_.reserve(std::size_t{1} << 12);
   nodes_.push_back({numVars_, kFalse, kFalse});
   nodes_.push_back({numVars_, kTrue, kTrue});
+}
+
+BddManager::~BddManager() {
+  obs::Registry& global = obs::Registry::global();
+  global.add("bdd.managers", 1.0);
+  global.add("bdd.apply_calls", static_cast<double>(stats_.applyCalls));
+  global.add("bdd.computed_hits", static_cast<double>(stats_.computedHits));
+  global.add("bdd.nodes_created", static_cast<double>(stats_.nodesCreated));
+  global.add("bdd.unique_growths", static_cast<double>(stats_.uniqueGrowths));
 }
 
 unsigned BddManager::varOf(BddRef f) const { return nodes_[f].var; }

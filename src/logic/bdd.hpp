@@ -71,6 +71,10 @@ public:
   static constexpr BddRef kTrue = 1;
 
   explicit BddManager(unsigned numVars);
+  /// Flushes this manager's lifetime stats into the process-wide
+  /// obs::Registry ("bdd.*" counters) — the scattered-stats absorption
+  /// point for engines with no design context.
+  ~BddManager();
 
   unsigned numVars() const { return numVars_; }
   std::size_t nodeCount() const { return nodes_.size(); }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace lis::netlist {
 
 namespace {
@@ -170,7 +172,16 @@ void BitSim::evalRom(const Instr& ins, const NodeId* f,
   }
 }
 
+BitSim::~BitSim() {
+  obs::Registry& global = obs::Registry::global();
+  global.add("bitsim.settle_passes", static_cast<double>(settlePasses_));
+  global.add("bitsim.patterns_settled",
+             static_cast<double>(settlePasses_) *
+                 static_cast<double>(numPatterns()));
+}
+
 void BitSim::settle() {
+  ++settlePasses_;
   const unsigned W = numWords_;
   std::uint64_t* const v = values_.data();
   const NodeId* const fan = fanins_.data();

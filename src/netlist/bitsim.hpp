@@ -26,6 +26,9 @@ namespace lis::netlist {
 class BitSim {
 public:
   explicit BitSim(const Netlist& nl, unsigned numWords = 1);
+  /// Flushes settle-pass / pattern counts into the process-wide
+  /// obs::Registry ("bitsim.*" counters).
+  ~BitSim();
 
   const Netlist& netlist() const { return *nl_; }
   unsigned numWords() const { return numWords_; }
@@ -108,6 +111,7 @@ private:
   std::vector<std::uint64_t> values_;  // node-major, numWords_ per node
   std::vector<std::uint64_t> dffNext_; // dffs().size() * numWords_
   std::vector<std::uint8_t> force_;    // per node: 0/1 forced, kNoForce none
+  std::uint64_t settlePasses_ = 0;     // lifetime count, flushed by ~BitSim
   std::size_t forceCount_ = 0;         // active forces (gates the hot path)
 };
 

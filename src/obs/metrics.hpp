@@ -1,0 +1,66 @@
+#pragma once
+// obs::Registry — named counters, gauges and histograms.
+//
+// One registry per flow::Design collects per-config engine stats (AIG
+// rewrite adoptions, cosim cycles, fault coverage, ...); Registry::global()
+// absorbs process-wide counters flushed by engines that have no design
+// context (BddManager and BitSim destructors, the thread pool). Values are
+// doubles throughout: every stat we track is either a count or a ratio, and
+// one type keeps the JSON serialization uniform. All methods are
+// thread-safe; callers on hot paths should accumulate locally and flush
+// once (the engine destructor pattern) rather than call add() per event.
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace lis::obs {
+
+class Registry {
+ public:
+  struct Histogram {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Increment a monotonic counter.
+  void add(std::string_view name, double delta = 1.0);
+  /// Set a gauge to its latest value.
+  void set(std::string_view name, double value);
+  /// Record one histogram observation (count/sum/min/max are kept).
+  void observe(std::string_view name, double value);
+
+  /// Current counter or gauge value; 0 when the name is unknown.
+  double value(std::string_view name) const;
+  /// Histogram summary; all-zero when the name is unknown.
+  Histogram histogram(std::string_view name) const;
+
+  /// Fold another registry in: counters add, gauges overwrite, histograms
+  /// merge.
+  void merge(const Registry& other);
+  void reset();
+  bool empty() const;
+
+  /// One flat JSON object, keys sorted (histograms expand to
+  /// name.count/.sum/.min/.max). Deterministic for deterministic values.
+  std::string json() const;
+
+  /// Process-wide registry for engine-level counters.
+  static Registry& global();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, double, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace lis::obs

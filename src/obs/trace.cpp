@@ -1,0 +1,261 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+
+namespace lis::obs {
+
+namespace {
+
+struct PendingSpan {
+  std::string name;
+  const char* category = "flow";
+  std::int64_t startNs = 0;
+  std::vector<TraceArg> args;
+};
+
+struct Tls {
+  std::shared_ptr<ThreadBuffer> buffer;
+  std::uint64_t generation = ~std::uint64_t{0};
+};
+
+Tls& tlsSlot() {
+  thread_local Tls slot;
+  return slot;
+}
+
+std::string& tlsThreadName() {
+  thread_local std::string name;
+  return name;
+}
+
+void escapeJson(std::ostringstream& os, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+void emitArgs(std::ostringstream& os, const std::vector<TraceArg>& args) {
+  os << "{";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "\"";
+    escapeJson(os, args[i].key);
+    os << "\":";
+    if (args[i].isText) {
+      os << "\"";
+      escapeJson(os, args[i].text);
+      os << "\"";
+    } else {
+      os << args[i].number;
+    }
+  }
+  os << "}";
+}
+
+}  // namespace
+
+struct ThreadBuffer {
+  std::uint32_t tid = 0;
+  std::mutex mutex;                 // guards events + name
+  std::string name;                 // display name at registration/rename
+  std::vector<TraceEvent> events;   // completed spans
+  std::vector<PendingSpan> stack;   // open spans; owning thread only
+};
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::enable() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  buffers_.clear();
+  nextTid_ = 0;
+  epochNs_.store(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     std::chrono::steady_clock::now().time_since_epoch())
+                     .count(),
+                 std::memory_order_relaxed);
+  armed_ = true;
+  generation_.fetch_add(1, std::memory_order_release);
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::disable() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_ = false;
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+void Tracer::suspend() { enabled_.store(false, std::memory_order_relaxed); }
+
+void Tracer::resume() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (armed_) enabled_.store(true, std::memory_order_relaxed);
+}
+
+std::shared_ptr<ThreadBuffer> Tracer::threadBuffer() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto buffer = std::make_shared<ThreadBuffer>();
+  buffer->tid = nextTid_++;
+  buffer->name = tlsThreadName().empty()
+                     ? "thread-" + std::to_string(buffer->tid)
+                     : tlsThreadName();
+  buffers_.push_back(buffer);
+  return buffer;
+}
+
+std::int64_t Tracer::nowNs() const {
+  const std::int64_t now =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+  return now - epochNs_.load(std::memory_order_relaxed);
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    buffers = buffers_;
+  }
+  std::vector<TraceEvent> events;
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mutex);
+    events.insert(events.end(), buffer->events.begin(), buffer->events.end());
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.startNs != b.startNs) return a.startNs < b.startNs;
+              if (a.endNs != b.endNs) return a.endNs > b.endNs;  // outer first
+              if (a.tid != b.tid) return a.tid < b.tid;
+              return a.name < b.name;
+            });
+  return events;
+}
+
+std::vector<std::pair<std::uint32_t, std::string>> Tracer::threadNames() const {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    buffers = buffers_;
+  }
+  std::vector<std::pair<std::uint32_t, std::string>> names;
+  names.reserve(buffers.size());
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mutex);
+    names.emplace_back(buffer->tid, buffer->name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::string Tracer::chromeTraceJson() const {
+  const auto names = threadNames();
+  const auto events = snapshot();
+  std::ostringstream os;
+  // Default stream precision (6 significant digits) would quantize ts
+  // values above ~1s of trace time to >1us steps, making sibling spans
+  // appear to overlap; 15 digits keeps nanosecond fidelity at any length.
+  os << std::setprecision(15);
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& [tid, name] : names) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":0,\"tid\":" << tid
+       << ",\"args\":{\"name\":\"";
+    escapeJson(os, name);
+    os << "\"}}";
+  }
+  for (const auto& e : events) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"ph\":\"X\",\"name\":\"";
+    escapeJson(os, e.name);
+    os << "\",\"cat\":\"" << e.category << "\",\"pid\":0,\"tid\":" << e.tid
+       << ",\"ts\":" << static_cast<double>(e.startNs) / 1000.0
+       << ",\"dur\":" << static_cast<double>(e.endNs - e.startNs) / 1000.0;
+    if (!e.args.empty()) {
+      os << ",\"args\":";
+      emitArgs(os, e.args);
+    }
+    os << "}";
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+bool Tracer::writeChromeTrace(const std::string& path) const {
+  const std::string json = chromeTraceJson();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+void setThreadName(std::string name) {
+  tlsThreadName() = std::move(name);
+  Tls& tls = tlsSlot();
+  if (tls.buffer != nullptr) {
+    std::lock_guard<std::mutex> lock(tls.buffer->mutex);
+    tls.buffer->name = tlsThreadName();
+  }
+}
+
+void Span::begin(std::string name, const char* category) {
+  Tracer& tracer = Tracer::instance();
+  Tls& tls = tlsSlot();
+  const std::uint64_t generation =
+      Tracer::generation_.load(std::memory_order_acquire);
+  if (tls.generation != generation || tls.buffer == nullptr) {
+    tls.buffer = tracer.threadBuffer();
+    tls.generation = generation;
+  }
+  ThreadBuffer* buffer = tls.buffer.get();
+  frame_ = buffer->stack.size();
+  buffer->stack.push_back({std::move(name), category, tracer.nowNs(), {}});
+  owner_ = tls.buffer;
+  buffer_ = buffer;
+}
+
+void Span::end() {
+  auto* buffer = static_cast<ThreadBuffer*>(buffer_);
+  PendingSpan pending = std::move(buffer->stack.back());
+  buffer->stack.pop_back();
+  TraceEvent event{std::move(pending.name), pending.category, buffer->tid,
+                   pending.startNs, Tracer::instance().nowNs(),
+                   std::move(pending.args)};
+  std::lock_guard<std::mutex> lock(buffer->mutex);
+  buffer->events.push_back(std::move(event));
+}
+
+void Span::arg(const char* key, double value) {
+  if (buffer_ == nullptr) return;
+  auto* buffer = static_cast<ThreadBuffer*>(buffer_);
+  buffer->stack[frame_].args.push_back({key, {}, value, false});
+}
+
+void Span::arg(const char* key, std::string value) {
+  if (buffer_ == nullptr) return;
+  auto* buffer = static_cast<ThreadBuffer*>(buffer_);
+  buffer->stack[frame_].args.push_back({key, std::move(value), 0.0, true});
+}
+
+}  // namespace lis::obs

@@ -1,0 +1,132 @@
+#pragma once
+// Flow-wide span tracer.
+//
+// obs::Span is an RAII scope that records a begin/end pair into a per-thread
+// buffer owned by the process-wide obs::Tracer. The disabled path is one
+// relaxed atomic load and a branch — cheap enough to leave OBS_SPAN in hot
+// pipeline code. When enabled, spans nest naturally (a thread-local stack),
+// carry string/number args, and export as Chrome trace-event JSON loadable
+// in Perfetto or chrome://tracing.
+//
+// Threading model: each thread lazily registers one buffer per enable()
+// generation. The open-span stack is touched only by the owning thread; the
+// completed-event vector is guarded by a per-buffer mutex (locked once per
+// span end and during snapshot), so snapshots are safe while pool workers
+// are alive. enable() clears all prior buffers and bumps a generation
+// counter that invalidates the thread-local caches; suspend()/resume()
+// toggle recording without clearing (used to mute the bench's serial
+// re-run). Export ordering is canonicalized — (start, end desc, tid, name)
+// — so traces are stable for a given set of recorded spans.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lis::obs {
+
+struct TraceArg {
+  std::string key;
+  std::string text;
+  double number = 0.0;
+  bool isText = false;
+};
+
+struct TraceEvent {
+  std::string name;
+  const char* category = "flow";
+  std::uint32_t tid = 0;
+  std::int64_t startNs = 0;
+  std::int64_t endNs = 0;
+  std::vector<TraceArg> args;
+};
+
+struct ThreadBuffer;
+
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  /// Start a fresh trace: drops previously recorded events, invalidates all
+  /// thread-local buffers, resets the clock epoch and begins recording.
+  void enable();
+  /// Stop recording. Recorded events stay available for snapshot()/export.
+  void disable();
+  /// Pause recording without discarding events (e.g. around a re-run whose
+  /// spans would duplicate the trace). resume() only takes effect between
+  /// enable() and disable().
+  void suspend();
+  void resume();
+
+  static bool enabled() { return enabled_.load(std::memory_order_relaxed); }
+
+  /// All completed events in canonical order (startNs, endNs desc, tid, name).
+  std::vector<TraceEvent> snapshot() const;
+  /// Registered (tid, thread name) pairs, ordered by tid.
+  std::vector<std::pair<std::uint32_t, std::string>> threadNames() const;
+
+  /// Chrome trace-event JSON ("X" complete events + "M" thread_name records).
+  std::string chromeTraceJson() const;
+  bool writeChromeTrace(const std::string& path) const;
+
+ private:
+  friend class Span;
+  friend void setThreadName(std::string name);
+
+  /// Register (or reuse) the calling thread's buffer for the current
+  /// generation.
+  std::shared_ptr<ThreadBuffer> threadBuffer();
+  std::int64_t nowNs() const;
+
+  inline static std::atomic<bool> enabled_{false};
+  inline static std::atomic<std::uint64_t> generation_{0};
+
+  mutable std::mutex mutex_;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  std::uint32_t nextTid_ = 0;
+  bool armed_ = false;
+  std::atomic<std::int64_t> epochNs_{0};
+};
+
+/// Sticky display name for the calling thread ("main", "pool-0", ...) used
+/// in trace exports. Safe to call whether or not tracing is enabled.
+void setThreadName(std::string name);
+
+class Span {
+ public:
+  explicit Span(const char* name, const char* category = "flow") {
+    if (Tracer::enabled()) begin(name, category);
+  }
+  explicit Span(std::string name, const char* category = "flow") {
+    if (Tracer::enabled()) begin(std::move(name), category);
+  }
+  ~Span() {
+    if (buffer_ != nullptr) end();
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attach a numeric / string arg to this span (no-op when not recording).
+  void arg(const char* key, double value);
+  void arg(const char* key, std::string value);
+
+ private:
+  void begin(std::string name, const char* category);
+  void end();
+
+  std::shared_ptr<void> owner_;  // keeps the thread buffer alive
+  void* buffer_ = nullptr;       // ThreadBuffer*; null => no-op span
+  std::size_t frame_ = 0;        // index into the buffer's open-span stack
+};
+
+#define OBS_CONCAT_INNER(a, b) a##b
+#define OBS_CONCAT(a, b) OBS_CONCAT_INNER(a, b)
+/// OBS_SPAN("name") / OBS_SPAN("name", "category"): anonymous RAII span
+/// covering the rest of the enclosing scope.
+#define OBS_SPAN(...) ::lis::obs::Span OBS_CONCAT(obsSpan, __LINE__)(__VA_ARGS__)
+
+}  // namespace lis::obs

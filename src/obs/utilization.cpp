@@ -1,0 +1,83 @@
+#include "obs/utilization.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+
+namespace lis::obs {
+
+namespace {
+
+struct Interval {
+  std::int64_t start = 0;
+  std::int64_t end = 0;
+};
+
+/// Merge overlapping intervals in place (input sorted by start).
+void mergeIntervals(std::vector<Interval>& intervals) {
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    if (out > 0 && intervals[i].start <= intervals[out - 1].end) {
+      intervals[out - 1].end =
+          std::max(intervals[out - 1].end, intervals[i].end);
+    } else {
+      intervals[out++] = intervals[i];
+    }
+  }
+  intervals.resize(out);
+}
+
+std::int64_t overlapNs(const std::vector<Interval>& intervals,
+                       std::int64_t start, std::int64_t end) {
+  std::int64_t total = 0;
+  for (const Interval& iv : intervals) {
+    const std::int64_t lo = std::max(iv.start, start);
+    const std::int64_t hi = std::min(iv.end, end);
+    if (hi > lo) total += hi - lo;
+  }
+  return total;
+}
+
+}  // namespace
+
+UtilizationReport computeUtilization(const std::vector<TraceEvent>& events,
+                                     unsigned workers) {
+  UtilizationReport report;
+  report.workers = std::max(1u, workers);
+
+  // Per-thread busy intervals from executor task spans. The snapshot is
+  // sorted by start time, so per-tid interval lists come out sorted.
+  std::map<std::uint32_t, std::vector<Interval>> busy;
+  for (const TraceEvent& e : events) {
+    if (std::strcmp(e.category, "task") == 0) {
+      busy[e.tid].push_back({e.startNs, e.endNs});
+    }
+  }
+  for (auto& [tid, intervals] : busy) mergeIntervals(intervals);
+
+  double totalBusy = 0.0;
+  double totalCapacity = 0.0;
+  for (const TraceEvent& e : events) {
+    if (std::strcmp(e.category, "suite") != 0) continue;
+    SuiteUtilization u;
+    u.suite = e.name.rfind("suite:", 0) == 0 ? e.name.substr(6) : e.name;
+    u.wallSeconds = static_cast<double>(e.endNs - e.startNs) * 1e-9;
+    std::int64_t busyNs = 0;
+    for (const auto& [tid, intervals] : busy) {
+      const std::int64_t ns = overlapNs(intervals, e.startNs, e.endNs);
+      if (ns > 0) ++u.threads;
+      busyNs += ns;
+    }
+    u.busySeconds = static_cast<double>(busyNs) * 1e-9;
+    const double capacity = u.wallSeconds * report.workers;
+    u.parallelEfficiency = capacity > 0.0 ? u.busySeconds / capacity : 0.0;
+    totalBusy += u.busySeconds;
+    totalCapacity += capacity;
+    report.suites.push_back(std::move(u));
+  }
+  report.overallParallelEfficiency =
+      totalCapacity > 0.0 ? totalBusy / totalCapacity : 0.0;
+  return report;
+}
+
+}  // namespace lis::obs

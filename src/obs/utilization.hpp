@@ -1,0 +1,38 @@
+#pragma once
+// Executor utilization derived from a trace snapshot.
+//
+// Suite-boundary spans (category "suite", emitted by lis_bench around each
+// runMany call) define measurement windows; executor subtask spans
+// (category "task") define per-thread busy intervals. parallel_efficiency
+// for a window is sum-of-busy / (workers x wall) — the fraction of the
+// theoretical core-seconds the executor actually filled. The main thread
+// helps drain the pool, so its task spans count too and efficiency can
+// slightly exceed 1 on a saturated run; values are reported raw.
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace lis::obs {
+
+struct SuiteUtilization {
+  std::string suite;
+  double wallSeconds = 0.0;
+  double busySeconds = 0.0;
+  unsigned threads = 0;  // distinct threads with task spans in the window
+  double parallelEfficiency = 0.0;
+};
+
+struct UtilizationReport {
+  unsigned workers = 0;
+  std::vector<SuiteUtilization> suites;
+  double overallParallelEfficiency = 0.0;
+};
+
+/// Derive per-suite utilization from a canonical snapshot. `workers` is the
+/// executor job count (the efficiency denominator), min-clamped to 1.
+UtilizationReport computeUtilization(const std::vector<TraceEvent>& events,
+                                     unsigned workers);
+
+}  // namespace lis::obs

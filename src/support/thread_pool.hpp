@@ -12,22 +12,38 @@
 // are coarse (whole synthesis passes, cosim shards), so queue contention
 // is noise, and the simple locking is ThreadSanitizer-clean by
 // construction.
+//
+// Each worker keeps relaxed-atomic run/steal/idle counters (surfaced
+// through workerStats() and the bench "metrics.pool" section); the deques
+// track a queue-depth high-water mark under their own mutex.
 
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include "obs/trace.hpp"
 
 namespace lis::support {
 
 class ThreadPool {
 public:
+  /// Per-worker counters, sampled with relaxed loads (totals are exact once
+  /// the pool has quiesced, e.g. after a join).
+  struct WorkerStats {
+    std::uint64_t runs = 0;   // tasks executed by this worker
+    std::uint64_t steals = 0; // of those, taken from another worker's deque
+    double idleSeconds = 0.0; // time spent parked on the sleep CV
+  };
+
   /// Spawns `workers` threads (at least one).
   explicit ThreadPool(unsigned workers) {
     queues_.resize(workers == 0 ? 1 : workers);
@@ -51,6 +67,32 @@ public:
   }
 
   unsigned workers() const { return static_cast<unsigned>(threads_.size()); }
+  unsigned workerCount() const { return workers(); }
+
+  WorkerStats workerStats(std::size_t worker) const {
+    const Queue& q = *queues_[worker];
+    WorkerStats stats;
+    stats.runs = q.runs.load(std::memory_order_relaxed);
+    stats.steals = q.steals.load(std::memory_order_relaxed);
+    stats.idleSeconds =
+        static_cast<double>(q.idleNs.load(std::memory_order_relaxed)) * 1e-9;
+    return stats;
+  }
+
+  /// Tasks drained by non-worker threads helping through tryRunOne().
+  std::uint64_t externalRuns() const {
+    return externalRuns_.load(std::memory_order_relaxed);
+  }
+
+  /// Deepest any single deque has been since construction.
+  std::size_t queueHighWater() const {
+    std::size_t high = 0;
+    for (const auto& q : queues_) {
+      std::lock_guard<std::mutex> lock(q->mutex);
+      if (q->highWater > high) high = q->highWater;
+    }
+    return high;
+  }
 
   /// Enqueue a task. Called from any thread; a worker submitting from
   /// inside a task pushes onto its own deque (depth-first, keeps nested
@@ -64,7 +106,11 @@ public:
                   queues_.size();
     {
       std::lock_guard<std::mutex> lock(queues_[target]->mutex);
-      queues_[target]->tasks.push_back(std::move(task));
+      auto& deque = queues_[target]->tasks;
+      deque.push_back(std::move(task));
+      if (deque.size() > queues_[target]->highWater) {
+        queues_[target]->highWater = deque.size();
+      }
     }
     // Pair the notify with the sleepers' re-check: taking (and dropping)
     // the sleep lock here means a worker between its empty re-scan and
@@ -94,6 +140,14 @@ public:
           deque.pop_front();
         }
       }
+      if (self != kNotAWorker) {
+        queues_[self]->runs.fetch_add(1, std::memory_order_relaxed);
+        if (q != self) {
+          queues_[self]->steals.fetch_add(1, std::memory_order_relaxed);
+        }
+      } else {
+        externalRuns_.fetch_add(1, std::memory_order_relaxed);
+      }
       task();
       return true;
     }
@@ -102,11 +156,25 @@ public:
 
 private:
   struct Queue {
-    std::mutex mutex;
+    mutable std::mutex mutex;
     std::deque<std::function<void()>> tasks;
+    std::size_t highWater = 0; // guarded by mutex
+    // Counters for the worker with this queue's index (not the queue the
+    // task came from). Written by the owning worker, read by anyone.
+    std::atomic<std::uint64_t> runs{0};
+    std::atomic<std::uint64_t> steals{0};
+    std::atomic<std::uint64_t> idleNs{0};
   };
 
   static constexpr std::size_t kNotAWorker = static_cast<std::size_t>(-1);
+
+  // Idle backoff: a few yield-scans after the queues drain, then CV waits
+  // whose timeout doubles while no work shows up. The submit/sleepMutex
+  // pairing guarantees wakeups, so the timeout is purely a backstop — the
+  // growth just stops idle workers re-scanning every queue 100x a second.
+  static constexpr unsigned kIdleSpinScans = 4;
+  static constexpr std::chrono::microseconds kIdlePauseMin{500};
+  static constexpr std::chrono::microseconds kIdlePauseMax{50000};
 
   // Worker identity via thread-locals, not a scan of threads_ — workers
   // start (and call currentWorker) while the constructor is still
@@ -133,23 +201,47 @@ private:
   void workerLoop(std::size_t worker) {
     tlsPool_ = this;
     tlsWorker_ = worker;
+    obs::setThreadName("pool-" + std::to_string(worker));
+    std::chrono::microseconds pause = kIdlePauseMin;
+    unsigned idleScans = 0;
     while (true) {
-      if (tryRunOne()) continue;
-      std::unique_lock<std::mutex> lock(sleepMutex_);
-      if (stop_) return;
-      // Re-check for work under the sleep lock: a submit between our
-      // empty scan and this point either pushed before the re-check (we
-      // see it) or is now blocked on sleepMutex_ and will notify once we
-      // wait. The timeout is only a belt-and-braces backstop.
-      if (anyQueued()) continue;
-      wake_.wait_for(lock, std::chrono::milliseconds(10));
-      if (stop_) return;
+      if (tryRunOne()) {
+        pause = kIdlePauseMin;
+        idleScans = 0;
+        continue;
+      }
+      if (++idleScans <= kIdleSpinScans) {
+        std::this_thread::yield();
+        continue;
+      }
+      const auto idleStart = std::chrono::steady_clock::now();
+      {
+        std::unique_lock<std::mutex> lock(sleepMutex_);
+        if (stop_) return;
+        // Re-check for work under the sleep lock: a submit between our
+        // empty scan and this point either pushed before the re-check (we
+        // see it) or is now blocked on sleepMutex_ and will notify once we
+        // wait. The timeout is only a belt-and-braces backstop, so it can
+        // back off exponentially while the pool stays idle.
+        if (!anyQueued()) {
+          wake_.wait_for(lock, pause);
+          pause = std::min(pause * 2, kIdlePauseMax);
+        }
+        if (stop_) return;
+      }
+      queues_[worker]->idleNs.fetch_add(
+          static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - idleStart)
+                  .count()),
+          std::memory_order_relaxed);
     }
   }
 
   std::vector<std::unique_ptr<Queue>> queues_;
   std::vector<std::thread> threads_;
   std::atomic<std::size_t> nextQueue_{0};
+  std::atomic<std::uint64_t> externalRuns_{0};
   std::mutex sleepMutex_;
   std::condition_variable wake_;
   bool stop_ = false;

@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include <map>
+
 #include "bench/suites.hpp"
 #include "fault/campaign.hpp"
 #include "flow/design.hpp"
@@ -18,6 +20,7 @@
 #include "lis/cosim.hpp"
 #include "lis/system.hpp"
 #include "lis/wrapper.hpp"
+#include "obs/trace.hpp"
 #include "test_util.hpp"
 
 using lis::flow::Design;
@@ -344,6 +347,44 @@ void testRunManyBuffersFailuresPerDesign() {
   CHECK(results[1].json().find("\"ok\": false") != std::string::npos);
 }
 
+void testTraceStructureJobsInvariant() {
+  // The tracer's determinism contract: the *set* of spans a runMany
+  // records — passes, stage builds, labeled fan-out batches and their
+  // per-index task spans — is a pure function of the suite, not of the
+  // job count or the schedule. (Timestamps and thread assignment differ,
+  // so the comparison is the multiset of span names.)
+  const auto traceOf = [](unsigned jobs) {
+    lis::obs::Tracer& tracer = lis::obs::Tracer::instance();
+    tracer.enable();
+    Pipeline pipe = lis::bench::standardPasses(/*cosimCycles=*/400);
+    auto designs = lis::bench::wrapperSuite();
+    const std::vector<RunResult> results = pipe.runMany(designs, jobs);
+    tracer.disable();
+    for (const RunResult& r : results) CHECK(r.ok);
+    std::map<std::string, std::size_t> counts;
+    for (const lis::obs::TraceEvent& e : tracer.snapshot()) {
+      CHECK(e.endNs >= e.startNs);
+      ++counts[e.name];
+    }
+    return counts;
+  };
+  const auto serial = traceOf(1);
+  const auto parallel = traceOf(8);
+  CHECK(serial == parallel);
+  CHECK(serial.count("flow.designs") == 1);
+  CHECK(serial.at("flow.designs/task") >= 2);
+  CHECK(serial.count("pass:synthesize-control") == 1);
+  CHECK(serial.at("cosim.shards") >= 1);
+  CHECK(serial.at("buildWrapper") >= 1);
+
+  // The export is well-formed JSON-ish output with the canonical header.
+  lis::obs::Tracer& tracer = lis::obs::Tracer::instance();
+  const std::string json = tracer.chromeTraceJson();
+  CHECK(json.find("\"traceEvents\"") != std::string::npos);
+  CHECK(!json.empty() && json.front() == '{' &&
+        json[json.size() - 2] == '}');
+}
+
 } // namespace
 
 int main() {
@@ -355,5 +396,6 @@ int main() {
   testRunManyOptPipeline();
   testFaultCampaignJobsInvariant();
   testRunManyBuffersFailuresPerDesign();
+  testTraceStructureJobsInvariant();
   return testExit();
 }

@@ -27,6 +27,16 @@ design. A baseline fault entry missing from the fresh results fails —
 silently shrinking fault coverage is exactly the regression this section
 exists to catch.
 
+The "metrics" section (per-config engine counters + executor
+utilization, added with the observability layer) is gated leniently:
+every non-failed config row must carry its suite's required counter keys
+(a deterministic output of the passes, so their absence means the
+instrumentation broke), and the sweep suite's parallel_efficiency must
+clear an absolute floor and not collapse relative to the baseline. A
+fresh file without the section — or without utilization, which only
+exists for `--trace` runs — warns and skips, so pre-observability
+benches and untraced runs still pass.
+
 Configs the bench marked `"failed": true` (a design whose pipeline run
 errored; the bench records it instead of crashing) are *warnings* here and
 are skipped from metric comparison — the bench's own non-zero exit is the
@@ -152,6 +162,95 @@ def check_fault(baseline, fresh):
     return failures, warnings
 
 
+# Required per-config counter keys by suite: deterministic pass outputs,
+# so a missing key means the instrumentation regressed, not the machine.
+METRICS_REQUIRED_KEYS = {
+    "wrapper": ("cosim.cycles", "bdd.apply_calls"),
+    "system": ("cosim.cycles", "bdd.apply_calls"),
+    "sweep": ("cosim.cycles", "bdd.apply_calls"),
+    "wrapper_opt": ("aig.ands_after", "aig.rewrite_adoptions",
+                    "aig.cuts_enumerated"),
+    "system_opt": ("aig.ands_after", "aig.rewrite_adoptions",
+                   "aig.cuts_enumerated"),
+    "sweep_opt": ("aig.ands_after", "aig.rewrite_adoptions",
+                  "aig.cuts_enumerated"),
+    "fault": ("fault.sites", "fault.control_seu_coverage"),
+}
+
+# The sweep suite (the long, many-design section) must keep the executor
+# meaningfully busy. The floor is deliberately generous — utilization is
+# wall-clock-derived and CI machines are noisy — and the relative slack
+# only catches a collapse, not jitter.
+PARALLEL_EFFICIENCY_FLOOR = 0.30
+PARALLEL_EFFICIENCY_SLACK = 0.60
+
+
+def check_metrics(baseline, fresh):
+    """Gate the observability "metrics" section.
+
+    Returns (failures, warnings). Tolerant of absence at every level: no
+    section, no utilization (untraced or --strip-times runs) and unknown
+    suites all warn; only a present-but-broken invariant fails.
+    """
+    failures = []
+    warnings = []
+    metrics = fresh.get("metrics")
+    if metrics is None:
+        warnings.append('no "metrics" section in fresh results; '
+                        "metrics gate skipped")
+        return failures, warnings
+
+    for row in metrics.get("configs", []):
+        suite = row.get("suite", "?")
+        name = row.get("design", "?")
+        if row.get("failed"):
+            warnings.append(f"metrics {suite}/{name}: config failed in the "
+                            f"bench run; counter checks skipped")
+            continue
+        required = METRICS_REQUIRED_KEYS.get(suite)
+        if required is None:
+            warnings.append(f'metrics: unknown suite "{suite}" '
+                            f"({name}); no counter checks for it")
+            continue
+        counters = row.get("counters")
+        if not isinstance(counters, dict):
+            failures.append(f"metrics {suite}/{name}: counters object "
+                            f"missing")
+            continue
+        for key in required:
+            if key not in counters:
+                failures.append(f'metrics {suite}/{name}: required counter '
+                                f'"{key}" missing')
+
+    util = metrics.get("utilization")
+    if not util:
+        warnings.append("metrics.utilization absent (bench run without "
+                        "--trace or with --strip-times); efficiency gate "
+                        "skipped")
+        return failures, warnings
+    base_util = (baseline.get("metrics") or {}).get("utilization") or {}
+    base_suites = {s.get("suite"): s for s in base_util.get("suites", [])}
+    for entry in util.get("suites", []):
+        if entry.get("suite") != "sweep":
+            continue
+        eff = entry.get("parallel_efficiency")
+        if eff is None:
+            warnings.append("metrics.utilization sweep entry lacks "
+                            "parallel_efficiency; gate skipped")
+            continue
+        if eff < PARALLEL_EFFICIENCY_FLOOR:
+            failures.append(
+                f"metrics: sweep parallel_efficiency {eff:.3f} below the "
+                f"{PARALLEL_EFFICIENCY_FLOOR:.2f} floor")
+        old = base_suites.get("sweep", {}).get("parallel_efficiency")
+        if old is not None and eff < old - PARALLEL_EFFICIENCY_SLACK:
+            failures.append(
+                f"metrics: sweep parallel_efficiency {old:.3f} -> "
+                f"{eff:.3f} (dropped more than "
+                f"{PARALLEL_EFFICIENCY_SLACK:.2f})")
+    return failures, warnings
+
+
 def compare(baseline, fresh, max_regress):
     """Returns (failures, warnings): lists of human-readable strings."""
     failures = []
@@ -231,6 +330,9 @@ def run_gate(args):
     fault_failures, fault_warnings = check_fault(baseline, fresh)
     failures += fault_failures
     warnings += fault_warnings
+    metrics_failures, metrics_warnings = check_metrics(baseline, fresh)
+    failures += metrics_failures
+    warnings += metrics_warnings
 
     print(f"{'config':>22} {'slices':>15} {'fmax_mhz':>19}")
     for name, old, new, notes in rows:
@@ -246,6 +348,13 @@ def run_gate(args):
                 print(f"opt {entry.get('design', '?'):>24} "
                       f"{entry['slices_unopt']:>5} -> "
                       f"{entry['slices_opt']:<6}")
+    util = (fresh.get("metrics") or {}).get("utilization")
+    if util:
+        for entry in util.get("suites", []):
+            if "parallel_efficiency" in entry:
+                print(f"util {entry.get('suite', '?'):>23}   "
+                      f"parallel efficiency "
+                      f"{entry['parallel_efficiency']:.3f}")
     for entry in fresh.get("fault", {}).get("entries", []):
         name = entry.get("design", "?")
         if entry.get("failed"):
@@ -405,6 +514,51 @@ def self_test():
     checks.append(("failed fault config warns", not f and bool(w)))
     f, w = check_fault(fault_file([fault_entry]), {"wrapper": [entry]})
     checks.append(("absent fault section warns only", not f and bool(w)))
+
+    # --- "metrics" section gate -----------------------------------------
+    def metrics_file(configs, utilization=None):
+        return {"metrics": {"configs": configs,
+                            "utilization": utilization}}
+
+    good_row = {"suite": "wrapper", "design": "w",
+                "counters": {"cosim.cycles": 2000, "bdd.apply_calls": 99}}
+    # Healthy configs with no utilization (untraced run): warns, passes.
+    f, w = check_metrics({}, metrics_file([good_row]))
+    checks.append(("metrics counters pass, absent utilization warns",
+                   not f and bool(w)))
+    # A required counter gone missing fails.
+    bad_row = {"suite": "wrapper", "design": "w",
+               "counters": {"cosim.cycles": 2000}}
+    f, _ = check_metrics({}, metrics_file([bad_row]))
+    checks.append(("metrics missing counter fails", bool(f)))
+    # Failed configs and unknown suites warn, never fail.
+    f, w = check_metrics({}, metrics_file(
+        [{"suite": "wrapper", "design": "w", "failed": True},
+         {"suite": "novel", "design": "x", "counters": {}}]))
+    checks.append(("metrics failed/unknown rows warn", not f and len(w) >= 2))
+    # No metrics section at all (pre-observability bench): warns, passes.
+    f, w = check_metrics({}, {"wrapper": [entry]})
+    checks.append(("absent metrics section warns only", not f and bool(w)))
+
+    def util_file(eff):
+        return metrics_file([], {"workers": 4, "suites": [
+            {"suite": "sweep", "parallel_efficiency": eff}],
+            "overall_parallel_efficiency": eff})
+
+    # Efficiency above the floor passes; below it fails.
+    f, _ = check_metrics({}, util_file(0.8))
+    checks.append(("efficiency above floor passes", not f))
+    f, _ = check_metrics({}, util_file(0.1))
+    checks.append(("efficiency below floor fails", bool(f)))
+    # A collapse relative to the baseline fails even above the floor.
+    f, _ = check_metrics(util_file(1.2), util_file(0.45))
+    checks.append(("efficiency collapse vs baseline fails", bool(f)))
+    # Jitter within the slack passes.
+    f, _ = check_metrics(util_file(0.9), util_file(0.5))
+    checks.append(("efficiency jitter within slack passes", not f))
+    # A baseline without utilization (older bench) never blocks.
+    f, _ = check_metrics({"metrics": {"configs": []}}, util_file(0.8))
+    checks.append(("missing baseline utilization passes", not f))
 
     ok = True
     for name, passed in checks:

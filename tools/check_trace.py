@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file written by `lis_bench --trace`.
+
+Usage: check_trace.py TRACE.json [--require NAME]... [--self-test]
+
+Checks that the file is valid JSON with a "traceEvents" list, that every
+event is well-formed (known phase, required keys, non-negative
+timestamps), that the "X" spans on each thread nest properly (a span
+never half-overlaps an enclosing one — the invariant the obs::Tracer's
+RAII scopes guarantee by construction, so a violation means the exporter
+or the buffers broke), and that the trace is non-trivial. Each --require
+NAME asserts at least one complete event whose name contains NAME — CI
+uses this to pin the flow coverage of the trace (passes, executor
+subtasks, cosim shards, fault campaigns, suite windows).
+
+Exits 0 when the trace passes, 1 with one line per violation otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+
+def check_trace(trace, require):
+    """Returns a list of human-readable violations (empty == pass)."""
+    errors = []
+    if not isinstance(trace, dict):
+        return ["top level is not a JSON object"]
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ['no "traceEvents" list']
+
+    spans = []
+    for i, e in enumerate(events):
+        if not isinstance(e, dict):
+            errors.append(f"event {i}: not an object")
+            continue
+        ph = e.get("ph")
+        if ph not in ("X", "M"):
+            errors.append(f"event {i}: unexpected phase {ph!r}")
+            continue
+        if ph == "M":
+            if e.get("name") != "thread_name":
+                errors.append(f"event {i}: metadata event is not a "
+                              f"thread_name record")
+            continue
+        missing = [k for k in ("name", "ts", "dur", "pid", "tid")
+                   if k not in e]
+        if missing:
+            errors.append(f"event {i}: missing keys {missing}")
+            continue
+        if not isinstance(e["name"], str) or not e["name"]:
+            errors.append(f"event {i}: empty or non-string name")
+            continue
+        if e["ts"] < 0 or e["dur"] < 0:
+            errors.append(f"event {i} ({e['name']}): negative ts/dur")
+            continue
+        spans.append(e)
+
+    if not spans:
+        errors.append("no complete ('X') events in the trace")
+        return errors
+
+    # Per-thread nesting: sweep spans in canonical order (start asc, end
+    # desc) with a stack; every span must fit inside the enclosing open
+    # one or start after it ended.
+    by_tid = {}
+    for e in spans:
+        by_tid.setdefault(e["tid"], []).append(e)
+    for tid, tspans in sorted(by_tid.items()):
+        tspans.sort(key=lambda e: (e["ts"], -e["dur"]))
+        stack = []
+        for e in tspans:
+            end = e["ts"] + e["dur"]
+            while stack and e["ts"] >= stack[-1]:
+                stack.pop()
+            # Half-microsecond slack: ts/dur are rounded to fractional
+            # microseconds on export, which can shave containment by one
+            # rounding step without any real nesting violation.
+            if stack and end > stack[-1] + 0.5:
+                errors.append(
+                    f"tid {tid}: span '{e['name']}' [{e['ts']}, {end}) "
+                    f"escapes its enclosing span (ends at {stack[-1]})")
+                break
+            stack.append(end)
+
+    for name in require:
+        if not any(name in e["name"] for e in spans):
+            errors.append(f"required span name not found: {name!r}")
+    return errors
+
+
+def self_test():
+    def trace(events):
+        return {"displayTimeUnit": "ms", "traceEvents": events}
+
+    def span(name, tid=0, ts=0.0, dur=1.0):
+        return {"ph": "X", "name": name, "cat": "flow", "pid": 0,
+                "tid": tid, "ts": ts, "dur": dur}
+
+    meta = {"ph": "M", "name": "thread_name", "pid": 0, "tid": 0,
+            "args": {"name": "main"}}
+    checks = []
+
+    # A well-nested trace passes, --require included.
+    good = trace([meta, span("outer", ts=0, dur=10),
+                  span("inner", ts=2, dur=3), span("later", ts=6, dur=2),
+                  span("elsewhere", tid=1, ts=1, dur=4)])
+    checks.append(("well-formed trace passes",
+                   not check_trace(good, ["inner", "elsewhere"])))
+    # A missing required name fails.
+    checks.append(("missing required name fails",
+                   bool(check_trace(good, ["nonexistent"]))))
+    # Half-overlap (a span escaping its parent) fails.
+    bad = trace([span("outer", ts=0, dur=10), span("escapes", ts=5, dur=10)])
+    checks.append(("overlapping spans fail", bool(check_trace(bad, []))))
+    # Same intervals on different threads are independent — no violation.
+    ok2 = trace([span("a", tid=0, ts=0, dur=10),
+                 span("b", tid=1, ts=5, dur=10)])
+    checks.append(("cross-thread overlap passes", not check_trace(ok2, [])))
+    # Structural breakage fails: no traceEvents, empty trace, bad phase,
+    # missing keys, negative times.
+    checks.append(("missing traceEvents fails", bool(check_trace({}, []))))
+    checks.append(("empty trace fails", bool(check_trace(trace([meta]), []))))
+    weird = trace([dict(span("x"), ph="B")])
+    checks.append(("unknown phase fails", bool(check_trace(weird, []))))
+    incomplete = trace([{"ph": "X", "name": "x"}])
+    checks.append(("missing keys fail", bool(check_trace(incomplete, []))))
+    negative = trace([span("x", ts=-1.0)])
+    checks.append(("negative ts fails", bool(check_trace(negative, []))))
+
+    ok = True
+    for name, passed in checks:
+        print(f"{'ok' if passed else 'FAIL'}: {name}")
+        ok = ok and passed
+    return 0 if ok else 1
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", nargs="?")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="NAME",
+                        help="assert a span whose name contains NAME")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in unit checks and exit")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if args.trace is None:
+        parser.error("TRACE.json is required (or --self-test)")
+    try:
+        with open(args.trace) as f:
+            trace = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot load {args.trace}: {e}", file=sys.stderr)
+        return 1
+    errors = check_trace(trace, args.require)
+    if errors:
+        print(f"Trace check FAILED for {args.trace}:", file=sys.stderr)
+        for e in errors:
+            print(f"  {e}", file=sys.stderr)
+        return 1
+    spans = sum(1 for e in trace["traceEvents"] if e.get("ph") == "X")
+    print(f"Trace check passed: {spans} spans, "
+          f"{len(trace['traceEvents']) - spans} metadata records.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
