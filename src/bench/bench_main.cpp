@@ -22,8 +22,8 @@
 // across the flow suites and writes Chrome trace-event JSON; the "metrics"
 // JSON section reports per-config pass counters, process-wide engine
 // counters, pool scheduling stats, and the executor utilization derived
-// from the trace. `--suite quick` runs only the wrapper + fault suites —
-// the cheap smoke set CI traces on every push.
+// from the trace. `--suite quick` runs only the wrapper + fault + sat
+// suites — the cheap smoke set CI traces on every push.
 
 #include <chrono>
 #include <cstdio>
@@ -430,13 +430,18 @@ struct FlowSections {
   std::vector<lis::flow::RunResult> sweepOptResults;
   std::vector<lis::flow::Design> faults;
   std::vector<lis::flow::RunResult> faultResults;
+  std::vector<lis::flow::Design> sats;
+  std::vector<lis::flow::RunResult> satResults;
 };
 
 constexpr std::uint64_t kMatrixCosimCycles = 2000;
 constexpr std::uint64_t kSweepCosimCycles = 3000;
 
-// `quick` trims the run to the wrapper + fault suites (the other sections
-// emit empty arrays) — the smoke set the CI trace check runs. Each suite's
+// `quick` trims the run to the wrapper + fault + sat suites (the other
+// sections emit empty arrays) — the smoke set the CI trace check runs.
+// The sat suite stays in the smoke set because it is acceptance-gated
+// (check_bench_regression's "sat" checks) and costs well under a second.
+// Each suite's
 // runMany is wrapped in a "suite"-category span: those windows are what
 // computeUtilization measures.
 FlowSections runFlowSections(lis::flow::Executor& exec, bool quick) {
@@ -483,6 +488,12 @@ FlowSections runFlowSections(lis::flow::Executor& exec, bool quick) {
     lis::flow::Pipeline faultPipe = lis::bench::faultPasses();
     s.faults = lis::bench::faultSuite();
     s.faultResults = faultPipe.runMany(s.faults, exec);
+  }
+  {
+    lis::obs::Span span("suite:sat", "suite");
+    lis::flow::Pipeline satPipe = lis::bench::satPasses();
+    s.sats = lis::bench::satSuite();
+    s.satResults = satPipe.runMany(s.sats, exec);
   }
   return s;
 }
@@ -538,6 +549,101 @@ std::string jsonFault(const FaultBench& b) {
   return os.str();
 }
 
+// The sat section: per-design SAT-sweep tallies, the sweep soundness
+// proof's method/verdict, and the BMC protocol-invariant verdicts at
+// bench::kSatBmcDepth (see bench::satSuite / bench::satPasses).
+struct SatBench {
+  std::string design;
+  bool failed = false;
+  std::size_t sweepCandidates = 0;
+  std::size_t sweepProved = 0;
+  std::size_t sweepRefuted = 0;
+  std::size_t sweepUndecided = 0;
+  std::size_t aigAndsBefore = 0;
+  std::size_t aigAndsAfter = 0;
+  std::string equivMethod = "none";
+  bool equivProved = false;
+  unsigned bmcDepth = 0;
+  bool bmcDegraded = false;
+  bool tokenConservationOk = false;
+  bool occupancyBoundOk = false;
+  bool deadlockWatchdogOk = false;
+  std::uint64_t satConflicts = 0;
+  std::uint64_t satDecisions = 0;
+  std::uint64_t satPropagations = 0;
+};
+
+SatBench satBenchOf(lis::flow::Design& d, const lis::flow::RunResult& res) {
+  SatBench r;
+  r.design = d.name();
+  r.failed = !res.ok;
+  const lis::sat::NetlistSweepResult* sw = d.sweepResult();
+  const lis::sat::BmcResult* bmc = d.bmcResult();
+  if (sw == nullptr || bmc == nullptr) {
+    r.failed = true;
+    return r;
+  }
+  r.sweepCandidates = sw->stats.candidates;
+  r.sweepProved = sw->stats.proved;
+  r.sweepRefuted = sw->stats.refuted;
+  r.sweepUndecided = sw->stats.undecided;
+  r.aigAndsBefore = sw->stats.andsBefore;
+  r.aigAndsAfter = sw->stats.andsAfter;
+  // The sweep pass records the soundness proof's verdict in its pass
+  // metrics and the method (numeric enum) in the design registry.
+  for (const lis::flow::PassRecord& rec : res.records) {
+    if (rec.name != "sat-sweep") continue;
+    for (const auto& [key, value] : rec.metrics) {
+      if (key == "equiv_proved" && value == 1.0) r.equivProved = true;
+    }
+  }
+  r.equivMethod = lis::netlist::equivMethodName(
+      static_cast<lis::netlist::EquivMethod>(static_cast<unsigned>(
+          d.metrics().value("sweep.equiv_method"))));
+  r.bmcDepth = bmc->minDepthReached();
+  r.bmcDegraded = bmc->anyDegraded();
+  for (const lis::sat::BmcPropertyResult& p : bmc->properties) {
+    const bool ok = !p.violated;
+    if (p.name == "token_conservation") r.tokenConservationOk = ok;
+    if (p.name == "occupancy_bound") r.occupancyBoundOk = ok;
+    if (p.name == "deadlock_watchdog") r.deadlockWatchdogOk = ok;
+  }
+  r.satConflicts =
+      static_cast<std::uint64_t>(d.metrics().value("sat.conflicts"));
+  r.satDecisions =
+      static_cast<std::uint64_t>(d.metrics().value("sat.decisions"));
+  r.satPropagations =
+      static_cast<std::uint64_t>(d.metrics().value("sat.propagations"));
+  return r;
+}
+
+std::string jsonSat(const SatBench& b) {
+  std::ostringstream os;
+  if (b.failed) {
+    os << "    {\"design\": \"" << b.design << "\", \"failed\": true}";
+    return os.str();
+  }
+  const auto flag = [](bool v) { return v ? "true" : "false"; };
+  os << "    {\"design\": \"" << b.design
+     << "\", \"sweep_candidates\": " << b.sweepCandidates
+     << ", \"sweep_proved\": " << b.sweepProved
+     << ", \"sweep_refuted\": " << b.sweepRefuted
+     << ", \"sweep_undecided\": " << b.sweepUndecided
+     << ", \"aig_ands_before\": " << b.aigAndsBefore
+     << ", \"aig_ands_after\": " << b.aigAndsAfter
+     << ", \"equiv_method\": \"" << b.equivMethod
+     << "\", \"equiv_proved\": " << flag(b.equivProved)
+     << ", \"bmc_depth\": " << b.bmcDepth
+     << ", \"bmc_degraded\": " << flag(b.bmcDegraded)
+     << ", \"token_conservation_ok\": " << flag(b.tokenConservationOk)
+     << ", \"occupancy_bound_ok\": " << flag(b.occupancyBoundOk)
+     << ", \"deadlock_watchdog_ok\": " << flag(b.deadlockWatchdogOk)
+     << ", \"sat_conflicts\": " << b.satConflicts
+     << ", \"sat_decisions\": " << b.satDecisions
+     << ", \"sat_propagations\": " << b.satPropagations << "}";
+  return os.str();
+}
+
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [OUT.json] [--jobs N] [--strip-times] "
@@ -548,8 +654,8 @@ void usage(const char* argv0) {
                "(byte-identical diffs)\n"
                "  --trace FILE   record flow spans and write Chrome "
                "trace-event JSON to FILE\n"
-               "  --suite MODE   all (default) or quick (wrapper + fault "
-               "suites only)\n",
+               "  --suite MODE   all (default) or quick (wrapper + fault + "
+               "sat suites only)\n",
                argv0);
   std::exit(2);
 }
@@ -645,6 +751,7 @@ int main(int argc, char** argv) {
   failedConfigs += reportFailures(sections.systemOptResults);
   failedConfigs += reportFailures(sections.sweepOptResults);
   failedConfigs += reportFailures(sections.faultResults);
+  failedConfigs += reportFailures(sections.satResults);
 
   // Snapshot trace, engine counters and pool stats before the serial
   // re-run below: its duplicated work must pollute neither the exported
@@ -779,6 +886,29 @@ int main(int argc, char** argv) {
                 b.silent, b.hang, b.coverage, b.controlSeuCoverage,
                 b.controlSeuSites);
   }
+
+  std::vector<SatBench> sats;
+  for (std::size_t i = 0; i < sections.sats.size(); ++i) {
+    sats.push_back(satBenchOf(sections.sats[i], sections.satResults[i]));
+  }
+  for (const SatBench& b : sats) {
+    if (b.failed) {
+      std::printf("sat    %-22s FAILED\n", b.design.c_str());
+      continue;
+    }
+    std::printf("sat    %-22s sweep %2zu/%2zu merged (aig %4zu -> %4zu), "
+                "%s %s, bmc depth %2u %s (%llu conflicts, "
+                "%llu propagations)\n",
+                b.design.c_str(), b.sweepProved, b.sweepCandidates,
+                b.aigAndsBefore, b.aigAndsAfter, b.equivMethod.c_str(),
+                b.equivProved ? "proved" : "UNPROVED", b.bmcDepth,
+                b.tokenConservationOk && b.occupancyBoundOk &&
+                        b.deadlockWatchdogOk
+                    ? "clean"
+                    : "VIOLATED",
+                static_cast<unsigned long long>(b.satConflicts),
+                static_cast<unsigned long long>(b.satPropagations));
+  }
   if (gStripTimes) {
     std::printf("flow suites: 0.000s\n"); // job count and walls scrubbed
   } else {
@@ -859,6 +989,14 @@ int main(int argc, char** argv) {
   }
   js << "    ]\n"
      << "  },\n"
+     << "  \"sat\": {\n"
+     << "    \"bmc_depth\": " << lis::bench::kSatBmcDepth << ",\n"
+     << "    \"entries\": [\n";
+  for (std::size_t i = 0; i < sats.size(); ++i) {
+    js << jsonSat(sats[i]) << (i + 1 < sats.size() ? ",\n" : "\n");
+  }
+  js << "    ]\n"
+     << "  },\n"
      << "  \"metrics\": {\n"
      << "    \"configs\": [";
   bool firstConfig = true;
@@ -884,6 +1022,7 @@ int main(int argc, char** argv) {
                  sections.systemOptResults);
   emitConfigRows("sweep_opt", sections.sweepOpt, sections.sweepOptResults);
   emitConfigRows("fault", sections.faults, sections.faultResults);
+  emitConfigRows("sat", sections.sats, sections.satResults);
   js << "\n    ],\n"
      << "    \"engine\": " << engineJson << ",\n"
      << "    \"pool\": {\"workers\": " << scrub(pool.workers)

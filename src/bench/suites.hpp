@@ -128,6 +128,36 @@ inline flow::Pipeline faultPasses() {
   return pipe;
 }
 
+/// SAT verification suite: the chain/fork/join/ring acceptance topologies
+/// in both encodings — the designs the "sat" bench section proves
+/// invariants on and sweeps.
+inline std::vector<flow::Design> satSuite() {
+  std::vector<flow::Design> designs;
+  for (sync::Encoding enc :
+       {sync::Encoding::OneHot, sync::Encoding::Binary}) {
+    designs.emplace_back(sync::chainSpec(3, 1, enc));
+    designs.emplace_back(sync::forkSpec(enc));
+    designs.emplace_back(sync::joinSpec(enc));
+    designs.emplace_back(sync::ringSpec(enc));
+  }
+  return designs;
+}
+
+/// The BMC depth the "sat" bench section proves invariants to; gated by
+/// tools/check_bench_regression.py.
+inline constexpr unsigned kSatBmcDepth = 20;
+
+/// The SAT verification pipeline: synth → SAT-sweep (merges proven
+/// against the synthesized netlist) → protocol-invariant BMC to
+/// kSatBmcDepth with the capacity bound derived from each design's spec.
+inline flow::Pipeline satPasses() {
+  sat::BmcOptions bmc;
+  bmc.depth = kSatBmcDepth;
+  flow::Pipeline pipe;
+  pipe.synthesizeControl().satSweep().checkInvariants(bmc);
+  return pipe;
+}
+
 /// Fixed knobs of the bench's "opt" comparison: the AIG effort and the
 /// iterated-mapping configuration the optimized side is measured at. The
 /// unoptimized side is standardPasses' greedy mapLuts(4).

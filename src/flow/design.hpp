@@ -47,6 +47,8 @@
 #include "netlist/equiv.hpp"
 #include "netlist/netlist.hpp"
 #include "obs/metrics.hpp"
+#include "sat/bmc.hpp"
+#include "sat/sweep.hpp"
 #include "techmap/lutmap.hpp"
 #include "timing/sta.hpp"
 #include "timing/techparams.hpp"
@@ -130,6 +132,16 @@ public:
     return fault_ ? &*fault_ : nullptr;
   }
   void setFaultResult(fault::CampaignResult r) { fault_ = std::move(r); }
+  /// SAT-sweep outcome (swept netlist + stats), produced by the SatSweep
+  /// pass; null until it ran.
+  const sat::NetlistSweepResult* sweepResult() const {
+    return sweep_ ? &*sweep_ : nullptr;
+  }
+  void setSweepResult(sat::NetlistSweepResult r) { sweep_ = std::move(r); }
+  /// BMC invariant verdicts, produced by the CheckInvariants pass; null
+  /// until it ran.
+  const sat::BmcResult* bmcResult() const { return bmc_ ? &*bmc_ : nullptr; }
+  void setBmcResult(sat::BmcResult r) { bmc_ = std::move(r); }
   /// BDD proof footprint, accumulated across every equivalence check the
   /// passes ran for this design (AIG proof, encoding proofs); null until
   /// the first one reports in.
@@ -200,6 +212,8 @@ private:
   std::optional<timing::TimingReport> timing_;
   std::optional<sync::CosimResult> cosim_;
   std::optional<fault::CampaignResult> fault_;
+  std::optional<sat::NetlistSweepResult> sweep_;
+  std::optional<sat::BmcResult> bmc_;
   netlist::ProofStats proof_;
   bool hasProof_ = false;
   std::string reportJson_;

@@ -2,10 +2,12 @@
 
 #include <chrono>
 #include <exception>
+#include <optional>
 #include <set>
 #include <sstream>
 
 #include "lis/fsm.hpp"
+#include "lis/oracle.hpp"
 #include "lis/synth.hpp"
 #include "netlist/equiv.hpp"
 #include "netlist/seq_equiv.hpp"
@@ -296,6 +298,98 @@ void FaultCampaign::run(Design& design, PassContext& ctx) {
   }
 }
 
+void SatSweep::run(Design& design, PassContext& ctx) {
+  const netlist::Netlist& before = design.netlist();
+  sat::NetlistSweepResult swept = sat::sweepNetlist(before, options_);
+  const sat::SweepStats& st = swept.stats;
+  ctx.metric("candidates", static_cast<double>(st.candidates));
+  ctx.metric("proved", static_cast<double>(st.proved));
+  ctx.metric("refuted", static_cast<double>(st.refuted));
+  ctx.metric("undecided", static_cast<double>(st.undecided));
+  ctx.metric("rounds", static_cast<double>(st.rounds));
+  ctx.metric("aig_ands_before", static_cast<double>(st.andsBefore));
+  ctx.metric("aig_ands_after", static_cast<double>(st.andsAfter));
+  obs::Registry& m = design.metrics();
+  m.set("sweep.proved", static_cast<double>(st.proved));
+  m.set("sweep.ands_before", static_cast<double>(st.andsBefore));
+  m.set("sweep.ands_after", static_cast<double>(st.andsAfter));
+  m.add("sat.conflicts", static_cast<double>(st.solver.conflicts));
+  m.add("sat.decisions", static_cast<double>(st.solver.decisions));
+  m.add("sat.propagations", static_cast<double>(st.solver.propagations));
+
+  // Soundness gate: a sweep that cannot be proven equivalent never
+  // becomes an artifact. The proof's own SAT/BDD footprint joins the
+  // design's accumulated proof stats like every other equivalence check.
+  const netlist::SeqEquivResult proof =
+      netlist::checkSeqEquivalence(before, swept.netlist, equiv_);
+  design.addProofStats(proof.proof);
+  if (!proof.equivalent) {
+    ctx.error(design.name() +
+              ": swept netlist is NOT equivalent: " + proof.detail);
+    return;
+  }
+  ctx.metric("equiv_proved", proof.degraded ? 0.0 : 1.0);
+  ctx.metric("equiv_confidence", proof.confidence);
+  m.set("sweep.equiv_method",
+        static_cast<double>(static_cast<unsigned>(proof.method)));
+  if (proof.degraded) {
+    ctx.warning(design.name() + ": sweep equivalence degraded to " +
+                std::string(netlist::equivMethodName(proof.method)) +
+                " screen, confidence " + std::to_string(proof.confidence));
+  }
+  design.setSweepResult(std::move(swept));
+}
+
+void CheckInvariants::run(Design& design, PassContext& ctx) {
+  sat::BmcOptions opts = options_;
+  if (opts.cancel == nullptr) opts.cancel = ctx.cancel();
+  std::optional<sync::PortView> ports;
+  if (const sync::WrapperPorts* wp = design.wrapperPorts()) {
+    ports = sync::portView(*wp);
+    if (deriveCapacity_) {
+      opts.capacityBound = sat::capacityBound(*design.wrapperConfig());
+    }
+  } else if (const sync::SystemPorts* sp = design.systemPorts()) {
+    ports = sync::portView(*sp);
+    if (deriveCapacity_) {
+      opts.capacityBound = sat::capacityBound(*design.systemSpec());
+    }
+  } else {
+    ctx.note(design.name() + ": prebuilt netlist has no port view");
+    return;
+  }
+
+  sat::BmcResult r = sat::checkInvariants(design.netlist(), *ports, opts);
+  ctx.metric("depth", static_cast<double>(opts.depth));
+  ctx.metric("capacity_bound", static_cast<double>(opts.capacityBound));
+  ctx.metric("bmc_depth", static_cast<double>(r.minDepthReached()));
+  obs::Registry& m = design.metrics();
+  m.set("bmc.depth", static_cast<double>(r.minDepthReached()));
+  m.add("sat.conflicts", static_cast<double>(r.stats.conflicts));
+  m.add("sat.decisions", static_cast<double>(r.stats.decisions));
+  m.add("sat.propagations", static_cast<double>(r.stats.propagations));
+  std::string violated;
+  for (const sat::BmcPropertyResult& p : r.properties) {
+    ctx.metric(p.name + "_ok", p.violated ? 0.0 : 1.0);
+    m.set("bmc." + p.name + "_ok", p.violated ? 0.0 : 1.0);
+    if (p.violated) {
+      violated += (violated.empty() ? "" : ", ") + p.name + " at depth " +
+                  std::to_string(p.failDepth);
+    }
+  }
+  const bool degraded = r.anyDegraded();
+  design.setBmcResult(std::move(r));
+  if (!violated.empty()) {
+    ctx.error(design.name() + ": protocol invariant violated: " + violated);
+    return;
+  }
+  ctx.metric("degraded", degraded ? 1.0 : 0.0);
+  if (degraded) {
+    ctx.warning(design.name() +
+                ": BMC stopped short of the requested depth (budget)");
+  }
+}
+
 namespace {
 
 void jsonEscape(std::ostringstream& os, const std::string& s) {
@@ -361,7 +455,33 @@ void Report::run(Design& design, PassContext& ctx) {
        << ", \"unique_capacity\": " << p->uniqueCapacity
        << ", \"occupancy\": " << p->occupancy()
        << ", \"apply_calls\": " << p->applyCalls
-       << ", \"unique_growths\": " << p->uniqueGrowths << "}";
+       << ", \"unique_growths\": " << p->uniqueGrowths
+       << ", \"sat_conflicts\": " << p->satConflicts
+       << ", \"sat_propagations\": " << p->satPropagations << "}";
+  }
+  if (const sat::NetlistSweepResult* s = design.sweepResult()) {
+    os << ",\n  \"sweep\": {\"candidates\": " << s->stats.candidates
+       << ", \"proved\": " << s->stats.proved
+       << ", \"refuted\": " << s->stats.refuted
+       << ", \"undecided\": " << s->stats.undecided
+       << ", \"rounds\": " << s->stats.rounds
+       << ", \"aig_ands_before\": " << s->stats.andsBefore
+       << ", \"aig_ands_after\": " << s->stats.andsAfter << "}";
+  }
+  if (const sat::BmcResult* b = design.bmcResult()) {
+    os << ",\n  \"bmc\": {\"depth_reached\": " << b->minDepthReached()
+       << ", \"all_hold\": " << (b->allHold() ? "true" : "false")
+       << ", \"degraded\": " << (b->anyDegraded() ? "true" : "false")
+       << ", \"properties\": [";
+    bool firstProp = true;
+    for (const sat::BmcPropertyResult& p : b->properties) {
+      os << (firstProp ? "" : ", ") << "{\"name\": \"" << p.name
+         << "\", \"violated\": " << (p.violated ? "true" : "false")
+         << ", \"depth\": "
+         << (p.violated ? p.failDepth : p.depthReached) << "}";
+      firstProp = false;
+    }
+    os << "]}";
   }
   if (const fault::CampaignResult* f = design.faultResult()) {
     os << ",\n  \"fault\": {\"sites\": " << f->all.total()
@@ -423,6 +543,16 @@ Pipeline& Pipeline::cosim(const sync::CosimOptions& options) {
 
 Pipeline& Pipeline::faultCampaign(const fault::CampaignOptions& options) {
   return add(std::make_unique<FaultCampaign>(options));
+}
+
+Pipeline& Pipeline::satSweep(const sat::SweepOptions& options,
+                             const netlist::EquivOptions& equiv) {
+  return add(std::make_unique<SatSweep>(options, equiv));
+}
+
+Pipeline& Pipeline::checkInvariants(const sat::BmcOptions& options,
+                                    bool deriveCapacity) {
+  return add(std::make_unique<CheckInvariants>(options, deriveCapacity));
 }
 
 Pipeline& Pipeline::passDeadline(double seconds) {

@@ -47,6 +47,8 @@
 #include "flow/executor.hpp"
 #include "lis/cosim.hpp"
 #include "netlist/equiv.hpp"
+#include "sat/bmc.hpp"
+#include "sat/sweep.hpp"
 #include "support/cancellation.hpp"
 #include "timing/techparams.hpp"
 
@@ -212,6 +214,47 @@ private:
   fault::CampaignOptions options_;
 };
 
+/// SAT-sweeping of the synthesized netlist: BitSim-guided equivalence
+/// classes refined by incremental SAT, proven-equal nodes merged. The
+/// swept netlist is always proven sequentially equivalent to the input
+/// (a failed proof is a pass error), then installed as a design artifact
+/// alongside the sweep statistics — the synthesized netlist the later
+/// passes consume is untouched, so port NodeIds stay valid.
+class SatSweep final : public Pass {
+public:
+  explicit SatSweep(sat::SweepOptions options = {},
+                    netlist::EquivOptions equiv = {})
+      : options_(options), equiv_(equiv) {}
+  std::string name() const override { return "sat-sweep"; }
+  void run(Design& design, PassContext& ctx) override;
+
+private:
+  sat::SweepOptions options_;
+  netlist::EquivOptions equiv_;
+};
+
+/// Bounded model checking of the LIS protocol invariants (token
+/// conservation, buffer-occupancy bound, deadlock watchdog — see
+/// sat/bmc.hpp) on the design's synthesized netlist through its port
+/// view. A violated invariant is a pass error carrying the property name
+/// and the exact failing depth; a budget/deadline-degraded bound is a
+/// warning plus metric. With deriveCapacity (the default) the storage
+/// bound B is computed from the design's wrapper config or system spec
+/// (sat::capacityBound); options.capacityBound then only covers prebuilt
+/// netlists, which have no spec to derive from.
+class CheckInvariants final : public Pass {
+public:
+  explicit CheckInvariants(sat::BmcOptions options = {},
+                           bool deriveCapacity = true)
+      : options_(options), deriveCapacity_(deriveCapacity) {}
+  std::string name() const override { return "check-invariants"; }
+  void run(Design& design, PassContext& ctx) override;
+
+private:
+  sat::BmcOptions options_;
+  bool deriveCapacity_;
+};
+
 struct ReportOptions {
   bool verilog = false; // also emit structural Verilog into the design
 };
@@ -239,6 +282,10 @@ public:
   Pipeline& proveEncodingEquiv();
   Pipeline& cosim(const sync::CosimOptions& options = {});
   Pipeline& faultCampaign(const fault::CampaignOptions& options = {});
+  Pipeline& satSweep(const sat::SweepOptions& options = {},
+                     const netlist::EquivOptions& equiv = {});
+  Pipeline& checkInvariants(const sat::BmcOptions& options = {},
+                            bool deriveCapacity = true);
   Pipeline& report(const ReportOptions& options = {});
 
   /// Wall-clock budget per pass, in seconds (0 disables, the default).

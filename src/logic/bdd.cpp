@@ -244,4 +244,21 @@ bool BddManager::anySat(BddRef f, std::uint64_t& assignment) const {
   return true;
 }
 
+bool BddManager::anySatAssignment(BddRef f,
+                                  std::vector<signed char>& assignment) const {
+  assignment.assign(numVars_, -1);
+  if (f == kFalse) return false;
+  while (f > kTrue) {
+    const Node& n = nodes_[f];
+    if (n.lo != kFalse) {
+      assignment[n.var] = 0;
+      f = n.lo;
+    } else {
+      assignment[n.var] = 1;
+      f = n.hi;
+    }
+  }
+  return true;
+}
+
 } // namespace lis::logic

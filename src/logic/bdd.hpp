@@ -114,6 +114,12 @@ public:
   /// unsatisfiable. Same 64-variable encoding cap as evaluate().
   bool anySat(BddRef f, std::uint64_t& assignment) const;
 
+  /// Width-agnostic anySat: `assignment` is resized to numVars() with one
+  /// entry per variable — 1/0 where the witness constrains it, -1 for
+  /// don't-care. This is what the wide-mode (>64 input) equivalence
+  /// counterexample path uses.
+  bool anySatAssignment(BddRef f, std::vector<signed char>& assignment) const;
+
 private:
   struct Node {
     unsigned var;

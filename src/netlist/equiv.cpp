@@ -6,7 +6,11 @@
 #include <stdexcept>
 #include <vector>
 
+#include "aig/aig.hpp"
 #include "netlist/bitsim.hpp"
+#include "obs/trace.hpp"
+#include "sat/cnf.hpp"
+#include "sat/solver.hpp"
 #include "support/rng.hpp"
 
 namespace lis::netlist {
@@ -16,8 +20,20 @@ const char* equivMethodName(EquivMethod m) {
     case EquivMethod::Sim: return "sim";
     case EquivMethod::Bdd: return "bdd";
     case EquivMethod::Structural: return "structural";
+    case EquivMethod::Sat: return "sat";
   }
   return "?";
+}
+
+std::string CexReport::format() const {
+  std::string s = "output '" + output + "' differs under:";
+  for (const auto& [name, value] : inputs) {
+    s += ' ';
+    s += name;
+    s += '=';
+    s += value ? '1' : '0';
+  }
+  return s;
 }
 
 std::vector<logic::BddRef> buildAllBdds(
@@ -169,15 +185,16 @@ EquivResult checkCombEquivalence(const Netlist& a, const Netlist& b,
           // A concrete mismatch is an exact disproof, budget or not.
           result.method = EquivMethod::Sim;
           result.confidence = 1.0;
-          if (!wide) {
-            std::uint64_t cex = 0;
-            for (std::size_t i = 0; i < a.inputs().size(); ++i) {
-              if (simA.lane(a.inputs()[i], laneIdx)) {
-                cex |= std::uint64_t{1} << i;
-              }
-            }
-            result.counterexample = cex;
+          CexReport report;
+          report.output = name;
+          std::uint64_t cex = 0;
+          for (std::size_t i = 0; i < a.inputs().size(); ++i) {
+            const bool v = simA.lane(a.inputs()[i], laneIdx);
+            report.inputs.emplace_back(a.node(a.inputs()[i]).name, v);
+            if (v && i < 64) cex |= std::uint64_t{1} << i;
           }
+          if (!wide) result.counterexample = cex;
+          result.cex = std::move(report);
           return result;
         }
       }
@@ -186,10 +203,86 @@ EquivResult checkCombEquivalence(const Netlist& a, const Netlist& b,
   };
 
   // --- Phase 1: bit-parallel random sweep. Disproving is cheap here; the
-  // expensive BDD machinery below only runs on designs that survive it.
+  // expensive proof machinery below only runs on designs that survive it.
   if (auto refuted = simSweep(opts.simRounds, opts.seed)) return *refuted;
 
-  // --- Phase 2: BDD proof for the survivors. The variable order is a
+  // --- Phase 2: SAT miter. Both netlists are lowered into one AIG over
+  // shared name-matched inputs; structural hashing discharges identical
+  // cones outright and each surviving XOR pair becomes one incremental
+  // CDCL query. A SAT answer is an exact counterexample at any width; all
+  // UNSAT is a proof. A tripped budget falls through to the BDD identity
+  // proof with the partial search footprint kept on whatever that
+  // returns.
+  ProofStats satPartial;
+  if (opts.useSat) {
+    obs::Span satSpan("sat.equiv");
+    aig::Aig miter;
+    std::map<std::string, aig::Lit> piByName;
+    for (NodeId id : a.inputs()) piByName[a.node(id).name] = miter.addPi();
+    const auto inputOfA = [&](NodeId id) {
+      return piByName.at(a.node(id).name);
+    };
+    const auto inputOfB = [&](NodeId id) {
+      return piByName.at(b.node(id).name);
+    };
+    const std::vector<aig::Lit> outsA =
+        sat::appendCombinational(miter, a, inputOfA);
+    const std::vector<aig::Lit> outsB =
+        sat::appendCombinational(miter, b, inputOfB);
+    std::map<std::string, std::size_t> bOutPos;
+    for (std::size_t j = 0; j < b.outputs().size(); ++j) {
+      bOutPos[b.node(b.outputs()[j]).name] = j;
+    }
+
+    sat::Solver solver(support::SplitMix64(opts.seed).forkSeed(2));
+    solver.setBudget({opts.satConflictBudget, opts.satPropagationBudget});
+    sat::AigCnf cnf(solver, miter);
+    const auto satStatsOf = [&solver] {
+      ProofStats p;
+      p.satConflicts = solver.stats().conflicts;
+      p.satDecisions = solver.stats().decisions;
+      p.satPropagations = solver.stats().propagations;
+      return p;
+    };
+    bool unknown = false;
+    for (std::size_t i = 0; i < a.outputs().size() && !unknown; ++i) {
+      const std::string& name = a.node(a.outputs()[i]).name;
+      const aig::Lit xorLit =
+          miter.addXor(outsA[i], outsB[bOutPos.at(name)]);
+      if (xorLit == aig::kLitFalse) continue; // structurally identical
+      const sat::Result r = solver.solve({cnf.lit(xorLit)});
+      if (r == sat::Result::Sat) {
+        EquivResult result;
+        result.equivalent = false;
+        result.failingOutput = name;
+        result.method = EquivMethod::Sat;
+        result.confidence = 1.0;
+        CexReport report;
+        report.output = name;
+        std::uint64_t compact = 0;
+        for (std::size_t p = 0; p < a.inputs().size(); ++p) {
+          const bool v = solver.modelValue(cnf.piLit(p));
+          report.inputs.emplace_back(a.node(a.inputs()[p]).name, v);
+          if (v && p < 64) compact |= std::uint64_t{1} << p;
+        }
+        if (!wide) result.counterexample = compact;
+        result.cex = std::move(report);
+        result.proof = satStatsOf();
+        return result;
+      }
+      unknown = r == sat::Result::Unknown;
+    }
+    satPartial = satStatsOf();
+    if (!unknown) {
+      EquivResult result;
+      result.equivalent = true;
+      result.method = EquivMethod::Sat;
+      result.proof = satPartial;
+      return result;
+    }
+  }
+
+  // --- Phase 3: BDD proof for the survivors. The variable order is a
   // fanin-DFS from a's outputs (in name order): inputs of one cone cluster
   // together and datapath operands interleave per bit, which keeps carry
   // chains linear where the naive inputs()-index order is exponential
@@ -225,8 +318,8 @@ EquivResult checkCombEquivalence(const Netlist& a, const Netlist& b,
   }
   logic::BddManager mgr(static_cast<unsigned>(a.inputs().size()));
   mgr.setBudget({opts.bddNodeBudget, opts.bddStepBudget});
-  const auto proofStatsOf = [&mgr] {
-    ProofStats p;
+  const auto proofStatsOf = [&] {
+    ProofStats p = satPartial; // keep the SAT tier's partial search visible
     p.bddNodes = mgr.nodeCount();
     p.uniqueCapacity = mgr.uniqueCapacity();
     p.applyCalls = mgr.stats().applyCalls;
@@ -251,33 +344,35 @@ EquivResult checkCombEquivalence(const Netlist& a, const Netlist& b,
       result.equivalent = false;
       result.failingOutput = name;
       result.method = EquivMethod::Bdd;
-      if (!wide) {
-        try {
-          const logic::BddRef diff = mgr.bddXor(fa, fb);
-          std::uint64_t assignment = 0;
-          if (mgr.anySat(diff, assignment)) {
-            // anySat speaks BDD-variable space; translate back to the
-            // documented "bit i = input i of a" encoding.
-            std::uint64_t cex = 0;
-            for (std::size_t i = 0; i < a.inputs().size(); ++i) {
-              if ((assignment >> varOfA[a.inputs()[i]]) & 1u) {
-                cex |= std::uint64_t{1} << i;
-              }
-            }
-            result.counterexample = cex;
+      try {
+        const logic::BddRef diff = mgr.bddXor(fa, fb);
+        std::vector<signed char> assignment;
+        if (mgr.anySatAssignment(diff, assignment)) {
+          // The witness speaks BDD-variable space; translate back to
+          // input names (and, when it fits, the documented compact
+          // "bit i = input i of a" encoding). Don't-cares read as 0.
+          CexReport report;
+          report.output = name;
+          std::uint64_t cex = 0;
+          for (std::size_t i = 0; i < a.inputs().size(); ++i) {
+            const bool v = assignment[varOfA[a.inputs()[i]]] == 1;
+            report.inputs.emplace_back(a.node(a.inputs()[i]).name, v);
+            if (v && i < 64) cex |= std::uint64_t{1} << i;
           }
-        } catch (const logic::ResourceLimitExceeded&) {
-          // The identity disproof already stands (fa != fb under one shared
-          // variable space); only the compact witness is lost. Keep the
-          // exact verdict rather than degrading it.
+          if (!wide) result.counterexample = cex;
+          result.cex = std::move(report);
         }
+      } catch (const logic::ResourceLimitExceeded&) {
+        // The identity disproof already stands (fa != fb under one shared
+        // variable space); only the concrete witness is lost. Keep the
+        // exact verdict rather than degrading it.
       }
       break;
     }
     result.proof = proofStatsOf();
     return result;
   } catch (const logic::ResourceLimitExceeded&) {
-    // --- Phase 3: budget tripped. Deepen the random screen on a fresh
+    // --- Phase 4: BDD budget tripped. Deepen the random screen on a fresh
     // seed stream; either it finds a counterexample (exact disproof) or
     // the designs survive and we return a degraded, honestly-quantified
     // "equivalent". The partial proof's footprint is still reported.

@@ -22,6 +22,7 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "logic/bdd.hpp"
@@ -30,24 +31,33 @@
 namespace lis::netlist {
 
 /// How a verdict was reached. Structural covers the interface/skeleton
-/// comparisons of the sequential checker, which never touch functions.
-enum class EquivMethod : std::uint8_t { Sim, Bdd, Structural };
+/// comparisons of the sequential checker, which never touch functions;
+/// Sat is the miter tier sitting between the sim screen and the BDD
+/// identity proof.
+enum class EquivMethod : std::uint8_t { Sim, Bdd, Structural, Sat };
 const char* equivMethodName(EquivMethod m);
 
-/// BDD-proof resource footprint, carried on every result (zeros when the
-/// BDD phase never ran) and accumulated per design by the flow so proof
-/// memory pressure is visible in reports.
+/// Proof resource footprint, carried on every result (zeros for the
+/// phases that never ran) and accumulated per design by the flow so proof
+/// memory/search pressure is visible in reports.
 struct ProofStats {
   std::size_t bddNodes = 0;       // arena nodes at the end of the attempt
   std::size_t uniqueCapacity = 0; // unique-table slots (occupancy basis)
   std::uint64_t applyCalls = 0;
   std::uint64_t uniqueGrowths = 0;
+  // SAT-tier footprint (zeros when the SAT miter never ran).
+  std::uint64_t satConflicts = 0;
+  std::uint64_t satDecisions = 0;
+  std::uint64_t satPropagations = 0;
 
   void accumulate(const ProofStats& o) {
     bddNodes += o.bddNodes;
     uniqueCapacity += o.uniqueCapacity;
     applyCalls += o.applyCalls;
     uniqueGrowths += o.uniqueGrowths;
+    satConflicts += o.satConflicts;
+    satDecisions += o.satDecisions;
+    satPropagations += o.satPropagations;
   }
   /// Arena fill fraction, 0 when no BDD was ever built.
   double occupancy() const {
@@ -69,6 +79,23 @@ struct EquivOptions {
   std::size_t bddNodeBudget = 0;
   std::uint64_t bddStepBudget = 0;
   unsigned fallbackSimRounds = 64;
+  /// SAT miter tier between the sweep and the BDD proof. Runs one CDCL
+  /// query per surviving output pair over a joint AIG; a tripped conflict
+  /// or propagation budget (absolute totals, 0 = unlimited) hands the
+  /// obligation to the BDD tier untouched.
+  bool useSat = true;
+  std::uint64_t satConflictBudget = std::uint64_t{1} << 22;
+  std::uint64_t satPropagationBudget = 0;
+};
+
+/// Width-agnostic counterexample: the shared report format filled by
+/// whichever tier refuted (sim lane, SAT model or BDD witness). Unlike
+/// EquivResult::counterexample this also exists for interfaces wider
+/// than 64 inputs.
+struct CexReport {
+  std::string output;                               // mismatching PO pair
+  std::vector<std::pair<std::string, bool>> inputs; // name -> value
+  std::string format() const;
 };
 
 struct EquivResult {
@@ -77,8 +104,12 @@ struct EquivResult {
   std::string failingOutput;
   /// A distinguishing input assignment (bit i = input i of `a`), if found.
   /// Never populated for interfaces wider than 64 inputs (the verdict is
-  /// still exact; only this compact witness cannot be encoded).
+  /// still exact; only this compact witness cannot be encoded — see `cex`
+  /// for the width-agnostic report).
   std::optional<std::uint64_t> counterexample;
+  /// Width-agnostic named-input counterexample, populated by every tier
+  /// that refutes with a concrete assignment (including wide mode).
+  std::optional<CexReport> cex;
   /// True when the counterexample came out of the simulation sweep, i.e.
   /// the BDD phase was never entered.
   bool foundBySimulation = false;

@@ -1,0 +1,209 @@
+#include "sat/sweep.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "aig/bridge.hpp"
+#include "obs/trace.hpp"
+#include "sat/cnf.hpp"
+#include "support/rng.hpp"
+
+namespace lis::sat {
+
+namespace {
+
+constexpr aig::Lit kAigLitUndef = 0xffffffffu;
+
+/// Per-node signatures over `words` 64-bit pattern words.
+void simulate(const aig::Aig& g, const std::vector<std::uint64_t>& piWords,
+              unsigned words, std::vector<std::uint64_t>& sigs) {
+  sigs.assign(g.nodeCount() * words, 0);
+  for (std::size_t i = 0; i < g.numPis(); i++) {
+    const std::uint32_t n = g.piNode(i);
+    for (unsigned w = 0; w < words; w++) {
+      sigs[n * words + w] = piWords[i * words + w];
+    }
+  }
+  for (std::uint32_t n = 0; n < g.nodeCount(); n++) {
+    if (!g.isAnd(n)) continue;
+    const aig::Aig::Node& node = g.node(n);
+    const std::uint64_t* a = &sigs[aig::litNode(node.fanin0) * words];
+    const std::uint64_t* b = &sigs[aig::litNode(node.fanin1) * words];
+    const std::uint64_t ma = aig::litIsCompl(node.fanin0) ? ~0ULL : 0ULL;
+    const std::uint64_t mb = aig::litIsCompl(node.fanin1) ? ~0ULL : 0ULL;
+    std::uint64_t* dst = &sigs[n * words];
+    for (unsigned w = 0; w < words; w++) {
+      dst[w] = (a[w] ^ ma) & (b[w] ^ mb);
+    }
+  }
+}
+
+} // namespace
+
+AigSweepResult sweepAig(const aig::Aig& g, const SweepOptions& opts) {
+  obs::Span span("sat.sweep");
+  AigSweepResult result;
+  SweepStats& stats = result.stats;
+  stats.andsBefore = g.numAnds();
+
+  const unsigned baseWords = std::max(1u, opts.simWords);
+  support::SplitMix64 rng(opts.seed);
+  // PI stimulus, extended by one cex word per refinement round.
+  unsigned words = baseWords;
+  std::vector<std::uint64_t> piWords(g.numPis() * words);
+  for (std::uint64_t& w : piWords) w = rng.next();
+
+  Solver solver(rng.forkSeed(1));
+  AigCnf cnf(solver, g);
+  // merged[n] = literal (over g) this node is proven equal to.
+  std::vector<aig::Lit> merged(g.nodeCount(), kAigLitUndef);
+  std::vector<std::uint64_t> sigs;
+
+  const auto budgetLeft = [&] {
+    return opts.conflictBudget == 0 ||
+           solver.stats().conflicts < opts.conflictBudget;
+  };
+  const auto queryBudget = [&] {
+    std::uint64_t cap = solver.stats().conflicts + opts.perPairConflicts;
+    if (opts.conflictBudget != 0) cap = std::min(cap, opts.conflictBudget);
+    solver.setBudget({cap, opts.propagationBudget});
+  };
+
+  for (unsigned round = 0; round < opts.maxRounds && budgetLeft(); round++) {
+    obs::Span roundSpan("sat.sweep.round");
+    stats.rounds = round + 1;
+    simulate(g, piWords, words, sigs);
+
+    // Classes keyed by the complement-canonical signature (word 0's low
+    // bit chooses the phase), so a node and its complement land together.
+    std::map<std::vector<std::uint64_t>, std::vector<aig::Lit>> classes;
+    std::vector<std::uint64_t> key(words);
+    for (std::uint32_t n = 0; n < g.nodeCount(); n++) {
+      if (merged[n] != kAigLitUndef) continue;
+      const std::uint64_t* sig = &sigs[n * words];
+      const bool phase = (sig[0] & 1u) != 0;
+      for (unsigned w = 0; w < words; w++) {
+        key[w] = phase ? ~sig[w] : sig[w];
+      }
+      classes[key].push_back(aig::makeLit(n, phase));
+    }
+
+    // One cex word: up to 64 distinguishing patterns batched per round.
+    std::vector<std::uint64_t> cexWord(g.numPis(), 0);
+    unsigned cexLanes = 0;
+    for (const auto& [sigKey, members] : classes) {
+      if (members.size() < 2) continue;
+      const aig::Lit rep = members.front(); // lowest id: merges point back
+      for (std::size_t i = 1; i < members.size(); i++) {
+        if (!budgetLeft() || cexLanes >= 64) {
+          stats.undecided += members.size() - i;
+          break;
+        }
+        const aig::Lit m = members[i];
+        stats.candidates++;
+        const Lit la = cnf.lit(rep);
+        const Lit lb = cnf.lit(m);
+        // t <-> la XOR lb; assume t to ask for a distinguishing input.
+        const Lit t = mkLit(solver.newVar(), false);
+        solver.addClause({litNeg(t), la, lb});
+        solver.addClause({litNeg(t), litNeg(la), litNeg(lb)});
+        solver.addClause({t, litNeg(la), lb});
+        solver.addClause({t, la, litNeg(lb)});
+        queryBudget();
+        const Result r = solver.solve({t});
+        if (r == Result::Unsat) {
+          stats.proved++;
+          // Canonical lits proven equal: node(m) ^ phase(m) == rep, so
+          // node(m) maps to rep with m's phase folded back in.
+          merged[aig::litNode(m)] = rep ^ static_cast<aig::Lit>(m & 1u);
+        } else if (r == Result::Sat) {
+          stats.refuted++;
+          for (std::size_t p = 0; p < g.numPis(); p++) {
+            if (solver.modelValue(cnf.piLit(p))) {
+              cexWord[p] |= std::uint64_t{1} << cexLanes;
+            }
+          }
+          cexLanes++;
+        } else {
+          stats.undecided++;
+        }
+      }
+    }
+    if (cexLanes == 0) break;
+    // Append the cex word to every PI's stimulus and refine next round.
+    std::vector<std::uint64_t> next(g.numPis() * (words + 1));
+    for (std::size_t p = 0; p < g.numPis(); p++) {
+      for (unsigned w = 0; w < words; w++) {
+        next[p * (words + 1) + w] = piWords[p * words + w];
+      }
+      next[p * (words + 1) + words] = cexWord[p];
+    }
+    piWords = std::move(next);
+    words++;
+  }
+  stats.solver = solver.stats();
+
+  // Rebuild from the POs through the merge map into a fresh strashed
+  // AIG; dead cones stranded by the merges are simply never visited.
+  aig::Aig swept;
+  std::vector<aig::Lit> newLit(g.nodeCount(), kAigLitUndef);
+  newLit[0] = aig::kLitFalse;
+  for (std::size_t i = 0; i < g.numPis(); i++) {
+    newLit[g.piNode(i)] = swept.addPi();
+  }
+  const auto resolve = [&](aig::Lit l) {
+    while (merged[aig::litNode(l)] != kAigLitUndef) {
+      l = merged[aig::litNode(l)] ^ static_cast<aig::Lit>(l & 1u);
+    }
+    return l;
+  };
+  std::vector<std::uint32_t> stack;
+  const auto build = [&](aig::Lit l0) {
+    const aig::Lit l = resolve(l0);
+    stack.push_back(aig::litNode(l));
+    while (!stack.empty()) {
+      const std::uint32_t n = stack.back();
+      if (newLit[n] != kAigLitUndef) {
+        stack.pop_back();
+        continue;
+      }
+      const aig::Aig::Node& node = g.node(n);
+      const aig::Lit f0 = resolve(node.fanin0);
+      const aig::Lit f1 = resolve(node.fanin1);
+      bool ready = true;
+      if (newLit[aig::litNode(f0)] == kAigLitUndef) {
+        stack.push_back(aig::litNode(f0));
+        ready = false;
+      }
+      if (newLit[aig::litNode(f1)] == kAigLitUndef) {
+        stack.push_back(aig::litNode(f1));
+        ready = false;
+      }
+      if (!ready) continue;
+      newLit[n] = swept.addAnd(
+          newLit[aig::litNode(f0)] ^ static_cast<aig::Lit>(f0 & 1u),
+          newLit[aig::litNode(f1)] ^ static_cast<aig::Lit>(f1 & 1u));
+      stack.pop_back();
+    }
+    return newLit[aig::litNode(l)] ^ static_cast<aig::Lit>(l & 1u);
+  };
+  for (const aig::Lit po : g.pos()) swept.addPo(build(po));
+  stats.andsAfter = swept.numAnds();
+  result.aig = std::move(swept);
+  return result;
+}
+
+NetlistSweepResult sweepNetlist(const netlist::Netlist& nl,
+                                const SweepOptions& opts) {
+  aig::SequentialAig sa = aig::fromNetlist(nl);
+  AigSweepResult swept = sweepAig(sa.aig, opts);
+  sa.aig = std::move(swept.aig);
+  NetlistSweepResult result;
+  result.netlist = aig::toNetlist(sa);
+  result.stats = swept.stats;
+  return result;
+}
+
+} // namespace lis::sat

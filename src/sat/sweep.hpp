@@ -1,0 +1,71 @@
+#pragma once
+// SAT-sweeping (fraiging): merge functionally-equivalent AIG nodes.
+//
+// Candidate equivalences come from bit-parallel random simulation:
+// nodes with equal complement-canonicalized 64-bit-word signatures land
+// in one class. Each class member is then checked against the class
+// representative (the lowest node id, so merges always point backwards
+// topologically) with an incremental SAT query on a shared Tseitin
+// encoding; UNSAT proves the pair equal and records the merge, SAT
+// yields a distinguishing input pattern that is fed back into the
+// simulator to split the over-merged classes before the next round
+// (the functional_reduction refinement loop). Budget-tripped queries
+// leave the pair unmerged — sweeping is best-effort and only ever
+// applies *proven* merges, so the result is sound regardless of
+// budgets. The swept graph is rebuilt from the POs through the merge
+// map into a fresh strashed AIG, dropping the dead cones the merges
+// strand.
+//
+// sweepNetlist round-trips a sequential netlist through the
+// aig::fromNetlist / toNetlist bridges, sweeping the combinational
+// core while preserving the register/ROM skeleton — the SatSweep
+// pipeline pass proves the result sequentially equivalent anyway.
+
+#include <cstdint>
+
+#include "aig/aig.hpp"
+#include "netlist/netlist.hpp"
+#include "sat/solver.hpp"
+
+namespace lis::sat {
+
+struct SweepOptions {
+  /// 64-bit words of random stimulus for the initial signatures.
+  unsigned simWords = 8;
+  /// Refinement-round cap (each round needs at least one fresh cex).
+  unsigned maxRounds = 16;
+  /// Whole-sweep solver budget (absolute; 0 = unlimited).
+  std::uint64_t conflictBudget = 1u << 20;
+  std::uint64_t propagationBudget = 0;
+  /// Per-query conflict allowance within the whole-sweep budget.
+  std::uint64_t perPairConflicts = 2000;
+  std::uint64_t seed = 0x5ee9c1a55e5ULL;
+};
+
+struct SweepStats {
+  std::size_t candidates = 0; // pair queries attempted
+  std::size_t proved = 0;     // merges applied (UNSAT queries)
+  std::size_t refuted = 0;    // distinguished by a SAT cex
+  std::size_t undecided = 0;  // budget-tripped, left unmerged
+  std::size_t rounds = 0;
+  std::size_t andsBefore = 0;
+  std::size_t andsAfter = 0;
+  SolverStats solver;
+};
+
+struct AigSweepResult {
+  aig::Aig aig; // same PI/PO shape as the input
+  SweepStats stats;
+};
+
+AigSweepResult sweepAig(const aig::Aig& g, const SweepOptions& opts = {});
+
+struct NetlistSweepResult {
+  netlist::Netlist netlist;
+  SweepStats stats;
+};
+
+NetlistSweepResult sweepNetlist(const netlist::Netlist& nl,
+                                const SweepOptions& opts = {});
+
+} // namespace lis::sat

@@ -270,6 +270,53 @@ void testRunManyOptPipeline() {
   }
 }
 
+void testRunManySatPipeline() {
+  // The SAT verification pipeline (sweep + soundness proof + protocol
+  // BMC) through the runMany contract: solver statistics, sweep tallies,
+  // proof verdicts and BMC outcomes are all deterministic functions of
+  // the design, so --jobs 1 and --jobs 8 must agree metric for metric.
+  // Trimmed to one encoding of the sat suite — this also runs under
+  // TSan, where 8 designs × 2 runs would dominate the wall clock.
+  Pipeline pipe = lis::bench::satPasses();
+  auto designs1 = lis::bench::satSuite();
+  auto designs8 = lis::bench::satSuite();
+  designs1.erase(designs1.begin() + 4, designs1.end());
+  designs8.erase(designs8.begin() + 4, designs8.end());
+  const std::vector<RunResult> serial = pipe.runMany(designs1, 1u);
+  const std::vector<RunResult> parallel = pipe.runMany(designs8, 8u);
+  checkIdenticalResults(serial, parallel);
+  for (std::size_t i = 0; i < designs1.size(); ++i) {
+    CHECK(serial[i].ok);
+    // The proofs themselves: sweep soundness held and every protocol
+    // invariant was proven to the requested depth on both runs.
+    for (Design* d : {&designs1[i], &designs8[i]}) {
+      const lis::sat::NetlistSweepResult* sw = d->sweepResult();
+      CHECK(sw != nullptr);
+      const lis::sat::BmcResult* bmc = d->bmcResult();
+      CHECK(bmc != nullptr);
+      if (bmc == nullptr) continue;
+      CHECK(bmc->allHold());
+      CHECK(!bmc->anyDegraded());
+      CHECK_EQ(bmc->minDepthReached(), lis::bench::kSatBmcDepth);
+      CHECK_EQ(bmc->properties.size(), 3u);
+    }
+    // Jobs-count invariance of the artifacts behind the bench's "sat"
+    // section rows, not just the pass records.
+    const auto& s1 = designs1[i].sweepResult()->stats;
+    const auto& s8 = designs8[i].sweepResult()->stats;
+    CHECK_EQ(s1.proved, s8.proved);
+    CHECK_EQ(s1.refuted, s8.refuted);
+    CHECK_EQ(s1.andsAfter, s8.andsAfter);
+    CHECK_EQ(s1.solver.conflicts, s8.solver.conflicts);
+    CHECK_EQ(s1.solver.propagations, s8.solver.propagations);
+    const auto& b1 = designs1[i].bmcResult()->stats;
+    const auto& b8 = designs8[i].bmcResult()->stats;
+    CHECK_EQ(b1.conflicts, b8.conflicts);
+    CHECK_EQ(b1.decisions, b8.decisions);
+    CHECK_EQ(b1.propagations, b8.propagations);
+  }
+}
+
 void testFaultCampaignJobsInvariant() {
   // A seeded injection campaign is a pure function of its options: the
   // site plan is drawn serially and each experiment's stimulus seed is a
@@ -394,6 +441,7 @@ int main() {
   testRunManyJobs1VsJobs8();
   testRunManySweepSection();
   testRunManyOptPipeline();
+  testRunManySatPipeline();
   testFaultCampaignJobsInvariant();
   testRunManyBuffersFailuresPerDesign();
   testTraceStructureJobsInvariant();

@@ -233,6 +233,7 @@ void testBudgetDegradedVerdictIsSoundAndReported() {
   // hanging or erroring out.
   lis::netlist::EquivOptions opts;
   opts.bddNodeBudget = 128;
+  opts.useSat = false; // this test exercises the BDD budget tier
   const lis::netlist::EquivResult eq = lis::netlist::checkCombEquivalence(
       gen::adder(16), gen::adder(16, /*swapOperands=*/true), opts);
   CHECK(eq.equivalent);
@@ -249,9 +250,11 @@ void testBudgetDegradedVerdictIsSoundAndReported() {
   CHECK(neq.confidence == 1.0);
   CHECK(!neq.degraded);
 
-  // Unlimited budget: the same pair proves fully, method=bdd.
+  // Unlimited budget, SAT tier off: the same pair proves fully via BDD.
+  lis::netlist::EquivOptions bddOnly;
+  bddOnly.useSat = false;
   const lis::netlist::EquivResult full = lis::netlist::checkCombEquivalence(
-      gen::adder(16), gen::adder(16, true));
+      gen::adder(16), gen::adder(16, true), bddOnly);
   CHECK(full.equivalent);
   CHECK(!full.degraded);
   CHECK(full.method == lis::netlist::EquivMethod::Bdd);
@@ -269,6 +272,7 @@ void testSeqEquivBudgetDegrades() {
   const lsync::Wrapper w = lsync::buildWrapper(cfg);
   lis::netlist::EquivOptions opts;
   opts.bddNodeBudget = 64;
+  opts.useSat = false; // exercise the BDD budget tier, not the SAT one
   const lis::netlist::SeqEquivResult r =
       lis::netlist::checkSeqEquivalence(w.netlist, w.netlist, opts);
   CHECK(r.equivalent);

@@ -1,0 +1,594 @@
+// sat_test — the CDCL core against known-hard/known-easy instances, the
+// CNF encoder against exhaustive netlist evaluation, SAT-sweeping
+// soundness on real wrapper/mesh configs, and bounded model checking of
+// the protocol invariants including a deliberately broken relay with a
+// violation at a known depth.
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "lis/oracle.hpp"
+#include "lis/system.hpp"
+#include "lis/wrapper.hpp"
+#include "logic/bdd.hpp"
+#include "netlist/equiv.hpp"
+#include "netlist/generate.hpp"
+#include "netlist/seq_equiv.hpp"
+#include "sat/bmc.hpp"
+#include "sat/cnf.hpp"
+#include "sat/solver.hpp"
+#include "sat/sweep.hpp"
+#include "support/rng.hpp"
+#include "test_util.hpp"
+
+namespace sat = lis::sat;
+namespace nlx = lis::netlist;
+namespace gen = lis::netlist::gen;
+namespace lsync = lis::sync;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// helpers
+
+/// Scalar reference evaluation of a combinational netlist.
+std::vector<bool> evalNetlist(const nlx::Netlist& nl,
+                              const std::map<nlx::NodeId, bool>& inputs) {
+  std::vector<bool> val(nl.nodes().size(), false);
+  for (const nlx::NodeId id : nl.topoOrder()) {
+    const nlx::Node& n = nl.node(id);
+    switch (n.op) {
+    case nlx::Op::Input: val[id] = inputs.at(id); break;
+    case nlx::Op::Const0: val[id] = false; break;
+    case nlx::Op::Const1: val[id] = true; break;
+    case nlx::Op::Not: val[id] = !val[n.fanin[0]]; break;
+    case nlx::Op::And: val[id] = val[n.fanin[0]] && val[n.fanin[1]]; break;
+    case nlx::Op::Or: val[id] = val[n.fanin[0]] || val[n.fanin[1]]; break;
+    case nlx::Op::Xor: val[id] = val[n.fanin[0]] != val[n.fanin[1]]; break;
+    case nlx::Op::Mux:
+      val[id] = val[n.fanin[0]] ? val[n.fanin[2]] : val[n.fanin[1]];
+      break;
+    case nlx::Op::Output: val[id] = val[n.fanin[0]]; break;
+    case nlx::Op::RomBit: {
+      const nlx::Rom& rom = nl.rom(n.romId);
+      std::uint64_t addr = 0;
+      for (std::size_t i = 0; i < n.fanin.size(); i++) {
+        addr |= std::uint64_t{val[n.fanin[i]] ? 1u : 0u} << i;
+      }
+      val[id] = addr < rom.words.size() &&
+                ((rom.words[addr] >> n.romBit) & 1u) != 0;
+      break;
+    }
+    case nlx::Op::Dff: CHECK(false); break;
+    }
+  }
+  std::vector<bool> outs;
+  for (const nlx::NodeId o : nl.outputs()) outs.push_back(val[o]);
+  return outs;
+}
+
+/// Pigeonhole principle: `pigeons` into `holes`; UNSAT when pigeons > holes.
+void addPigeonhole(sat::Solver& s, unsigned pigeons, unsigned holes) {
+  std::vector<sat::Var> v(pigeons * holes);
+  for (auto& x : v) x = s.newVar();
+  const auto at = [&](unsigned i, unsigned j) { return v[i * holes + j]; };
+  std::vector<sat::Lit> clause;
+  for (unsigned i = 0; i < pigeons; i++) {
+    clause.clear();
+    for (unsigned j = 0; j < holes; j++) clause.push_back(sat::mkLit(at(i, j)));
+    s.addClause(clause);
+  }
+  for (unsigned j = 0; j < holes; j++) {
+    for (unsigned i1 = 0; i1 < pigeons; i1++) {
+      for (unsigned i2 = i1 + 1; i2 < pigeons; i2++) {
+        s.addClause({sat::mkLit(at(i1, j), true), sat::mkLit(at(i2, j), true)});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// solver core
+
+void testLiteralHelpers() {
+  const sat::Lit p = sat::mkLit(7);
+  CHECK_EQ(sat::litVar(p), 7u);
+  CHECK(!sat::litSign(p));
+  CHECK(sat::litSign(sat::litNeg(p)));
+  CHECK_EQ(sat::litVar(sat::litNeg(p)), 7u);
+  CHECK_EQ(sat::litNeg(sat::litNeg(p)), p);
+}
+
+void testTrivialClauses() {
+  sat::Solver s;
+  const sat::Var a = s.newVar();
+  const sat::Var b = s.newVar();
+  // Tautology and satisfied clauses are absorbed.
+  CHECK(s.addClause({sat::mkLit(a), sat::mkLit(a, true)}));
+  CHECK(s.addClause({sat::mkLit(a)}));
+  CHECK(s.addClause({sat::mkLit(a), sat::mkLit(b)}));
+  CHECK_EQ(static_cast<int>(s.solve()), static_cast<int>(sat::Result::Sat));
+  CHECK(s.modelValue(sat::mkLit(a)));
+  // Unit contradiction flips the solver to top-level UNSAT.
+  CHECK(!s.addClause({sat::mkLit(a, true)}));
+  CHECK(!s.okay());
+  CHECK_EQ(static_cast<int>(s.solve()), static_cast<int>(sat::Result::Unsat));
+}
+
+void testPigeonholeUnsat() {
+  sat::Solver s;
+  addPigeonhole(s, 5, 4);
+  CHECK_EQ(static_cast<int>(s.solve()), static_cast<int>(sat::Result::Unsat));
+  CHECK(s.stats().conflicts > 0);
+  CHECK(s.unsatAssumptions().empty());
+
+  sat::Solver sat5;
+  addPigeonhole(sat5, 5, 5);
+  CHECK_EQ(static_cast<int>(sat5.solve()),
+           static_cast<int>(sat::Result::Sat));
+}
+
+void testRandom3CnfVsBruteForce() {
+  const unsigned n = 10, m = 44;
+  for (std::uint64_t seed = 0; seed < 12; seed++) {
+    lis::support::SplitMix64 rng(0xc3f5eed + seed);
+    std::vector<std::vector<sat::Lit>> clauses;
+    for (unsigned c = 0; c < m; c++) {
+      std::vector<sat::Lit> cl;
+      while (cl.size() < 3) {
+        const sat::Var v = static_cast<sat::Var>(rng.below(n));
+        bool dup = false;
+        for (const sat::Lit l : cl) dup = dup || sat::litVar(l) == v;
+        if (!dup) cl.push_back(sat::mkLit(v, rng.flip()));
+      }
+      clauses.push_back(cl);
+    }
+    bool bruteSat = false;
+    for (std::uint32_t a = 0; a < (1u << n) && !bruteSat; a++) {
+      bool all = true;
+      for (const auto& cl : clauses) {
+        bool any = false;
+        for (const sat::Lit l : cl) {
+          const bool v = ((a >> sat::litVar(l)) & 1u) != 0;
+          any = any || (v != sat::litSign(l));
+        }
+        all = all && any;
+      }
+      bruteSat = all;
+    }
+    sat::Solver s(seed);
+    for (unsigned v = 0; v < n; v++) s.newVar();
+    bool ok = true;
+    for (const auto& cl : clauses) ok = s.addClause(cl) && ok;
+    const sat::Result r = ok ? s.solve() : sat::Result::Unsat;
+    CHECK_EQ(static_cast<int>(r), static_cast<int>(bruteSat ? sat::Result::Sat
+                                                            : sat::Result::Unsat));
+    if (r == sat::Result::Sat) {
+      for (const auto& cl : clauses) {
+        bool any = false;
+        for (const sat::Lit l : cl) any = any || s.modelValue(l);
+        CHECK(any);
+      }
+    }
+  }
+}
+
+void testAssumptionsAndUnsatCore() {
+  sat::Solver s;
+  const sat::Var a = s.newVar(), b = s.newVar(), c = s.newVar(),
+                 d = s.newVar();
+  // a -> b, b -> c.
+  s.addClause({sat::mkLit(a, true), sat::mkLit(b)});
+  s.addClause({sat::mkLit(b, true), sat::mkLit(c)});
+  // SAT under {a}; the model respects the implication chain.
+  CHECK_EQ(static_cast<int>(s.solve({sat::mkLit(a)})),
+           static_cast<int>(sat::Result::Sat));
+  CHECK(s.modelValue(sat::mkLit(c)));
+  // UNSAT under {a, !c}; the core names both, never the irrelevant d.
+  const sat::Result r = s.solve({sat::mkLit(a), sat::mkLit(c, true),
+                                 sat::mkLit(d)});
+  CHECK_EQ(static_cast<int>(r), static_cast<int>(sat::Result::Unsat));
+  const std::vector<sat::Lit>& core = s.unsatAssumptions();
+  CHECK(!core.empty());
+  bool hasA = false, hasNotC = false, hasD = false;
+  for (const sat::Lit l : core) {
+    hasA = hasA || l == sat::mkLit(a);
+    hasNotC = hasNotC || l == sat::mkLit(c, true);
+    hasD = hasD || sat::litVar(l) == d;
+  }
+  CHECK(hasA);
+  CHECK(hasNotC);
+  CHECK(!hasD);
+  // Still SAT without assumptions: nothing was permanently asserted.
+  CHECK_EQ(static_cast<int>(s.solve()), static_cast<int>(sat::Result::Sat));
+  CHECK(s.okay());
+}
+
+void testBudgetTiering() {
+  sat::Solver s;
+  addPigeonhole(s, 8, 7);
+  s.setBudget({10, 0});
+  CHECK_EQ(static_cast<int>(s.solve()),
+           static_cast<int>(sat::Result::Unknown));
+  CHECK(s.okay()); // no verdict, state intact
+  bool threw = false;
+  try {
+    (void)s.solveOrThrow({}, "sat_test");
+  } catch (const lis::logic::ResourceLimitExceeded& e) {
+    threw = true;
+    CHECK(std::string(e.resource()) == "conflict");
+    CHECK(e.used() >= e.limit());
+  }
+  CHECK(threw);
+  // Lifting the budget finishes the proof on the same solver.
+  s.setBudget({0, 0});
+  CHECK_EQ(static_cast<int>(s.solve()), static_cast<int>(sat::Result::Unsat));
+}
+
+void testSolverDeterminism() {
+  sat::SolverStats first;
+  for (int run = 0; run < 2; run++) {
+    sat::Solver s(0xabc);
+    addPigeonhole(s, 6, 5);
+    CHECK_EQ(static_cast<int>(s.solve()),
+             static_cast<int>(sat::Result::Unsat));
+    if (run == 0) {
+      first = s.stats();
+    } else {
+      CHECK_EQ(s.stats().conflicts, first.conflicts);
+      CHECK_EQ(s.stats().decisions, first.decisions);
+      CHECK_EQ(s.stats().propagations, first.propagations);
+      CHECK_EQ(s.stats().restarts, first.restarts);
+    }
+  }
+  // A different seed may search differently but answers the same.
+  sat::Solver s2(0xdef);
+  addPigeonhole(s2, 6, 5);
+  CHECK_EQ(static_cast<int>(s2.solve()), static_cast<int>(sat::Result::Unsat));
+}
+
+// ---------------------------------------------------------------------------
+// CNF encoding
+
+void checkCnfMatchesNetlist(const nlx::Netlist& nl) {
+  const std::size_t n = nl.inputs().size();
+  CHECK(n <= 10);
+  lis::aig::Aig g;
+  std::map<nlx::NodeId, lis::aig::Lit> piOf;
+  for (const nlx::NodeId id : nl.inputs()) piOf[id] = g.addPi();
+  const std::vector<lis::aig::Lit> outs = sat::appendCombinational(
+      g, nl, [&](nlx::NodeId id) { return piOf.at(id); });
+
+  sat::Solver s;
+  sat::AigCnf cnf(s, g);
+  std::vector<sat::Lit> outLits;
+  for (const lis::aig::Lit l : outs) outLits.push_back(cnf.lit(l));
+  std::vector<sat::Lit> inLits;
+  for (std::size_t i = 0; i < n; i++) inLits.push_back(cnf.piLit(i));
+
+  for (std::uint32_t pat = 0; pat < (1u << n); pat++) {
+    std::vector<sat::Lit> assume;
+    std::map<nlx::NodeId, bool> inputs;
+    for (std::size_t i = 0; i < n; i++) {
+      const bool v = ((pat >> i) & 1u) != 0;
+      assume.push_back(v ? inLits[i] : sat::litNeg(inLits[i]));
+      inputs[nl.inputs()[i]] = v;
+    }
+    CHECK_EQ(static_cast<int>(s.solve(assume)),
+             static_cast<int>(sat::Result::Sat));
+    const std::vector<bool> want = evalNetlist(nl, inputs);
+    for (std::size_t o = 0; o < outs.size(); o++) {
+      CHECK_EQ(s.modelValue(outLits[o]), want[o]);
+    }
+  }
+}
+
+void testCnfVsExhaustiveEvaluation() {
+  checkCnfMatchesNetlist(gen::adder(4)); // 8 inputs
+  checkCnfMatchesNetlist(gen::muxTree(2, gen::MuxStyle::Tree));
+  checkCnfMatchesNetlist(gen::muxTree(2, gen::MuxStyle::SumOfProducts));
+  checkCnfMatchesNetlist(gen::romReader(3, 4, 0x5eed));
+  for (std::uint64_t seed = 1; seed <= 3; seed++) {
+    checkCnfMatchesNetlist(gen::randomDag(8, 60, 4, seed));
+  }
+}
+
+void testUnrollerCountsFrames() {
+  // 2-bit counter with enable: verifies reset-constant folding, the
+  // enable ITE linking and per-frame input variables in one design.
+  nlx::Netlist nl("counter");
+  const nlx::NodeId en = nl.addInput("en");
+  const nlx::NodeId q0 = nl.mkDff(nl.constant(false), en);
+  const nlx::NodeId q1 = nl.mkDff(nl.constant(false), en);
+  nl.setDffInputs(q0, nl.mkNot(q0), en);
+  nl.setDffInputs(q1, nl.mkXor(q1, q0), en);
+  nl.addOutput("b0", q0);
+  nl.addOutput("b1", q1);
+  const nlx::NodeId b0 = nl.outputs()[0];
+  const nlx::NodeId b1 = nl.outputs()[1];
+
+  const lis::aig::SequentialAig sa = lis::aig::fromNetlist(nl);
+  {
+    // Enable forced high: the counter counts the frame index.
+    sat::Solver s;
+    sat::Unroller u(s, sa, {{en, true}});
+    for (unsigned k = 0; k < 6; k++) u.pushFrame();
+    CHECK_EQ(static_cast<int>(s.solve()), static_cast<int>(sat::Result::Sat));
+    for (unsigned k = 0; k < 6; k++) {
+      CHECK_EQ(s.modelValue(u.outputLit(k, b0)), (k & 1u) != 0);
+      CHECK_EQ(s.modelValue(u.outputLit(k, b1)), (k & 2u) != 0);
+      CHECK_THROWS(u.inputLit(k, en), std::invalid_argument);
+    }
+  }
+  {
+    // Enable free: asking for count==2 at frame 2 forces it high twice.
+    sat::Solver s;
+    sat::Unroller u(s, sa);
+    for (unsigned k = 0; k < 3; k++) u.pushFrame();
+    const sat::Result r = s.solve(
+        {sat::litNeg(u.outputLit(2, b0)), u.outputLit(2, b1)});
+    CHECK_EQ(static_cast<int>(r), static_cast<int>(sat::Result::Sat));
+    CHECK(s.modelValue(u.inputLit(0, en)));
+    CHECK(s.modelValue(u.inputLit(1, en)));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SAT sweeping
+
+void testSweepMergesRedundantXor() {
+  // Redundancy that structural hashing can NOT catch (commutative swaps
+  // strash away on their own): different association orders of the same
+  // parity and conjunction functions.
+  nlx::Netlist nl("redundant");
+  const nlx::NodeId a = nl.addInput("a");
+  const nlx::NodeId b = nl.addInput("b");
+  const nlx::NodeId c = nl.addInput("c");
+  nl.addOutput("p1", nl.mkXor(nl.mkXor(a, b), c));
+  nl.addOutput("p2", nl.mkXor(a, nl.mkXor(b, c)));
+  nl.addOutput("g1", nl.mkAnd(nl.mkAnd(a, b), c));
+  nl.addOutput("g2", nl.mkAnd(a, nl.mkAnd(b, c)));
+
+  const sat::NetlistSweepResult swept = sat::sweepNetlist(nl);
+  CHECK(swept.stats.proved > 0);
+  CHECK(swept.stats.andsAfter < swept.stats.andsBefore);
+  CHECK_EQ(swept.stats.undecided, 0u);
+  const nlx::EquivResult eq = nlx::checkCombEquivalence(nl, swept.netlist);
+  CHECK(eq.equivalent);
+}
+
+void testSweepSoundnessOnRealConfigs() {
+  // Post-sweep netlists must stay sequentially equivalent on the real
+  // wrapper/mesh constructions (the pipeline pass asserts the same).
+  for (const lsync::Encoding enc :
+       {lsync::Encoding::OneHot, lsync::Encoding::Binary}) {
+    lsync::WrapperConfig cfg;
+    cfg.numInputs = 2;
+    cfg.numOutputs = 1;
+    cfg.encoding = enc;
+    const lsync::Wrapper w = lsync::buildWrapper(cfg);
+    const sat::NetlistSweepResult swept = sat::sweepNetlist(w.netlist);
+    const nlx::SeqEquivResult r =
+        nlx::checkSeqEquivalence(w.netlist, swept.netlist);
+    CHECK(r.equivalent);
+    CHECK(!r.degraded);
+  }
+  lsync::SystemSpec mesh = lsync::meshSpec(2, 2, 1, lsync::Encoding::Binary);
+  const lsync::System sys = lsync::buildSystem(mesh);
+  const sat::NetlistSweepResult swept = sat::sweepNetlist(sys.netlist);
+  const nlx::SeqEquivResult r =
+      nlx::checkSeqEquivalence(sys.netlist, swept.netlist);
+  CHECK(r.equivalent);
+  CHECK(!r.degraded);
+}
+
+// ---------------------------------------------------------------------------
+// bounded model checking
+
+void testBmcHoldsOnCleanDesigns() {
+  lsync::SystemSpec spec = lsync::chainSpec(2, 1, lsync::Encoding::Binary);
+  const lsync::System sys = lsync::buildSystem(spec);
+  sat::BmcOptions opts;
+  opts.depth = 12;
+  opts.capacityBound = sat::capacityBound(spec);
+  const sat::BmcResult r =
+      sat::checkInvariants(sys.netlist, lsync::portView(sys.ports), opts);
+  CHECK(r.allHold());
+  CHECK(!r.anyDegraded());
+  CHECK_EQ(r.minDepthReached(), opts.depth);
+  CHECK_EQ(r.properties.size(), 3u);
+
+  lsync::WrapperConfig cfg;
+  cfg.numInputs = 1;
+  cfg.numOutputs = 1;
+  const lsync::Wrapper w = lsync::buildWrapper(cfg);
+  sat::BmcOptions wopts;
+  wopts.depth = 10;
+  wopts.capacityBound = sat::capacityBound(cfg);
+  const sat::BmcResult wr =
+      sat::checkInvariants(w.netlist, lsync::portView(w.ports), wopts);
+  CHECK(wr.allHold());
+  CHECK(!wr.anyDegraded());
+  CHECK_EQ(wr.minDepthReached(), wopts.depth);
+}
+
+void testBmcBrokenRelayKnownDepth() {
+  // A "relay" that asserts out_valid from reset and never stalls its
+  // producer: it invents a token every cycle. With capacity bound B the
+  // delivered counter reads k at frame k, so token conservation first
+  // fails at frame B+1 — exactly, and on every run.
+  nlx::Netlist nl("broken_relay");
+  const nlx::NodeId inValid = nl.addInput("in_valid");
+  const nlx::NodeId inData = nl.addInput("in_data");
+  const nlx::NodeId outStop = nl.addInput("out_stop");
+  nl.addOutput("in_stop", nl.constant(false));
+  nl.addOutput("out_valid", nl.constant(true));
+  nl.addOutput("out_data", nl.mkDff(inData));
+  lsync::PortView view;
+  view.inValid = {inValid};
+  view.inData = {{inData}};
+  view.inStop = {nl.outputs()[0]};
+  view.outValid = {nl.outputs()[1]};
+  view.outData = {{nl.outputs()[2]}};
+  view.outStop = {outStop};
+
+  sat::BmcOptions opts;
+  opts.depth = 10;
+  opts.capacityBound = 2;
+  for (int run = 0; run < 2; run++) {
+    const sat::BmcResult r = sat::checkInvariants(nl, view, opts);
+    CHECK_EQ(r.properties.size(), 3u);
+    const sat::BmcPropertyResult& token = r.properties[0];
+    CHECK(token.name == "token_conservation");
+    CHECK(token.violated);
+    CHECK_EQ(token.failDepth, opts.capacityBound + 1);
+    // The environment may also stuff tokens in while stalling the
+    // output for ever: occupancy breaks at the same depth.
+    const sat::BmcPropertyResult& occ = r.properties[1];
+    CHECK(occ.violated);
+    CHECK_EQ(occ.failDepth, opts.capacityBound + 1);
+    // Under the maximal-progress environment this design always makes
+    // progress, so the watchdog holds.
+    const sat::BmcPropertyResult& wd = r.properties[2];
+    CHECK(wd.name == "deadlock_watchdog");
+    CHECK(!wd.violated);
+    CHECK_EQ(wd.depthReached, opts.depth);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// the SAT tier of the tiered equivalence checker
+
+void testEquivSatTierProves() {
+  // Swapped-operand adders strash to one cone inside the joint miter
+  // AIG: the SAT tier discharges them structurally, zero solver calls.
+  const nlx::EquivResult eq =
+      nlx::checkCombEquivalence(gen::adder(16), gen::adder(16, true));
+  CHECK(eq.equivalent);
+  CHECK(eq.method == nlx::EquivMethod::Sat);
+  CHECK(eq.confidence == 1.0);
+  CHECK(!eq.degraded);
+
+  // Mux-tree vs sum-of-products is structurally distinct: this proof
+  // has to run the CDCL search and its footprint must be reported.
+  const nlx::EquivResult mt = nlx::checkCombEquivalence(
+      gen::muxTree(3, gen::MuxStyle::Tree),
+      gen::muxTree(3, gen::MuxStyle::SumOfProducts));
+  CHECK(mt.equivalent);
+  CHECK(mt.method == nlx::EquivMethod::Sat);
+  CHECK(mt.confidence == 1.0);
+  CHECK(mt.proof.satPropagations > 0);
+}
+
+void testEquivSatTierRefutesWithReplayableCex() {
+  nlx::EquivOptions opts;
+  opts.simRounds = 0; // skip the sim screen so SAT produces the cex
+  const nlx::Netlist a = gen::adder(8);
+  const nlx::Netlist b = gen::adder(8, false, /*corruptMsb=*/true);
+  const nlx::EquivResult r = nlx::checkCombEquivalence(a, b, opts);
+  CHECK(!r.equivalent);
+  CHECK(r.method == nlx::EquivMethod::Sat);
+  CHECK(r.confidence == 1.0);
+  CHECK(!r.failingOutput.empty());
+  CHECK(r.counterexample.has_value());
+  CHECK(r.cex.has_value());
+  if (!r.cex.has_value()) return;
+  // Replay: the reported input assignment must distinguish the pair at
+  // the named output.
+  std::map<nlx::NodeId, bool> inA, inB;
+  std::map<std::string, bool> byName;
+  for (const auto& [name, value] : r.cex->inputs) byName[name] = value;
+  for (const nlx::NodeId id : a.inputs()) inA[id] = byName.at(a.node(id).name);
+  for (const nlx::NodeId id : b.inputs()) inB[id] = byName.at(b.node(id).name);
+  const std::vector<bool> outsA = evalNetlist(a, inA);
+  const std::vector<bool> outsB = evalNetlist(b, inB);
+  bool differs = false;
+  for (std::size_t i = 0; i < a.outputs().size(); i++) {
+    const std::string& name = a.node(a.outputs()[i]).name;
+    for (std::size_t j = 0; j < b.outputs().size(); j++) {
+      if (b.node(b.outputs()[j]).name == name && outsA[i] != outsB[j] &&
+          name == r.failingOutput) {
+        differs = true;
+      }
+    }
+  }
+  CHECK(differs);
+}
+
+void testWideModeCexReport() {
+  // >64 inputs: the compact uint64 counterexample cannot exist, but the
+  // shared report must still name the failing output and an assignment.
+  const auto wideOr = [](unsigned n, bool dropLast) {
+    nlx::Netlist nl("wide");
+    std::vector<nlx::NodeId> ins;
+    for (unsigned i = 0; i < n; i++) {
+      ins.push_back(nl.addInput("x" + std::to_string(i)));
+    }
+    if (dropLast) ins.pop_back();
+    nl.addOutput("y", nl.orTree(ins));
+    return nl;
+  };
+  const nlx::Netlist a = wideOr(70, false);
+  const nlx::Netlist b = wideOr(70, true);
+  for (const bool useSat : {true, false}) {
+    nlx::EquivOptions opts;
+    opts.simRounds = 0;
+    opts.useSat = useSat;
+    const nlx::EquivResult r = nlx::checkCombEquivalence(a, b, opts);
+    CHECK(!r.equivalent);
+    CHECK(!r.counterexample.has_value()); // wide: no compact form
+    CHECK(r.failingOutput == "y");
+    CHECK(r.cex.has_value());
+    if (r.cex.has_value()) {
+      CHECK(r.cex->output == "y");
+      bool x69 = false;
+      for (const auto& [name, value] : r.cex->inputs) {
+        if (name == "x69") x69 = value;
+      }
+      CHECK(x69); // only x69 distinguishes the pair
+    }
+  }
+}
+
+void testSatBudgetFallsBackToBdd() {
+  // A starved SAT tier hands the proof to the BDD tier untouched. The
+  // pair must be structurally distinct (a strash-discharged miter never
+  // touches the budget), so: mux tree vs sum-of-products.
+  nlx::EquivOptions opts;
+  opts.satConflictBudget = 1;
+  const nlx::EquivResult r = nlx::checkCombEquivalence(
+      gen::muxTree(3, gen::MuxStyle::Tree),
+      gen::muxTree(3, gen::MuxStyle::SumOfProducts), opts);
+  CHECK(r.equivalent);
+  CHECK(r.method == nlx::EquivMethod::Bdd);
+  CHECK(!r.degraded);
+  CHECK(r.confidence == 1.0);
+  // The BDD verdict still reports the partial SAT search it inherited.
+  CHECK(r.proof.satPropagations > 0);
+  CHECK(r.proof.bddNodes > 0);
+}
+
+} // namespace
+
+int main() {
+  testLiteralHelpers();
+  testTrivialClauses();
+  testPigeonholeUnsat();
+  testRandom3CnfVsBruteForce();
+  testAssumptionsAndUnsatCore();
+  testBudgetTiering();
+  testSolverDeterminism();
+  testCnfVsExhaustiveEvaluation();
+  testUnrollerCountsFrames();
+  testSweepMergesRedundantXor();
+  testSweepSoundnessOnRealConfigs();
+  testBmcHoldsOnCleanDesigns();
+  testBmcBrokenRelayKnownDepth();
+  testEquivSatTierProves();
+  testEquivSatTierRefutesWithReplayableCex();
+  testSatBudgetFallsBackToBdd();
+  testWideModeCexReport();
+  return testExit();
+}

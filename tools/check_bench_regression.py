@@ -27,6 +27,15 @@ design. A baseline fault entry missing from the fresh results fails —
 silently shrinking fault coverage is exactly the regression this section
 exists to catch.
 
+The "sat" section (SAT-sweep + protocol-invariant BMC, added with the
+SAT engine) is gated within the fresh results: every non-failed entry
+must hold all three protocol invariants (token conservation, occupancy
+bound, deadlock watchdog), reach the section's advertised BMC depth
+(floor 20), and carry a non-degraded sweep soundness proof
+(equiv_proved, with a method stronger than the simulation screen). A
+baseline sat entry missing from the fresh results fails; a fresh file
+without the section warns (pre-SAT bench output).
+
 The "metrics" section (per-config engine counters + executor
 utilization, added with the observability layer) is gated leniently:
 every non-failed config row must carry its suite's required counter keys
@@ -162,6 +171,77 @@ def check_fault(baseline, fresh):
     return failures, warnings
 
 
+# The BMC depth the sat section must prove the protocol invariants to
+# (matches bench::kSatBmcDepth) and the invariant verdict keys every
+# entry must hold.
+SAT_BMC_DEPTH_FLOOR = 20
+SAT_INVARIANT_KEYS = ("token_conservation_ok", "occupancy_bound_ok",
+                      "deadlock_watchdog_ok")
+
+
+def check_sat(baseline, fresh):
+    """Gate the SAT-sweep + BMC verification section.
+
+    Returns (failures, warnings). A fresh file without a "sat" section
+    only warns (pre-SAT bench output); with one, every non-failed entry
+    must hold the three protocol invariants at SAT_BMC_DEPTH_FLOOR and
+    carry a proven (non-degraded) sweep equivalence whose method is
+    stronger than the simulation screen. A baseline design dropped from
+    the fresh entries fails.
+    """
+    failures = []
+    warnings = []
+    sat = fresh.get("sat")
+    if sat is None:
+        warnings.append('no "sat" section in fresh results; '
+                        "SAT verification gate skipped")
+        return failures, warnings
+
+    fresh_names = set()
+    for entry in sat.get("entries", []):
+        name = entry.get("design")
+        if name is None:
+            warnings.append(f"fresh sat entry lacks a design name: {entry}")
+            continue
+        fresh_names.add(name)
+        if entry.get("failed"):
+            warnings.append(f"sat {name}: config failed in the bench run; "
+                            f"invariant checks skipped")
+            continue
+        for key in SAT_INVARIANT_KEYS:
+            if key not in entry:
+                warnings.append(f'sat {name}: key "{key}" missing; '
+                                f"invariant check skipped")
+            elif not entry[key]:
+                failures.append(f"sat {name}: protocol invariant "
+                                f"{key[:-3]} violated")
+        depth = entry.get("bmc_depth")
+        if depth is None:
+            warnings.append(f"sat {name}: bmc_depth key missing; "
+                            f"depth check skipped")
+        elif depth < SAT_BMC_DEPTH_FLOOR:
+            failures.append(f"sat {name}: BMC depth {depth} below the "
+                            f"{SAT_BMC_DEPTH_FLOOR} floor")
+        if "equiv_proved" not in entry:
+            warnings.append(f"sat {name}: equiv_proved key missing; "
+                            f"sweep proof check skipped")
+        elif not entry["equiv_proved"]:
+            failures.append(f"sat {name}: sweep equivalence not proved "
+                            f"(degraded or failed soundness check)")
+        method = entry.get("equiv_method")
+        if method == "sim":
+            failures.append(f"sat {name}: sweep soundness degraded to the "
+                            f"simulation screen")
+
+    for old in (baseline.get("sat") or {}).get("entries", []):
+        name = old.get("design")
+        if name is None or old.get("failed"):
+            continue
+        if name not in fresh_names:
+            failures.append(f"sat {name}: missing from fresh results")
+    return failures, warnings
+
+
 # Required per-config counter keys by suite: deterministic pass outputs,
 # so a missing key means the instrumentation regressed, not the machine.
 METRICS_REQUIRED_KEYS = {
@@ -175,6 +255,7 @@ METRICS_REQUIRED_KEYS = {
     "sweep_opt": ("aig.ands_after", "aig.rewrite_adoptions",
                   "aig.cuts_enumerated"),
     "fault": ("fault.sites", "fault.control_seu_coverage"),
+    "sat": ("sat.conflicts", "sat.decisions", "sat.propagations"),
 }
 
 # The sweep suite (the long, many-design section) must keep the executor
@@ -330,6 +411,9 @@ def run_gate(args):
     fault_failures, fault_warnings = check_fault(baseline, fresh)
     failures += fault_failures
     warnings += fault_warnings
+    sat_failures, sat_warnings = check_sat(baseline, fresh)
+    failures += sat_failures
+    warnings += sat_warnings
     metrics_failures, metrics_warnings = check_metrics(baseline, fresh)
     failures += metrics_failures
     warnings += metrics_warnings
@@ -362,6 +446,17 @@ def run_gate(args):
         elif "control_seu_coverage" in entry:
             print(f"fault {name:>22}   ctrl-SEU coverage "
                   f"{entry['control_seu_coverage']:.3f}")
+    for entry in fresh.get("sat", {}).get("entries", []):
+        name = entry.get("design", "?")
+        if entry.get("failed"):
+            print(f"sat {name:>24}   FAILED")
+        else:
+            holds = all(entry.get(k) for k in SAT_INVARIANT_KEYS)
+            print(f"sat {name:>24}   bmc depth "
+                  f"{entry.get('bmc_depth', '?'):>2} "
+                  f"{'clean' if holds else 'VIOLATED'} sweep "
+                  f"{entry.get('equiv_method', '?')}"
+                  f"{'' if entry.get('equiv_proved') else ' UNPROVED'}")
 
     for w in warnings:
         print(f"warning: {w}", file=sys.stderr)
@@ -514,6 +609,56 @@ def self_test():
     checks.append(("failed fault config warns", not f and bool(w)))
     f, w = check_fault(fault_file([fault_entry]), {"wrapper": [entry]})
     checks.append(("absent fault section warns only", not f and bool(w)))
+
+    # --- "sat" section verification gate --------------------------------
+    sat_entry = {"design": "chain3_d1_binary", "sweep_candidates": 12,
+                 "sweep_proved": 12, "sweep_refuted": 0,
+                 "sweep_undecided": 0, "equiv_method": "sat",
+                 "equiv_proved": True, "bmc_depth": 20,
+                 "token_conservation_ok": True, "occupancy_bound_ok": True,
+                 "deadlock_watchdog_ok": True}
+
+    def sat_with(**kw):
+        e = dict(sat_entry)
+        e.update(kw)
+        return e
+
+    def sat_file(entries):
+        return {"sat": {"bmc_depth": 20, "entries": entries}}
+
+    # Clean invariants at full depth with a proved sweep: passes.
+    f, w = check_sat(sat_file([sat_entry]), sat_file([sat_entry]))
+    checks.append(("sat clean entry passes", not f and not w))
+    # Any violated invariant fails.
+    f, _ = check_sat({}, sat_file([sat_with(token_conservation_ok=False)]))
+    checks.append(("sat violated invariant fails", bool(f)))
+    f, _ = check_sat({}, sat_file([sat_with(deadlock_watchdog_ok=False)]))
+    checks.append(("sat watchdog violation fails", bool(f)))
+    # BMC stopping short of the depth floor fails.
+    f, _ = check_sat({}, sat_file([sat_with(bmc_depth=12)]))
+    checks.append(("sat shallow bmc fails", bool(f)))
+    # An unproved (degraded) sweep fails; so does a sim-screen method.
+    f, _ = check_sat({}, sat_file([sat_with(equiv_proved=False)]))
+    checks.append(("sat unproved sweep fails", bool(f)))
+    f, _ = check_sat({}, sat_file([sat_with(equiv_method="sim")]))
+    checks.append(("sat sim-screen method fails", bool(f)))
+    # A BDD-tier proof is as acceptable as the SAT tier.
+    f, _ = check_sat({}, sat_file([sat_with(equiv_method="bdd")]))
+    checks.append(("sat bdd-method proof passes", not f))
+    # A baseline design dropped from the fresh entries fails.
+    f, _ = check_sat(sat_file([sat_entry]), sat_file([]))
+    checks.append(("dropped sat design fails", bool(f)))
+    # Missing keys warn and skip; failed configs warn; a fresh file
+    # without the section warns and passes.
+    slim_sat = dict(sat_entry)
+    del slim_sat["bmc_depth"]
+    f, w = check_sat({}, sat_file([slim_sat]))
+    checks.append(("sat missing key warns", not f and bool(w)))
+    f, w = check_sat(sat_file([sat_entry]), sat_file([
+        {"design": sat_entry["design"], "failed": True}]))
+    checks.append(("failed sat config warns", not f and bool(w)))
+    f, w = check_sat(sat_file([sat_entry]), {"wrapper": [entry]})
+    checks.append(("absent sat section warns only", not f and bool(w)))
 
     # --- "metrics" section gate -----------------------------------------
     def metrics_file(configs, utilization=None):
