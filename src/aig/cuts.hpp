@@ -87,4 +87,63 @@ private:
   std::vector<Cut> cuts_;
 };
 
+/// Flat preallocated priority-cut storage: `nodes * maxCuts` Cut slots in
+/// one pool plus a per-node live count — the allocation-lean replacement
+/// for a vector<CutSet> on the mapper's hot path. Enumerating a netlist
+/// touches no allocator at all after construction, and cuts of one node
+/// are contiguous (one cache stream per insert scan).
+///
+/// insert() mirrors CutSet::insert exactly — dominance reject, evict-
+/// compact, ranked shift-insert, truncate-to-budget — so a mapper switched
+/// from CutSet to CutStore chooses identical cuts.
+///
+/// Concurrent use: inserts touch only the target node's slot row, so
+/// level-synchronous enumeration may insert for distinct nodes from
+/// different threads while reading finished rows.
+class CutStore {
+public:
+  CutStore(std::size_t nodes, unsigned maxCuts)
+      : maxCuts_(maxCuts < 2 ? 2 : maxCuts),
+        pool_(nodes * std::size_t{maxCuts_}), count_(nodes, 0) {}
+
+  unsigned maxCuts() const { return maxCuts_; }
+
+  template <class Better>
+  void insert(std::uint32_t node, const Cut& cut, Better&& better) {
+    Cut* cuts = pool_.data() + std::size_t{node} * maxCuts_;
+    std::uint16_t n = count_[node];
+    for (std::uint16_t i = 0; i < n; ++i) {
+      if (dominates(cuts[i], cut)) return; // redundant candidate
+    }
+    std::uint16_t kept = 0;
+    for (std::uint16_t i = 0; i < n; ++i) {
+      if (dominates(cut, cuts[i])) continue; // evicted by candidate
+      if (kept != i) cuts[kept] = cuts[i];
+      ++kept;
+    }
+    n = kept;
+    std::uint16_t pos = n;
+    while (pos > 0 && better(cut, cuts[pos - 1])) --pos;
+    if (pos >= maxCuts_) { // full list, candidate ranks below the budget
+      count_[node] = n;
+      return;
+    }
+    const std::uint16_t newN =
+        static_cast<std::uint16_t>(n < maxCuts_ ? n + 1 : maxCuts_);
+    for (std::uint16_t i = newN; --i > pos;) cuts[i] = cuts[i - 1];
+    cuts[pos] = cut;
+    count_[node] = newN;
+  }
+
+  std::span<const Cut> at(std::uint32_t node) const {
+    return {pool_.data() + std::size_t{node} * maxCuts_, count_[node]};
+  }
+  bool empty(std::uint32_t node) const { return count_[node] == 0; }
+
+private:
+  unsigned maxCuts_;
+  std::vector<Cut> pool_;
+  std::vector<std::uint16_t> count_;
+};
+
 } // namespace lis::aig

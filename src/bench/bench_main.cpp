@@ -18,13 +18,17 @@
 // "BENCH_sim.json") so successive PRs can track the numbers; CI gates on
 // the wrapper section via tools/check_bench_regression.py.
 //
-// Observability: `--trace out.json` records span traces (obs::Tracer)
-// across the flow suites and writes Chrome trace-event JSON; the "metrics"
-// JSON section reports per-config pass counters, process-wide engine
-// counters, pool scheduling stats, and the executor utilization derived
-// from the trace. `--suite quick` runs only the wrapper + fault + sat
-// suites — the cheap smoke set CI traces on every push.
+// Observability: spans are always recorded (the utilization numbers are
+// derived from them even without --trace); `--trace out.json` additionally
+// writes the Chrome trace-event JSON. The "metrics" JSON section reports
+// per-config pass counters, process-wide engine counters, pool scheduling
+// stats, and the executor utilization derived from the trace. `--suite
+// quick` runs only the wrapper + fault + sat suites — the cheap smoke set
+// CI traces on every push. `--suite scale` runs only the production-scale
+// sweep (pipe256/pipe1024/mesh16x16/mesh32x32) under CI's wall-clock
+// ceiling; `--suite full` is everything: all plus scale.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -32,12 +36,14 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/suites.hpp"
 #include "flow/design.hpp"
 #include "flow/executor.hpp"
 #include "flow/pipeline.hpp"
+#include "lis/synth.hpp"
 #include "lis/system.hpp"
 #include "lis/wrapper.hpp"
 #include "logic/bdd.hpp"
@@ -254,6 +260,7 @@ struct SystemBench {
   double synthSeconds = 0;
   double mapSeconds = 0;
   double staSeconds = 0;
+  double cosimSeconds = 0;
 };
 
 SystemBench systemBenchOf(lis::flow::Design& d,
@@ -281,6 +288,9 @@ SystemBench systemBenchOf(lis::flow::Design& d,
   r.synthSeconds = d.stageSeconds("synthesize");
   r.mapSeconds = d.stageSeconds("map");
   r.staSeconds = d.stageSeconds("sta");
+  for (const lis::flow::PassRecord& rec : res.records) {
+    if (rec.name == "cosim") r.cosimSeconds += rec.seconds;
+  }
   return r;
 }
 
@@ -323,7 +333,8 @@ std::string jsonSystem(const SystemBench& b) {
      << ", \"cosim_tokens\": " << b.cosimTokens
      << ", \"synth_seconds\": " << scrub(b.synthSeconds)
      << ", \"map_seconds\": " << scrub(b.mapSeconds)
-     << ", \"sta_seconds\": " << scrub(b.staSeconds) << "}";
+     << ", \"sta_seconds\": " << scrub(b.staSeconds)
+     << ", \"cosim_seconds\": " << scrub(b.cosimSeconds) << "}";
   return os.str();
 }
 
@@ -422,6 +433,8 @@ struct FlowSections {
   std::vector<lis::flow::RunResult> systemResults;
   std::vector<lis::flow::Design> sweep;
   std::vector<lis::flow::RunResult> sweepResults;
+  std::vector<lis::flow::Design> scale;
+  std::vector<lis::flow::RunResult> scaleResults;
   std::vector<lis::flow::Design> wrappersOpt;
   std::vector<lis::flow::RunResult> wrapperOptResults;
   std::vector<lis::flow::Design> systemsOpt;
@@ -437,26 +450,30 @@ struct FlowSections {
 constexpr std::uint64_t kMatrixCosimCycles = 2000;
 constexpr std::uint64_t kSweepCosimCycles = 3000;
 
-// `quick` trims the run to the wrapper + fault + sat suites (the other
-// sections emit empty arrays) — the smoke set the CI trace check runs.
+// Which suites a run covers. `quick` trims to wrapper + fault + sat (the
+// smoke set CI traces on every push); `scale` is *only* the production-
+// scale sweep, so CI can put a wall-clock ceiling on exactly that work;
+// `full` is all + scale.
+enum class SuiteMode { Quick, All, Scale, Full };
+
 // The sat suite stays in the smoke set because it is acceptance-gated
 // (check_bench_regression's "sat" checks) and costs well under a second.
-// Each suite's
-// runMany is wrapped in a "suite"-category span: those windows are what
-// computeUtilization measures.
-FlowSections runFlowSections(lis::flow::Executor& exec, bool quick) {
+// Each suite's runMany is wrapped in a "suite"-category span: those
+// windows are what computeUtilization measures.
+FlowSections runFlowSections(lis::flow::Executor& exec, SuiteMode mode) {
   FlowSections s;
+  const bool matrix = mode == SuiteMode::All || mode == SuiteMode::Full;
   lis::flow::Pipeline matrixPipe =
       lis::bench::standardPasses(kMatrixCosimCycles);
   lis::flow::Pipeline sweepPipe =
       lis::bench::standardPasses(kSweepCosimCycles);
   lis::flow::Pipeline optPipe = lis::bench::optPasses();
-  {
+  if (mode != SuiteMode::Scale) {
     lis::obs::Span span("suite:wrapper", "suite");
     s.wrappers = lis::bench::wrapperSuite();
     s.wrapperResults = matrixPipe.runMany(s.wrappers, exec);
   }
-  if (!quick) {
+  if (matrix) {
     {
       lis::obs::Span span("suite:system", "suite");
       s.systems = lis::bench::systemSuite();
@@ -483,19 +500,56 @@ FlowSections runFlowSections(lis::flow::Executor& exec, bool quick) {
       s.sweepOptResults = optPipe.runMany(s.sweepOpt, exec);
     }
   }
-  {
-    lis::obs::Span span("suite:fault", "suite");
-    lis::flow::Pipeline faultPipe = lis::bench::faultPasses();
-    s.faults = lis::bench::faultSuite();
-    s.faultResults = faultPipe.runMany(s.faults, exec);
+  if (mode == SuiteMode::Scale || mode == SuiteMode::Full) {
+    lis::obs::Span span("suite:scale", "suite");
+    lis::flow::Pipeline scalePipe =
+        lis::bench::standardPasses(lis::bench::kScaleCosimCycles);
+    s.scale = lis::bench::scaleSuite();
+    s.scaleResults = scalePipe.runMany(s.scale, exec);
   }
-  {
-    lis::obs::Span span("suite:sat", "suite");
-    lis::flow::Pipeline satPipe = lis::bench::satPasses();
-    s.sats = lis::bench::satSuite();
-    s.satResults = satPipe.runMany(s.sats, exec);
+  if (mode != SuiteMode::Scale) {
+    {
+      lis::obs::Span span("suite:fault", "suite");
+      lis::flow::Pipeline faultPipe = lis::bench::faultPasses();
+      s.faults = lis::bench::faultSuite();
+      s.faultResults = faultPipe.runMany(s.faults, exec);
+    }
+    {
+      lis::obs::Span span("suite:sat", "suite");
+      lis::flow::Pipeline satPipe = lis::bench::satPasses();
+      s.sats = lis::bench::satSuite();
+      s.satResults = satPipe.runMany(s.sats, exec);
+    }
   }
   return s;
+}
+
+// Aggregate per-stage walls across the scaling-sweep designs (sweep +
+// scale rows): where the pipeline actually spends its time, stage by
+// stage. Summed *exclusive* stage seconds (see Design::stageSeconds), so
+// the stages add up to roughly the designs' total pipeline time. "cosim"
+// comes from the pass records — it is a pass, not an artifact build.
+struct StageWalls {
+  double synthesize = 0;
+  double optimize = 0;
+  double map = 0;
+  double sta = 0;
+  double cosim = 0;
+};
+
+void accumulateStageWalls(StageWalls& w,
+                          std::vector<lis::flow::Design>& designs,
+                          const std::vector<lis::flow::RunResult>& results) {
+  for (std::size_t i = 0; i < designs.size(); ++i) {
+    lis::flow::Design& d = designs[i];
+    w.synthesize += d.stageSeconds("synthesize");
+    w.optimize += d.stageSeconds("optimize");
+    w.map += d.stageSeconds("map");
+    w.sta += d.stageSeconds("sta");
+    for (const lis::flow::PassRecord& rec : results[i].records) {
+      if (rec.name == "cosim") w.cosim += rec.seconds;
+    }
+  }
 }
 
 // The fault section: seeded injection-campaign tallies per robustness-
@@ -647,15 +701,17 @@ std::string jsonSat(const SatBench& b) {
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [OUT.json] [--jobs N] [--strip-times] "
-               "[--trace FILE] [--suite all|quick]\n"
+               "[--trace FILE] [--suite all|quick|scale|full]\n"
                "  --jobs N       run the flow suites on N pool workers "
                "(default 1 = serial)\n"
                "  --strip-times  zero wall-clock/job-count dependent fields "
                "(byte-identical diffs)\n"
-               "  --trace FILE   record flow spans and write Chrome "
-               "trace-event JSON to FILE\n"
-               "  --suite MODE   all (default) or quick (wrapper + fault + "
-               "sat suites only)\n",
+               "  --trace FILE   write Chrome trace-event JSON of the flow "
+               "spans to FILE\n"
+               "  --suite MODE   all (default), quick (wrapper + fault + "
+               "sat suites only),\n"
+               "                 scale (production-scale sweep only) or "
+               "full (all + scale)\n",
                argv0);
   std::exit(2);
 }
@@ -666,7 +722,7 @@ int main(int argc, char** argv) {
   std::string outPath = "BENCH_sim.json";
   std::string tracePath;
   unsigned jobs = 1;
-  bool quickSuite = false;
+  SuiteMode suiteMode = SuiteMode::All;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0) {
       if (i + 1 >= argc) usage(argv[0]);
@@ -682,7 +738,11 @@ int main(int argc, char** argv) {
       if (i + 1 >= argc) usage(argv[0]);
       const char* mode = argv[++i];
       if (std::strcmp(mode, "quick") == 0) {
-        quickSuite = true;
+        suiteMode = SuiteMode::Quick;
+      } else if (std::strcmp(mode, "scale") == 0) {
+        suiteMode = SuiteMode::Scale;
+      } else if (std::strcmp(mode, "full") == 0) {
+        suiteMode = SuiteMode::Full;
       } else if (std::strcmp(mode, "all") != 0) {
         usage(argv[0]);
       }
@@ -694,7 +754,10 @@ int main(int argc, char** argv) {
   }
 
   lis::obs::setThreadName("main");
-  if (!tracePath.empty()) lis::obs::Tracer::instance().enable();
+  // Spans are recorded unconditionally: the executor-utilization numbers
+  // in the "metrics" section are derived from them, with or without a
+  // --trace file to also write.
+  lis::obs::Tracer::instance().enable();
 
   const SimBench sim = benchSim();
   std::printf("sim: %zu nodes (%zu gates), scalar %.0f pat/s, bit-parallel "
@@ -739,14 +802,19 @@ int main(int argc, char** argv) {
   // the global registry, and their numbers are reported in their own
   // sections.
   lis::obs::Registry::global().reset();
+  // Both measured runs (parallel here, serial re-run below) start from a
+  // cold synthesis cache: a warm cache would hand the second run its
+  // minimized covers for free and overstate the speedup.
+  lis::sync::synthCacheClear();
   lis::flow::Executor exec(jobs);
   FlowSections sections;
   const double flowWall =
-      secondsOf([&] { sections = runFlowSections(exec, quickSuite); });
+      secondsOf([&] { sections = runFlowSections(exec, suiteMode); });
   std::size_t failedConfigs = 0;
   failedConfigs += reportFailures(sections.wrapperResults);
   failedConfigs += reportFailures(sections.systemResults);
   failedConfigs += reportFailures(sections.sweepResults);
+  failedConfigs += reportFailures(sections.scaleResults);
   failedConfigs += reportFailures(sections.wrapperOptResults);
   failedConfigs += reportFailures(sections.systemOptResults);
   failedConfigs += reportFailures(sections.sweepOptResults);
@@ -758,8 +826,7 @@ int main(int argc, char** argv) {
   // trace (suspend/resume) nor the engine/utilization numbers, so both
   // stay a pure function of the parallel run.
   const std::vector<lis::obs::TraceEvent> traceEvents =
-      tracePath.empty() ? std::vector<lis::obs::TraceEvent>{}
-                        : lis::obs::Tracer::instance().snapshot();
+      lis::obs::Tracer::instance().snapshot();
   const std::string engineJson = lis::obs::Registry::global().json();
   const lis::flow::Executor::PoolStats pool = exec.poolStats();
   const lis::obs::UtilizationReport util =
@@ -770,13 +837,24 @@ int main(int argc, char** argv) {
   double serialWall = flowWall;
   if (jobs > 1 && !gStripTimes) {
     lis::obs::Tracer::instance().suspend();
+    lis::sync::synthCacheClear(); // cold cache, same as the measured run
     lis::flow::Executor serial(1);
     FlowSections serialSections;
     serialWall = secondsOf(
-        [&] { serialSections = runFlowSections(serial, quickSuite); });
+        [&] { serialSections = runFlowSections(serial, suiteMode); });
     lis::obs::Tracer::instance().resume();
   }
   const double flowSpeedup = flowWall > 0 ? serialWall / flowWall : 1.0;
+  // Amdahl inversion: with speedup S at j workers, the serial fraction of
+  // the suites is (j/S - 1)/(j - 1). Clamped — measurement noise can push
+  // the raw value outside [0, 1] — and only meaningful when a parallel
+  // and a serial wall were both measured.
+  double serialFraction = 0.0;
+  if (jobs > 1 && flowSpeedup > 0) {
+    serialFraction = (double(jobs) / flowSpeedup - 1.0) / (double(jobs) - 1.0);
+    serialFraction = std::clamp(serialFraction, 0.0, 1.0);
+  }
+  const unsigned hardwareThreads = std::thread::hardware_concurrency();
 
   std::vector<WrapperBench> wrappers;
   for (std::size_t i = 0; i < sections.wrappers.size(); ++i) {
@@ -806,6 +884,14 @@ int main(int argc, char** argv) {
     sweep.push_back(
         systemBenchOf(sections.sweep[i], sections.sweepResults[i]));
   }
+  std::vector<SystemBench> scaleRows;
+  for (std::size_t i = 0; i < sections.scale.size(); ++i) {
+    scaleRows.push_back(
+        systemBenchOf(sections.scale[i], sections.scaleResults[i]));
+  }
+  StageWalls stageWalls;
+  accumulateStageWalls(stageWalls, sections.sweep, sections.sweepResults);
+  accumulateStageWalls(stageWalls, sections.scale, sections.scaleResults);
   for (const SystemBench& b : systems) {
     if (b.failed) {
       std::printf("system %-12s %-6s FAILED\n", b.topology.c_str(),
@@ -818,16 +904,21 @@ int main(int argc, char** argv) {
                 b.slices, b.fmaxMHz, scrub(b.synthSeconds),
                 scrub(b.mapSeconds), scrub(b.staSeconds));
   }
-  for (const SystemBench& b : sweep) {
-    if (b.failed) {
-      std::printf("sweep  %-12s FAILED\n", b.topology.c_str());
-      continue;
+  for (const std::vector<SystemBench>* rows : {&sweep, &scaleRows}) {
+    const char* label = rows == &sweep ? "sweep " : "scale ";
+    for (const SystemBench& b : *rows) {
+      if (b.failed) {
+        std::printf("%s %-12s FAILED\n", label, b.topology.c_str());
+        continue;
+      }
+      std::printf("%s %-12s %4zu pearls %4zu chans %6zu LUT %6zu slices "
+                  "fmax %.1f MHz (synth %.3fs, map %.3fs, cosim %.3fs, "
+                  "%llu tokens)\n",
+                  label, b.topology.c_str(), b.pearls, b.channels, b.luts,
+                  b.slices, b.fmaxMHz, scrub(b.synthSeconds),
+                  scrub(b.mapSeconds), scrub(b.cosimSeconds),
+                  static_cast<unsigned long long>(b.cosimTokens));
     }
-    std::printf("sweep  %-12s %3zu pearls %3zu chans %5zu LUT %5zu slices "
-                "fmax %.1f MHz (synth %.3fs, map %.3fs, %llu tokens)\n",
-                b.topology.c_str(), b.pearls, b.channels, b.luts, b.slices,
-                b.fmaxMHz, scrub(b.synthSeconds), scrub(b.mapSeconds),
-                static_cast<unsigned long long>(b.cosimTokens));
   }
 
   // The optimization comparison: every suite design once more through
@@ -914,11 +1005,13 @@ int main(int argc, char** argv) {
   } else {
     std::printf("flow suites: %.3fs at --jobs %u", flowWall, jobs);
     if (jobs > 1) {
-      std::printf(" (serial %.3fs, speedup %.2fx)", serialWall, flowSpeedup);
+      std::printf(" (serial %.3fs, speedup %.2fx, serial fraction %.2f, "
+                  "%u hw threads)",
+                  serialWall, flowSpeedup, serialFraction, hardwareThreads);
     }
     std::printf("\n");
   }
-  if (!tracePath.empty() && !gStripTimes) {
+  if (!gStripTimes) {
     std::printf("utilization: %.2f overall parallel efficiency over %u "
                 "worker(s)\n",
                 util.overallParallelEfficiency, util.workers);
@@ -1016,6 +1109,7 @@ int main(int argc, char** argv) {
   emitConfigRows("wrapper", sections.wrappers, sections.wrapperResults);
   emitConfigRows("system", sections.systems, sections.systemResults);
   emitConfigRows("sweep", sections.sweep, sections.sweepResults);
+  emitConfigRows("scale", sections.scale, sections.scaleResults);
   emitConfigRows("wrapper_opt", sections.wrappersOpt,
                  sections.wrapperOptResults);
   emitConfigRows("system_opt", sections.systemsOpt,
@@ -1033,9 +1127,11 @@ int main(int argc, char** argv) {
      << ", \"idle_seconds\": " << scrub(pool.idleSeconds)
      << ", \"queue_high_water\": "
      << scrub(static_cast<double>(pool.queueHighWater)) << "},\n";
-  if (tracePath.empty() || gStripTimes) {
-    // Utilization is wall-clock-derived, so it is absent without a trace
-    // and under --strip-times; the regression gate tolerates null.
+  if (gStripTimes) {
+    // Utilization is wall-clock-derived, so it is null under
+    // --strip-times (the regression gate only requires it of timed
+    // parallel runs). Untraced runs still report it: the spans it is
+    // computed from are recorded whether or not --trace writes a file.
     js << "    \"utilization\": null\n";
   } else {
     js << "    \"utilization\": {\"workers\": " << util.workers
@@ -1055,13 +1151,27 @@ int main(int argc, char** argv) {
   js << "  },\n"
      << "  \"sweep\": {\n"
      << "    \"jobs\": " << (gStripTimes ? 0 : jobs) << ",\n"
+     << "    \"hardware_threads\": " << (gStripTimes ? 0 : hardwareThreads)
+     << ",\n"
      << "    \"cosim_shards\": " << lis::bench::kCosimShards << ",\n"
      << "    \"flow_wall_seconds\": " << scrub(flowWall) << ",\n"
      << "    \"serial_wall_seconds\": " << scrub(serialWall) << ",\n"
      << "    \"speedup_vs_jobs1\": " << scrub(flowSpeedup) << ",\n"
+     << "    \"serial_fraction_est\": " << scrub(serialFraction) << ",\n"
+     << "    \"stage_walls\": {\"synthesize\": " << scrub(stageWalls.synthesize)
+     << ", \"optimize\": " << scrub(stageWalls.optimize)
+     << ", \"map\": " << scrub(stageWalls.map)
+     << ", \"sta\": " << scrub(stageWalls.sta)
+     << ", \"cosim\": " << scrub(stageWalls.cosim) << "},\n"
      << "    \"entries\": [\n";
   for (std::size_t i = 0; i < sweep.size(); ++i) {
     js << "  " << jsonSystem(sweep[i]) << (i + 1 < sweep.size() ? ",\n" : "\n");
+  }
+  js << "    ],\n"
+     << "    \"scale_entries\": [\n";
+  for (std::size_t i = 0; i < scaleRows.size(); ++i) {
+    js << "  " << jsonSystem(scaleRows[i])
+       << (i + 1 < scaleRows.size() ? ",\n" : "\n");
   }
   js << "    ]\n"
      << "  }\n}\n";

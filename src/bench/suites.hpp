@@ -76,6 +76,27 @@ inline std::vector<flow::Design> sweepSuite() {
   return designs;
 }
 
+/// Production-scale suite behind `--suite scale` / `--suite full`: the
+/// topologies an SoC-sized pearl network actually has. These sizes are
+/// what the parallel elaboration, the synthesis cache and the flat cut
+/// store exist for; the sweep above stops at 100 pearls so the default
+/// bench stays fast. Binary encoding for the same reason as sweepSuite.
+inline std::vector<flow::Design> scaleSuite() {
+  const sync::Encoding enc = sync::Encoding::Binary;
+  std::vector<flow::Design> designs;
+  designs.emplace_back(sync::pipelineSpec(256, 1, enc));
+  designs.emplace_back(sync::pipelineSpec(1024, 1, enc));
+  designs.emplace_back(sync::meshSpec(16, 16, 1, enc));
+  designs.emplace_back(sync::meshSpec(32, 32, 1, enc));
+  return designs;
+}
+
+/// Cosim budget for the scale suite. Shorter than the sweep's: the gate-
+/// level simulators dominate at these netlist sizes, and the scale rows
+/// exist to measure synthesis/mapping scaling under a CI wall ceiling,
+/// not to re-prove protocol behaviour the sweep already covers.
+inline constexpr std::uint64_t kScaleCosimCycles = 1000;
+
 /// The full bench pipeline: synth → map → sta → encoding proof → sharded
 /// cosim. One Pipeline instance is reusable across suites and runs.
 inline flow::Pipeline standardPasses(std::uint64_t cosimCycles) {

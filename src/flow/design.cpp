@@ -92,7 +92,8 @@ void Design::synthesize() {
   if (cfg_) {
     wrapper_ = std::make_unique<sync::Wrapper>(sync::buildWrapper(*cfg_));
   } else {
-    system_ = std::make_unique<sync::System>(sync::buildSystem(*spec_));
+    system_ = std::make_unique<sync::System>(
+        sync::buildSystem(*spec_, sync::BuildOptions{buildRunner_}));
   }
 }
 

@@ -68,6 +68,15 @@ public:
 
   const std::string& name() const { return name_; }
 
+  /// Runner handed to buildSystem's parallel elaboration (see
+  /// sync::BuildOptions). Must be installed before the netlist is first
+  /// touched to have any effect; the composed netlist is byte-identical
+  /// with or without it, so this is a wall-clock-only knob (and therefore
+  /// not part of any artifact cache key).
+  void setBuildRunner(sync::BuildOptions::Runner runner) {
+    buildRunner_ = std::move(runner);
+  }
+
   /// Non-null for the corresponding backing source.
   const sync::WrapperConfig* wrapperConfig() const {
     return cfg_ ? &*cfg_ : nullptr;
@@ -195,6 +204,7 @@ private:
   std::string name_;
   std::optional<sync::WrapperConfig> cfg_;
   std::optional<sync::SystemSpec> spec_;
+  sync::BuildOptions::Runner buildRunner_;
   // Exactly one of these holds the netlist once built; unique_ptrs keep
   // its address stable across Design moves (MappedNetlist::source).
   std::unique_ptr<netlist::Netlist> prebuilt_;

@@ -193,6 +193,9 @@ public:
   explicit Cosim(sync::CosimOptions options = {}) : options_(options) {}
   std::string name() const override { return "cosim"; }
   void run(Design& design, PassContext& ctx) override;
+  /// The pass's base options — read by runMany's batched-cosim scheduler,
+  /// which re-derives the per-shard options itself.
+  const sync::CosimOptions& options() const { return options_; }
 
 private:
   sync::CosimOptions options_;
@@ -314,6 +317,13 @@ public:
   /// per-pass error handling (a throwing Design accessor, a non-standard
   /// exception) yields a failure RunResult while every other design still
   /// completes.
+  ///
+  /// When the last pass is Cosim, its shards are *batched*: every design
+  /// first runs the preceding passes ("flow.designs"), then the cosim
+  /// shards of all surviving designs flatten into one "cosim.shards"
+  /// fan-out, so a design finishing early donates its idle slots to the
+  /// stragglers' shards. Results are joined per design in shard order and
+  /// are bit-identical to the per-design in-pass sharding.
   std::vector<RunResult> runMany(std::vector<Design>& designs,
                                  Executor& exec);
   /// Convenience: runMany on a fresh Executor(jobs).
@@ -330,7 +340,14 @@ public:
   std::string json() const;
 
 private:
-  RunResult runOne(Design& design, Executor* exec);
+  /// Runs the first `passCount` passes (runMany's batched-cosim phase A
+  /// stops short of the trailing Cosim).
+  RunResult runOne(Design& design, Executor* exec, std::size_t passCount);
+  /// Phase B of the batched-cosim schedule: appends the cosim PassRecord
+  /// (and updates ok) for every design whose phase A succeeded.
+  void runCosimBatched(std::vector<Design>& designs,
+                       std::vector<RunResult>& results, Executor& exec,
+                       const Cosim& pass);
 
   std::vector<std::unique_ptr<Pass>> passes_;
   std::vector<PassRecord> records_;

@@ -19,63 +19,18 @@ std::string cyc(std::uint64_t cycle, const std::string& what) {
   return os.str();
 }
 
-/// Options for the i-th of `shards` independent from-reset runs: an even
-/// slice of the cycle budget (early shards absorb the remainder) and the
-/// i-th fork of the seed. Forking, not offsetting, keeps the shard streams
-/// decorrelated and — crucially — independent of how the other shards
-/// consume theirs.
-CosimOptions shardOptions(const CosimOptions& base, std::size_t shard) {
-  CosimOptions o = base;
-  const std::uint64_t whole = base.cycles / base.shards;
-  const std::uint64_t extra = base.cycles % base.shards;
-  o.cycles = whole + (shard < extra ? 1 : 0);
-  o.seed = support::SplitMix64(base.seed).forkSeed(shard);
-  o.shards = 1;
-  o.runner = nullptr;
-  o.vcd = nullptr;
-  return o;
-}
-
-/// Join shard results in index order: counters accumulate across the
-/// shards up to and including the first failing one (matching what a
-/// serial stop-at-first-failure loop would have reported), later shards
-/// are discarded. Execution order therefore cannot leak into the result.
-CosimResult mergeShards(std::vector<CosimResult> parts) {
-  CosimResult total;
-  if (!parts.empty()) {
-    total.tokensPerOutput.assign(parts.front().tokensPerOutput.size(), 0);
-  }
-  total.ok = true;
-  for (CosimResult& p : parts) {
-    total.cyclesRun += p.cyclesRun;
-    total.fires += p.fires;
-    total.tokens += p.tokens;
-    for (std::size_t j = 0;
-         j < p.tokensPerOutput.size() && j < total.tokensPerOutput.size(); ++j) {
-      total.tokensPerOutput[j] += p.tokensPerOutput[j];
-    }
-    if (!p.ok) {
-      total.ok = false;
-      total.cancelled = p.cancelled;
-      total.mismatch = std::move(p.mismatch);
-      break;
-    }
-  }
-  return total;
-}
-
 template <class RunShard>
 CosimResult runSharded(const CosimOptions& opts, RunShard&& runShard) {
   std::vector<CosimResult> parts(opts.shards);
   const auto body = [&](std::size_t i) {
-    parts[i] = runShard(shardOptions(opts, i));
+    parts[i] = runShard(cosimShardOptions(opts, i));
   };
   if (opts.runner) {
     opts.runner(opts.shards, body);
   } else {
     for (std::size_t i = 0; i < opts.shards; ++i) body(i);
   }
-  return mergeShards(std::move(parts));
+  return cosimMergeShards(std::move(parts));
 }
 
 /// The single drive loop behind both entry points: persistent LIS sources
@@ -188,6 +143,45 @@ void maybeAttachVcd(Oracle& beh, const CosimOptions& opts) {
 }
 
 } // namespace
+
+CosimOptions cosimShardOptions(const CosimOptions& base, std::size_t shard) {
+  // Forking, not offsetting, keeps the shard streams decorrelated and —
+  // crucially — independent of how the other shards consume theirs.
+  CosimOptions o = base;
+  const std::uint64_t whole = base.cycles / base.shards;
+  const std::uint64_t extra = base.cycles % base.shards;
+  o.cycles = whole + (shard < extra ? 1 : 0);
+  o.seed = support::SplitMix64(base.seed).forkSeed(shard);
+  o.shards = 1;
+  o.runner = nullptr;
+  o.vcd = nullptr;
+  return o;
+}
+
+CosimResult cosimMergeShards(std::vector<CosimResult> parts) {
+  CosimResult total;
+  if (!parts.empty()) {
+    total.tokensPerOutput.assign(parts.front().tokensPerOutput.size(), 0);
+  }
+  total.ok = true;
+  for (CosimResult& p : parts) {
+    total.cyclesRun += p.cyclesRun;
+    total.fires += p.fires;
+    total.tokens += p.tokens;
+    for (std::size_t j = 0;
+         j < p.tokensPerOutput.size() && j < total.tokensPerOutput.size();
+         ++j) {
+      total.tokensPerOutput[j] += p.tokensPerOutput[j];
+    }
+    if (!p.ok) {
+      total.ok = false;
+      total.cancelled = p.cancelled;
+      total.mismatch = std::move(p.mismatch);
+      break;
+    }
+  }
+  return total;
+}
 
 CosimResult cosimWrapper(const WrapperConfig& cfg, const CosimOptions& opts) {
   return cosimWrapper(buildWrapper(cfg), cfg, opts);

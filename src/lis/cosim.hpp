@@ -84,4 +84,18 @@ CosimResult cosimSystem(const SystemSpec& spec, const CosimOptions& opts = {});
 CosimResult cosimSystem(const System& sys, const SystemSpec& spec,
                         const CosimOptions& opts = {});
 
+/// Options of the i-th of base.shards independent from-reset runs: an even
+/// slice of the cycle budget (early shards absorb the remainder), the i-th
+/// SplitMix64 fork of the seed, shards = 1, runner/vcd cleared. Exposed so
+/// a scheduler can flatten shards of *several* designs into one fan-out
+/// (flow::Pipeline::runMany) and still reproduce the in-pass sharded
+/// result bit-for-bit.
+CosimOptions cosimShardOptions(const CosimOptions& base, std::size_t shard);
+
+/// Join shard results in index order: counters accumulate up to and
+/// including the first failing shard (what a serial stop-at-first-failure
+/// loop would report); later shards are discarded. Execution order cannot
+/// leak into the result.
+CosimResult cosimMergeShards(std::vector<CosimResult> parts);
+
 } // namespace lis::sync

@@ -21,10 +21,16 @@ namespace lis::sync {
 /// Returns the pearl result bus (`base`): sum of the selected per-channel
 /// operands plus the clock-gated accumulator. Register names are prefixed
 /// so several shells can share one netlist.
+///
+/// Fragment mode (`frag` non-null): `bb` must build into the fragment's
+/// netlist, `inData` must already be fragment-local, and `ctl` must have
+/// been elaborated into the same fragment (its Mealy ids are local; its
+/// Moore ids are parent ids imported here).
 netlist::Bus shellDatapath(netlist::BusBuilder& bb, unsigned numInputs,
                            unsigned dataWidth, FsmInstance& ctl,
                            const std::vector<netlist::Bus>& inData,
-                           const std::string& prefix);
+                           const std::string& prefix,
+                           netlist::Fragment* frag = nullptr);
 
 /// Phase 1 of a relay station's data slots: the registers alone. The head
 /// of the FIFO is slots[0]; callers may feed it onward before the slots are
@@ -37,6 +43,13 @@ std::vector<netlist::Bus> makeRelaySlots(netlist::BusBuilder& bb,
 /// toward the head, we<k> writes the incoming token into slot k; slots are
 /// clock-gated when neither applies.
 void connectRelaySlots(netlist::Netlist& nl, netlist::BusBuilder& bb,
+                       const std::vector<netlist::Bus>& slots,
+                       FsmInstance& rs, const netlist::Bus& din);
+
+/// Fragment-mode phase 2: `slots` and `din` are parent ids (imported
+/// internally), `rs` must have been elaborated into `frag` (local Mealy
+/// ids), and the slot registers are wired through deferred DFF patches.
+void connectRelaySlots(netlist::Fragment& frag,
                        const std::vector<netlist::Bus>& slots,
                        FsmInstance& rs, const netlist::Bus& din);
 

@@ -1,6 +1,12 @@
 #include "lis/synth.hpp"
 
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
+
+#include "obs/metrics.hpp"
 
 namespace lis::sync {
 
@@ -109,37 +115,182 @@ NodeId emitSop(Netlist& nl, const Cover& cover, std::span<const NodeId> vars,
   return nl.orTree(terms);
 }
 
-NodeId minimizeAndEmit(Netlist& nl, const Cover& onset, const Cover& dcset,
-                       std::span<const NodeId> vars,
-                       std::vector<NodeId>& notCache, FsmSynthStats* stats) {
-  logic::MinimizeStats ms;
-  const Cover minimized = logic::minimize(onset, dcset, &ms);
-  if (stats != nullptr) stats->accumulate(ms);
-  return emitSop(nl, minimized, vars, notCache);
+/// Everything one (spec content, encoding) pair derives that is independent
+/// of the target netlist: validation plus every minimized cover, in spec
+/// output order. Shared across FsmInstances through the process-wide cache.
+struct FsmSynthCovers {
+  std::once_flag once;
+  std::vector<Cover> moore;     // per spec.mooreOutputs entry
+  FsmSynthStats mooreStats;     // replayed into buildMooreLogic callers
+  std::vector<Cover> nextState; // per state bit
+  std::vector<Cover> mealy;     // per spec.mealyOutputs entry
+  FsmSynthStats transStats;     // replayed into buildTransitionLogic callers
+};
+
+std::mutex& synthCacheMutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::map<std::string, std::shared_ptr<FsmSynthCovers>>& synthCacheMap() {
+  static std::map<std::string, std::shared_ptr<FsmSynthCovers>> cache;
+  return cache;
+}
+
+/// Canonical serialization of the synthesis-relevant spec content. Name and
+/// reset state are deliberately excluded: the covers are positional, and
+/// reset only affects register initialization (a relay station seeded with
+/// an initial token shares the unseeded station's logic).
+std::string synthCacheKey(const FsmSpec& spec, Encoding enc) {
+  std::string key(enc == Encoding::OneHot ? "o|" : "b|");
+  key.reserve(64 + spec.transitions.size() * (8 + spec.numInputs()));
+  const auto num = [&key](std::uint64_t v) {
+    key += std::to_string(v);
+    key += ',';
+  };
+  num(spec.numStates());
+  num(spec.numInputs());
+  num(spec.mooreOutputs.size());
+  num(spec.mealyOutputs.size());
+  key += '|';
+  for (std::uint64_t m : spec.moore) num(m);
+  key += '|';
+  for (const FsmTransition& t : spec.transitions) {
+    num(t.from);
+    num(t.to);
+    num(t.mealy);
+    num(t.guard.numVars());
+    const unsigned vars = std::min(spec.numInputs(), t.guard.numVars());
+    for (unsigned v = 0; v < vars; ++v) {
+      switch (t.guard.literal(v)) {
+        case Cube::Literal::Pos: key += '1'; break;
+        case Cube::Literal::Neg: key += '0'; break;
+        case Cube::Literal::DontCare: key += '-'; break;
+        default: key += '!'; break;
+      }
+    }
+    key += ';';
+  }
+  return key;
+}
+
+/// Cache lookup + first-touch compute. Validates the spec and minimizes
+/// every cover exactly once per distinct key; concurrent first callers
+/// block on the entry's once_flag. A throwing compute (invalid spec) leaves
+/// the flag unset, so every caller observes the exception.
+const FsmSynthCovers& cachedCovers(const FsmSpec& spec, Encoding enc) {
+  std::shared_ptr<FsmSynthCovers> entry;
+  bool created = false;
+  {
+    std::lock_guard<std::mutex> lock(synthCacheMutex());
+    auto [it, inserted] =
+        synthCacheMap().try_emplace(synthCacheKey(spec, enc));
+    if (inserted) it->second = std::make_shared<FsmSynthCovers>();
+    entry = it->second;
+    created = inserted;
+  }
+  obs::Registry::global().add(created ? "synth.cache_miss"
+                                      : "synth.cache_hit");
+  std::call_once(entry->once, [&spec, enc, &entry] {
+    spec.validate();
+    const unsigned stateBits = stateBitsFor(spec, enc);
+    std::size_t minimizeRuns = 0;
+    const auto minimizeInto = [&minimizeRuns](const Cover& onset,
+                                              const Cover& dc,
+                                              FsmSynthStats& stats) {
+      logic::MinimizeStats ms;
+      Cover minimized = logic::minimize(onset, dc, &ms);
+      stats.accumulate(ms);
+      ++minimizeRuns;
+      return minimized;
+    };
+
+    // Moore covers: over the state bits only.
+    {
+      const Cover dc = invalidCodeCover(spec, enc, stateBits, stateBits);
+      entry->moore.reserve(spec.mooreOutputs.size());
+      for (std::size_t o = 0; o < spec.mooreOutputs.size(); ++o) {
+        Cover onset(stateBits);
+        for (unsigned s = 0; s < spec.numStates(); ++s) {
+          if (((spec.moore[s] >> o) & 1u) != 0) {
+            onset.add(
+                codeCube(stateCode(spec, enc, s), stateBits, stateBits));
+          }
+        }
+        entry->moore.push_back(minimizeInto(onset, dc, entry->mooreStats));
+      }
+    }
+
+    // Next-state + Mealy covers: over state bits + condition inputs, one
+    // onset each, filled in a single pass over the transitions.
+    {
+      const unsigned totalVars = stateBits + spec.numInputs();
+      const Cover dc = invalidCodeCover(spec, enc, stateBits, totalVars);
+      std::vector<Cover> nextOnset(stateBits, Cover(totalVars));
+      std::vector<Cover> mealyOnset(spec.mealyOutputs.size(),
+                                    Cover(totalVars));
+      for (const FsmTransition& t : spec.transitions) {
+        Cube c = codeCube(stateCode(spec, enc, t.from), stateBits,
+                          totalVars);
+        for (unsigned v = 0; v < spec.numInputs(); ++v) {
+          c.setLiteral(stateBits + v, t.guard.literal(v));
+        }
+        const std::uint64_t toCode = stateCode(spec, enc, t.to);
+        for (unsigned b = 0; b < stateBits; ++b) {
+          if (((toCode >> b) & 1u) != 0) nextOnset[b].add(c);
+        }
+        for (std::size_t o = 0; o < spec.mealyOutputs.size(); ++o) {
+          if (((t.mealy >> o) & 1u) != 0) mealyOnset[o].add(c);
+        }
+      }
+      entry->nextState.reserve(stateBits);
+      for (unsigned b = 0; b < stateBits; ++b) {
+        entry->nextState.push_back(
+            minimizeInto(nextOnset[b], dc, entry->transStats));
+      }
+      entry->mealy.reserve(spec.mealyOutputs.size());
+      for (std::size_t o = 0; o < spec.mealyOutputs.size(); ++o) {
+        entry->mealy.push_back(
+            minimizeInto(mealyOnset[o], dc, entry->transStats));
+      }
+    }
+    obs::Registry::global().add("synth.minimize_runs",
+                                static_cast<double>(minimizeRuns));
+  });
+  return *entry;
 }
 
 } // namespace
 
+void warmSynthCache(const FsmSpec& spec, Encoding enc) {
+  cachedCovers(spec, enc);
+}
+
+void synthCacheClear() {
+  std::lock_guard<std::mutex> lock(synthCacheMutex());
+  synthCacheMap().clear();
+}
+
+std::size_t synthCacheSize() {
+  std::lock_guard<std::mutex> lock(synthCacheMutex());
+  return synthCacheMap().size();
+}
+
 std::unordered_map<std::string, NodeId> buildMooreLogic(
     const FsmSpec& spec, Encoding enc, Netlist& nl,
     std::span<const NodeId> stateCodeNodes, FsmSynthStats* stats) {
+  const FsmSynthCovers& covers = cachedCovers(spec, enc);
   const unsigned stateBits = stateBitsFor(spec, enc);
   if (stateCodeNodes.size() != stateBits) {
     throw std::invalid_argument("buildMooreLogic: state-code width mismatch");
   }
-  const Cover dc = invalidCodeCover(spec, enc, stateBits, stateBits);
+  if (stats != nullptr) stats->accumulate(covers.mooreStats);
   std::vector<NodeId> notCache(stateBits, netlist::kNoNode);
 
   std::unordered_map<std::string, NodeId> out;
   for (std::size_t o = 0; o < spec.mooreOutputs.size(); ++o) {
-    Cover onset(stateBits);
-    for (unsigned s = 0; s < spec.numStates(); ++s) {
-      if (((spec.moore[s] >> o) & 1u) != 0) {
-        onset.add(codeCube(stateCode(spec, enc, s), stateBits, stateBits));
-      }
-    }
     out[spec.mooreOutputs[o]] =
-        minimizeAndEmit(nl, onset, dc, stateCodeNodes, notCache, stats);
+        emitSop(nl, covers.moore[o], stateCodeNodes, notCache);
   }
   return out;
 }
@@ -149,31 +300,14 @@ TransitionLogic buildTransitionLogic(const FsmSpec& spec, Encoding enc,
                                      std::span<const NodeId> stateCodeNodes,
                                      std::span<const NodeId> inputNodes,
                                      FsmSynthStats* stats) {
+  const FsmSynthCovers& covers = cachedCovers(spec, enc);
   const unsigned stateBits = stateBitsFor(spec, enc);
   if (stateCodeNodes.size() != stateBits ||
       inputNodes.size() != spec.inputs.size()) {
     throw std::invalid_argument("buildTransitionLogic: node span mismatch");
   }
+  if (stats != nullptr) stats->accumulate(covers.transStats);
   const unsigned totalVars = stateBits + spec.numInputs();
-  const Cover dc = invalidCodeCover(spec, enc, stateBits, totalVars);
-
-  // One onset per next-state bit and per Mealy output, filled in a single
-  // pass over the transitions.
-  std::vector<Cover> nextOnset(stateBits, Cover(totalVars));
-  std::vector<Cover> mealyOnset(spec.mealyOutputs.size(), Cover(totalVars));
-  for (const FsmTransition& t : spec.transitions) {
-    Cube c = codeCube(stateCode(spec, enc, t.from), stateBits, totalVars);
-    for (unsigned v = 0; v < spec.numInputs(); ++v) {
-      c.setLiteral(stateBits + v, t.guard.literal(v));
-    }
-    const std::uint64_t toCode = stateCode(spec, enc, t.to);
-    for (unsigned b = 0; b < stateBits; ++b) {
-      if (((toCode >> b) & 1u) != 0) nextOnset[b].add(c);
-    }
-    for (std::size_t o = 0; o < spec.mealyOutputs.size(); ++o) {
-      if (((t.mealy >> o) & 1u) != 0) mealyOnset[o].add(c);
-    }
-  }
 
   std::vector<NodeId> vars(stateCodeNodes.begin(), stateCodeNodes.end());
   vars.insert(vars.end(), inputNodes.begin(), inputNodes.end());
@@ -182,12 +316,11 @@ TransitionLogic buildTransitionLogic(const FsmSpec& spec, Encoding enc,
   TransitionLogic out;
   out.nextState.resize(stateBits);
   for (unsigned b = 0; b < stateBits; ++b) {
-    out.nextState[b] =
-        minimizeAndEmit(nl, nextOnset[b], dc, vars, notCache, stats);
+    out.nextState[b] = emitSop(nl, covers.nextState[b], vars, notCache);
   }
   for (std::size_t o = 0; o < spec.mealyOutputs.size(); ++o) {
     out.mealy[spec.mealyOutputs[o]] =
-        minimizeAndEmit(nl, mealyOnset[o], dc, vars, notCache, stats);
+        emitSop(nl, covers.mealy[o], vars, notCache);
   }
   return out;
 }
@@ -195,12 +328,31 @@ TransitionLogic buildTransitionLogic(const FsmSpec& spec, Encoding enc,
 FsmInstance::FsmInstance(const FsmSpec& spec, Encoding enc, Netlist& nl,
                          std::string prefix)
     : spec_(&spec), enc_(enc), nl_(&nl) {
-  spec.validate();
+  // Full structural validation runs once per distinct spec content inside
+  // the synthesis cache (the key excludes resetState, so the one field that
+  // varies between otherwise-identical specs is re-checked here).
+  if (spec.states.empty()) {
+    throw std::invalid_argument(spec.name + ": no states");
+  }
+  if (spec.resetState >= spec.numStates()) {
+    throw std::invalid_argument(spec.name + ": reset state out of range");
+  }
+  cachedCovers(spec, enc);
   BusBuilder bb(nl);
   regs_ = bb.registerBus(stateBitsFor(spec, enc),
                          stateCode(spec, enc, spec.resetState),
                          prefix + "_s");
   moore_ = buildMooreLogic(spec, enc, nl, regs_, &stats_);
+}
+
+FsmInstance::FsmInstance(const FsmSpec& spec, Encoding enc,
+                         netlist::Fragment& frag, std::string prefix)
+    : FsmInstance(spec, enc, frag.netlist(), std::move(prefix)) {}
+
+void FsmInstance::bind(netlist::Fragment& frag, Netlist& parent) {
+  for (NodeId& r : regs_) r = frag.parentOf(r);
+  for (auto& entry : moore_) entry.second = frag.parentOf(entry.second);
+  nl_ = &parent;
 }
 
 void FsmInstance::elaborate(std::span<const NodeId> inputNodes) {
@@ -211,6 +363,27 @@ void FsmInstance::elaborate(std::span<const NodeId> inputNodes) {
   bb.connectRegister(regs_, t.nextState);
   mealy_ = std::move(t.mealy);
   elaborated_ = true;
+}
+
+void FsmInstance::elaborateIn(netlist::Fragment& frag,
+                              std::span<const NodeId> parentInputs) {
+  if (elaborated_) throw std::logic_error("FsmInstance: already elaborated");
+  const std::vector<NodeId> regsLocal = frag.importAll(regs_);
+  const std::vector<NodeId> inputsLocal = frag.importAll(parentInputs);
+  TransitionLogic t = buildTransitionLogic(*spec_, enc_, frag.netlist(),
+                                           regsLocal, inputsLocal, &stats_);
+  for (std::size_t b = 0; b < regs_.size(); ++b) {
+    frag.patchDff(regs_[b], t.nextState[b]);
+  }
+  mealy_ = std::move(t.mealy);
+  activeFrag_ = &frag;
+  elaborated_ = true;
+}
+
+void FsmInstance::adopt() {
+  if (activeFrag_ == nullptr) return;
+  for (auto& entry : mealy_) entry.second = activeFrag_->parentOf(entry.second);
+  activeFrag_ = nullptr;
 }
 
 NodeId FsmInstance::moore(const std::string& name) const {
@@ -233,7 +406,7 @@ NodeId FsmInstance::mealy(const std::string& name) const {
 }
 
 Netlist fsmTransitionNetlist(const FsmSpec& spec, Encoding enc) {
-  spec.validate();
+  cachedCovers(spec, enc); // validates once per distinct spec content
   Netlist nl(spec.name + "_trans_" + encodingName(enc));
   BusBuilder bb(nl);
 

@@ -32,6 +32,7 @@
 #include "lis/fsm.hpp"
 #include "logic/minimize.hpp"
 #include "netlist/buses.hpp"
+#include "netlist/fragment.hpp"
 #include "netlist/netlist.hpp"
 
 namespace lis::sync {
@@ -39,6 +40,24 @@ namespace lis::sync {
 enum class Encoding { OneHot, Binary };
 
 const char* encodingName(Encoding e);
+
+/// Process-wide FSM synthesis cache. buildMooreLogic/buildTransitionLogic
+/// key on the spec's *content* (states, Moore words, transitions — not its
+/// name or reset state) plus the encoding, so the hundreds of identical
+/// shellFsm/relayFsm instances in a large system minimize each function
+/// exactly once; later instances replay the cached covers (and validation)
+/// into their own netlist. logic::minimize is deterministic, so cached
+/// emission is gate-identical to a fresh run. Thread-safe: concurrent
+/// first-touch of one spec blocks all but one computing thread.
+/// Registry::global() counters: synth.cache_miss / synth.cache_hit /
+/// synth.minimize_runs.
+void synthCacheClear();
+std::size_t synthCacheSize();
+
+/// Pre-compute one cache entry (validation + every minimized cover).
+/// buildSystem fans the distinct specs of a topology out on its runner so
+/// the expensive minimizations happen concurrently before elaboration.
+void warmSynthCache(const FsmSpec& spec, Encoding enc);
 
 unsigned stateBitsFor(const FsmSpec& spec, Encoding enc);
 std::uint64_t stateCode(const FsmSpec& spec, Encoding enc, unsigned state);
@@ -81,9 +100,32 @@ public:
   FsmInstance(const FsmSpec& spec, Encoding enc, netlist::Netlist& nl,
               std::string prefix);
 
+  /// Phase 1 into a fragment: identical construction, but the registers
+  /// and Moore logic land in `frag`'s scratch netlist so several instances
+  /// can build concurrently. Call bind() once the fragment is spliced.
+  FsmInstance(const FsmSpec& spec, Encoding enc, netlist::Fragment& frag,
+              std::string prefix);
+
+  /// Remap the phase-1 artifacts (state registers, Moore outputs) to their
+  /// parent ids after `frag` was spliced, and retarget the instance at the
+  /// parent netlist. Required before phase 2 or any moore() read.
+  void bind(netlist::Fragment& frag, netlist::Netlist& parent);
+
   /// Phase 2: build transition + Mealy logic over the condition inputs
   /// (FsmSpec::inputs order) and close the state-register feedback loop.
   void elaborate(std::span<const netlist::NodeId> inputNodes);
+
+  /// Phase 2 into a fragment: condition inputs are *parent* ids (imported
+  /// internally), the state-register feedback is deferred through
+  /// Fragment::patchDff, and mealy() returns fragment-local ids until
+  /// adopt() remaps them after the splice. The instance must already be
+  /// bound to the parent netlist (netlist construction or bind()).
+  void elaborateIn(netlist::Fragment& frag,
+                   std::span<const netlist::NodeId> parentInputs);
+
+  /// After splicing the elaborateIn fragment: remap the Mealy outputs to
+  /// their parent ids. No-op when no fragment elaboration is pending.
+  void adopt();
 
   Encoding encoding() const { return enc_; }
   const netlist::Bus& stateRegs() const { return regs_; }
@@ -101,6 +143,7 @@ private:
   std::unordered_map<std::string, netlist::NodeId> moore_;
   std::unordered_map<std::string, netlist::NodeId> mealy_;
   FsmSynthStats stats_;
+  netlist::Fragment* activeFrag_ = nullptr; // pending elaborateIn fragment
   bool elaborated_ = false;
 };
 

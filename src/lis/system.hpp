@@ -19,6 +19,7 @@
 // combinational fire loops in hardware too).
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -93,8 +94,26 @@ struct System {
   std::size_t relayStations = 0;
 };
 
+/// Knobs for buildSystem's parallel elaboration.
+struct BuildOptions {
+  /// Labeled fan-out runner with flow::Executor::forEach's shape (the
+  /// label becomes the batch span name, each index a `<label>/task` span).
+  /// Null runs the same task decomposition inline in index order — the
+  /// fragments are spliced in a fixed order either way, so the composed
+  /// netlist is byte-identical at every job count.
+  using Runner = std::function<void(const char* label, std::size_t n,
+                                    const std::function<void(std::size_t)>&)>;
+  Runner runner;
+};
+
 /// Elaborate the whole topology into one netlist.
 System buildSystem(const SystemSpec& spec);
+
+/// Same, with parallel elaboration: the distinct FSM specs pre-warm the
+/// synthesis cache concurrently ("buildSystem.synth"), then shells and
+/// relay chains elaborate into netlist::Fragments fanned out on the runner
+/// ("buildSystem.elab") and are spliced deterministically.
+System buildSystem(const SystemSpec& spec, const BuildOptions& opts);
 
 // --- canonical topologies (the bench and test scenarios) -----------------
 

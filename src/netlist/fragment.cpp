@@ -1,0 +1,125 @@
+#include "netlist/fragment.hpp"
+
+#include <stdexcept>
+
+namespace lis::netlist {
+
+Fragment::Fragment(const Netlist& parent)
+    : parent_(&parent), local_(parent.name() + "_frag") {}
+
+NodeId Fragment::import(NodeId parentId) {
+  const Node& pn = parent_->node(parentId);
+  if (pn.op == Op::Const0) return local_.constant(false);
+  if (pn.op == Op::Const1) return local_.constant(true);
+  const auto it = importMap_.find(parentId);
+  if (it != importMap_.end()) return it->second;
+  const NodeId proxy = local_.addInput({});
+  importMap_.emplace(parentId, proxy);
+  proxyFor_.emplace(proxy, parentId);
+  return proxy;
+}
+
+std::vector<NodeId> Fragment::importAll(std::span<const NodeId> parentIds) {
+  std::vector<NodeId> out;
+  out.reserve(parentIds.size());
+  for (const NodeId id : parentIds) out.push_back(import(id));
+  return out;
+}
+
+void Fragment::patchDff(NodeId parentDff, NodeId localD, NodeId localEnable) {
+  patches_.push_back({parentDff, localD, localEnable});
+}
+
+NodeId Fragment::parentOf(NodeId localId) const {
+  if (!spliced_) {
+    throw std::logic_error("Fragment::parentOf before splice");
+  }
+  if (localId >= localToParent_.size() ||
+      localToParent_[localId] == kNoNode) {
+    throw std::logic_error("Fragment::parentOf: unknown local node");
+  }
+  return localToParent_[localId];
+}
+
+void Netlist::splice(Fragment& frag) {
+  if (frag.spliced_) throw std::logic_error("Fragment spliced twice");
+  if (frag.parent_ != this) {
+    throw std::logic_error("Fragment spliced into a foreign netlist");
+  }
+  const std::vector<Node>& src = frag.local_.nodes_;
+  std::vector<NodeId>& map = frag.localToParent_;
+  map.assign(src.size(), kNoNode);
+
+  const auto remap = [&map](NodeId f) {
+    if (f == kNoNode) return kNoNode;
+    const NodeId m = map[f];
+    if (m == kNoNode) {
+      throw std::logic_error("Fragment splice: unresolved fanin");
+    }
+    return m;
+  };
+
+  // One pass in local id order: proxies and constants resolve to existing
+  // parent nodes, everything else is recreated verbatim. DFF fanins may
+  // reference later-created nodes (register feedback wired through
+  // setDffInputs), so their wiring is deferred to a fix-up pass.
+  std::vector<NodeId> dffFixups;
+  for (NodeId id = 0; id < src.size(); ++id) {
+    const Node& n = src[id];
+    switch (n.op) {
+      case Op::Input: {
+        const auto it = frag.proxyFor_.find(id);
+        if (it == frag.proxyFor_.end()) {
+          throw std::logic_error(
+              "Fragment splice: Input node that is not an import proxy");
+        }
+        map[id] = it->second;
+        break;
+      }
+      case Op::Const0:
+      case Op::Const1:
+        map[id] = constant(n.op == Op::Const1);
+        break;
+      case Op::Output:
+      case Op::RomBit:
+        throw std::logic_error(
+            "Fragment splice: outputs/ROMs are not allowed in fragments");
+      case Op::Dff: {
+        Node copy;
+        copy.op = Op::Dff;
+        copy.name = n.name;
+        copy.resetValue = n.resetValue;
+        copy.hasEnable = n.hasEnable;
+        copy.fanin = n.fanin; // local ids; rewritten in the fix-up pass
+        const NodeId parentId = addNode(std::move(copy));
+        dffs_.push_back(parentId);
+        map[id] = parentId;
+        dffFixups.push_back(id);
+        break;
+      }
+      default: { // Not / And / Or / Xor / Mux
+        Node copy;
+        copy.op = n.op;
+        copy.name = n.name;
+        copy.fanin = n.fanin;
+        for (NodeId& f : copy.fanin) f = remap(f);
+        map[id] = addNode(std::move(copy));
+        break;
+      }
+    }
+  }
+
+  for (const NodeId id : dffFixups) {
+    FaninList& fanin = nodes_[map[id]].fanin;
+    for (NodeId& f : fanin) f = remap(f);
+  }
+
+  // Pre-existing parent registers wired from fragment-local logic.
+  for (const Fragment::DffPatch& p : frag.patches_) {
+    setDffInputs(p.parentDff, remap(p.d),
+                 p.enable == kNoNode ? kNoNode : remap(p.enable));
+  }
+  frag.spliced_ = true;
+}
+
+} // namespace lis::netlist

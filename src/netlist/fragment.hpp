@@ -1,0 +1,76 @@
+#pragma once
+// netlist::Fragment — a scratch netlist a worker thread builds against an
+// immutable parent, later recreated inside the parent by Netlist::splice.
+//
+// Parallel elaboration (buildSystem) constructs independent pieces — shell
+// transition logic, datapaths, relay chains — concurrently. Each task
+// builds gates into its own Fragment, referencing pre-existing parent
+// nodes through import() proxies, and defers the wiring of pre-existing
+// parent registers through patchDff(). The single-threaded composer then
+// splices the fragments in a fixed order: splice order, not the task
+// schedule, assigns the parent node ids, which is what keeps the composed
+// netlist byte-identical at every job count.
+//
+// Rules inside a fragment:
+//   - never call addInput/addOutput on the fragment netlist (proxies are
+//     the only Input nodes; outputs belong to the serial boundary phase)
+//   - ROMs are not supported (nothing in elaboration uses them)
+//   - new registers (registerBus + connectRegister) work as usual — their
+//     forward-referencing feedback wiring is recreated faithfully
+//   - pre-existing parent registers must be wired via patchDff, not
+//     setDffInputs
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace lis::netlist {
+
+class Fragment {
+public:
+  explicit Fragment(const Netlist& parent);
+
+  /// The fragment's own netlist: build new gates here.
+  Netlist& netlist() { return local_; }
+  const Netlist& parent() const { return *parent_; }
+
+  /// Local proxy for a parent node, memoized. Parent constants fold to the
+  /// local constant nodes, so constant peepholes still fire inside the
+  /// fragment.
+  NodeId import(NodeId parentId);
+  std::vector<NodeId> importAll(std::span<const NodeId> parentIds);
+
+  /// Defer a setDffInputs on a *parent* DFF whose data/enable are
+  /// fragment-local nodes; splice() applies it once those nodes exist in
+  /// the parent.
+  void patchDff(NodeId parentDff, NodeId localD, NodeId localEnable = kNoNode);
+
+  /// Parent id of a fragment-local node, valid after splice(). Proxies
+  /// resolve to the imported parent node; throws std::logic_error before
+  /// splice or for an unknown id.
+  NodeId parentOf(NodeId localId) const;
+  bool spliced() const { return spliced_; }
+
+private:
+  friend class Netlist; // splice() reads the books and fills localToParent_
+
+  struct DffPatch {
+    NodeId parentDff = kNoNode;
+    NodeId d = kNoNode;
+    NodeId enable = kNoNode;
+  };
+
+  const Netlist* parent_;
+  Netlist local_;
+  std::unordered_map<NodeId, NodeId> importMap_; // parent id -> local proxy
+  std::unordered_map<NodeId, NodeId> proxyFor_;  // local proxy -> parent id
+  std::vector<DffPatch> patches_;
+  std::vector<NodeId> localToParent_; // filled by splice()
+  bool spliced_ = false;
+};
+
+} // namespace lis::netlist

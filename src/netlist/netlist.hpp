@@ -23,6 +23,8 @@
 #include <string>
 #include <vector>
 
+#include "support/small_vec.hpp"
+
 namespace lis::netlist {
 
 using NodeId = std::uint32_t;
@@ -44,9 +46,13 @@ enum class Op : std::uint8_t {
 
 const char* opName(Op op);
 
+/// Fanin list: inline up to the 3 operands of a Mux (the widest gate), so
+/// ordinary nodes never heap-allocate; only RomBit address lists spill.
+using FaninList = support::SmallVec<NodeId, 3>;
+
 struct Node {
   Op op = Op::Const0;
-  std::vector<NodeId> fanin;
+  FaninList fanin;
   std::string name;     // non-empty for ports and named registers
   bool resetValue = false; // Dff only
   bool hasEnable = false;  // Dff only: fanin = {d, enable}
@@ -73,6 +79,8 @@ struct NetlistStats {
   std::size_t dffs = 0;
   std::size_t romBits = 0; // total ROM storage bits
 };
+
+class Fragment;
 
 class Netlist {
 public:
@@ -109,6 +117,13 @@ public:
   /// (throws std::invalid_argument beyond that).
   NodeId mkRomBit(std::uint32_t romId, std::uint32_t bit,
                   std::span<const NodeId> addr);
+
+  /// Recreate a Fragment's nodes inside this netlist (which must be the
+  /// fragment's parent), resolving its import proxies and applying its
+  /// deferred DFF patches. Call once per fragment, single-threaded, in a
+  /// deterministic order — splice order assigns the node ids. See
+  /// netlist/fragment.hpp.
+  void splice(Fragment& frag);
 
   // --- inspection ---------------------------------------------------------
   std::size_t nodeCount() const { return nodes_.size(); }

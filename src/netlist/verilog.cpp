@@ -92,7 +92,10 @@ std::string emitVerilog(const Netlist& nl) {
            std::vector<NodeId>> romPorts;
   for (NodeId id = 0; id < nodes.size(); ++id) {
     if (nodes[id].op == Op::RomBit) {
-      romPorts[{nodes[id].romId, nodes[id].fanin}].push_back(id);
+      romPorts[{nodes[id].romId,
+                std::vector<NodeId>(nodes[id].fanin.begin(),
+                                    nodes[id].fanin.end())}]
+          .push_back(id);
     }
   }
   std::vector<std::string> romPortName;

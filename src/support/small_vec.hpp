@@ -1,0 +1,129 @@
+#pragma once
+// Small-buffer vector for trivially copyable elements: the first N live
+// inline inside the object (no heap allocation), larger sizes spill to the
+// heap. Netlist::Node fanin lists are the motivating user — virtually every
+// gate has <= 3 fanins (Mux), so a SmallVec<NodeId, 3> keeps the hot
+// construction/traversal paths of elaboration, mapping and equivalence
+// checking allocation-free and cache-local; only RomBit address lists
+// (<= 64 fanins) ever spill. The API is exactly the std::vector subset
+// those paths use: iteration (forward and reverse), indexing, assign, and
+// brace-list assignment.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <iterator>
+#include <type_traits>
+
+namespace lis::support {
+
+template <typename T, unsigned N>
+class SmallVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVec elements must be trivially copyable");
+  static_assert(N > 0, "SmallVec needs a non-zero inline capacity");
+
+public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+  using reverse_iterator = std::reverse_iterator<iterator>;
+  using const_reverse_iterator = std::reverse_iterator<const_iterator>;
+
+  SmallVec() = default;
+  SmallVec(std::initializer_list<T> init) { assign(init.begin(), init.end()); }
+  SmallVec(const SmallVec& other) { assign(other.begin(), other.end()); }
+  SmallVec(SmallVec&& other) noexcept { moveFrom(std::move(other)); }
+
+  SmallVec& operator=(const SmallVec& other) {
+    if (this != &other) assign(other.begin(), other.end());
+    return *this;
+  }
+  SmallVec& operator=(SmallVec&& other) noexcept {
+    if (this != &other) {
+      release();
+      moveFrom(std::move(other));
+    }
+    return *this;
+  }
+  SmallVec& operator=(std::initializer_list<T> init) {
+    assign(init.begin(), init.end());
+    return *this;
+  }
+
+  ~SmallVec() { release(); }
+
+  template <typename It>
+  void assign(It first, It last) {
+    const auto n = static_cast<std::size_t>(std::distance(first, last));
+    if (n > capacity_) grow(n);
+    std::copy(first, last, data_);
+    size_ = static_cast<std::uint32_t>(n);
+  }
+
+  void push_back(const T& value) {
+    if (size_ == capacity_) grow(std::size_t{capacity_} * 2);
+    data_[size_++] = value;
+  }
+
+  void clear() { size_ = 0; }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+
+  iterator begin() { return data_; }
+  iterator end() { return data_ + size_; }
+  const_iterator begin() const { return data_; }
+  const_iterator end() const { return data_ + size_; }
+  reverse_iterator rbegin() { return reverse_iterator(end()); }
+  reverse_iterator rend() { return reverse_iterator(begin()); }
+  const_reverse_iterator rbegin() const {
+    return const_reverse_iterator(end());
+  }
+  const_reverse_iterator rend() const {
+    return const_reverse_iterator(begin());
+  }
+
+  friend bool operator==(const SmallVec& a, const SmallVec& b) {
+    return a.size_ == b.size_ && std::equal(a.begin(), a.end(), b.begin());
+  }
+
+private:
+  void grow(std::size_t n) {
+    T* heap = new T[n];
+    std::copy(data_, data_ + size_, heap);
+    release();
+    data_ = heap;
+    capacity_ = static_cast<std::uint32_t>(n);
+  }
+
+  void release() {
+    if (data_ != inline_) delete[] data_;
+    data_ = inline_;
+    capacity_ = N;
+  }
+
+  void moveFrom(SmallVec&& other) noexcept {
+    if (other.data_ == other.inline_) {
+      std::copy(other.data_, other.data_ + other.size_, inline_);
+    } else {
+      data_ = other.data_;
+      capacity_ = other.capacity_;
+      other.data_ = other.inline_;
+      other.capacity_ = N;
+    }
+    size_ = other.size_;
+    other.size_ = 0;
+  }
+
+  T inline_[N];
+  T* data_ = inline_;
+  std::uint32_t size_ = 0;
+  std::uint32_t capacity_ = N;
+};
+
+} // namespace lis::support

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <span>
 #include <stdexcept>
 
 #include "aig/cuts.hpp"
@@ -88,8 +89,7 @@ class CutMapper {
 public:
   CutMapper(const Netlist& nl, const MapOptions& options)
       : nl_(nl), options_(options), fanout_(nl.fanoutCounts()),
-        cutSets_(nl.nodeCount(),
-                 aig::CutSet(std::max(2u, options.cutsPerNode))),
+        cutStore_(nl.nodeCount(), options.cutsPerNode),
         chosen_(nl.nodeCount()), arrival_(nl.nodeCount(), 0),
         areaFlow_(nl.nodeCount(), 0.0f), refs_(nl.nodeCount(), 0),
         required_(nl.nodeCount(), kInfDepth) {}
@@ -143,17 +143,21 @@ private:
     cut.areaFlow = flow;
   }
 
-  /// Child cut list of a fanin: its priority cuts when it is a gate, plus
-  /// always the trivial cut (the fanin itself as a leaf).
-  std::vector<aig::Cut> childCuts(NodeId f) const {
-    std::vector<aig::Cut> cuts;
-    if (isGate(nl_.node(f).op)) cuts = cutSets_[f].cuts();
+  /// Visit the child cut list of a fanin in storage order: its priority
+  /// cuts when it is a gate, then always the trivial cut (the fanin itself
+  /// as a leaf). A visitor instead of a returned vector keeps the
+  /// enumeration loops allocation-free — the former by-value child lists
+  /// were the mapper's dominant heap traffic.
+  template <class Fn>
+  void forChildCuts(NodeId f, Fn&& fn) const {
+    if (isGate(nl_.node(f).op)) {
+      for (const aig::Cut& c : cutStore_.at(f)) fn(c);
+    }
     aig::Cut triv;
     triv.leaves[0] = f;
     triv.size = 1;
     triv.function = logic::TruthTable::identity(1, 0);
-    cuts.push_back(triv);
-    return cuts;
+    fn(triv);
   }
 
   void enumerateNode(NodeId id) {
@@ -163,26 +167,22 @@ private:
       if (a.areaFlow != b.areaFlow) return a.areaFlow < b.areaFlow;
       return a.size < b.size;
     };
-    aig::CutSet& set = cutSets_[id];
 
-    const std::vector<aig::Cut> c0 = childCuts(n.fanin[0]);
     if (n.op == Op::Not) {
-      for (const aig::Cut& a : c0) {
+      forChildCuts(n.fanin[0], [&](const aig::Cut& a) {
         aig::Cut m = a;
         m.function = ~a.function;
         costCut(m);
-        set.insert(m, better);
-      }
+        cutStore_.insert(id, m, better);
+      });
     } else if (n.op == Op::Mux) {
-      const std::vector<aig::Cut> c1 = childCuts(n.fanin[1]);
-      const std::vector<aig::Cut> c2 = childCuts(n.fanin[2]);
-      for (const aig::Cut& s : c0) {
-        for (const aig::Cut& a0 : c1) {
+      forChildCuts(n.fanin[0], [&](const aig::Cut& s) {
+        forChildCuts(n.fanin[1], [&](const aig::Cut& a0) {
           aig::Cut sa;
-          if (!aig::mergeLeaves(s, a0, options_.k, sa)) continue;
-          for (const aig::Cut& a1 : c2) {
+          if (!aig::mergeLeaves(s, a0, options_.k, sa)) return;
+          forChildCuts(n.fanin[2], [&](const aig::Cut& a1) {
             aig::Cut m;
-            if (!aig::mergeLeaves(sa, a1, options_.k, m)) continue;
+            if (!aig::mergeLeaves(sa, a1, options_.k, m)) return;
             const logic::TruthTable ts = aig::expandFunction(s.function, s, m);
             const logic::TruthTable t0 =
                 aig::expandFunction(a0.function, a0, m);
@@ -190,16 +190,15 @@ private:
                 aig::expandFunction(a1.function, a1, m);
             m.function = (ts & t1) | (~ts & t0);
             costCut(m);
-            set.insert(m, better);
-          }
-        }
-      }
+            cutStore_.insert(id, m, better);
+          });
+        });
+      });
     } else {
-      const std::vector<aig::Cut> c1 = childCuts(n.fanin[1]);
-      for (const aig::Cut& a : c0) {
-        for (const aig::Cut& b : c1) {
+      forChildCuts(n.fanin[0], [&](const aig::Cut& a) {
+        forChildCuts(n.fanin[1], [&](const aig::Cut& b) {
           aig::Cut m;
-          if (!aig::mergeLeaves(a, b, options_.k, m)) continue;
+          if (!aig::mergeLeaves(a, b, options_.k, m)) return;
           const logic::TruthTable ta = aig::expandFunction(a.function, a, m);
           const logic::TruthTable tb = aig::expandFunction(b.function, b, m);
           switch (n.op) {
@@ -209,17 +208,17 @@ private:
             default: break;
           }
           costCut(m);
-          set.insert(m, better);
-        }
-      }
+          cutStore_.insert(id, m, better);
+        });
+      });
     }
-    if (set.cuts().empty()) {
+    if (cutStore_.empty(id)) {
       throw std::invalid_argument(
           "mapToLuts: cone rooted at " + std::string(opName(n.op)) + " (n" +
           std::to_string(id) + ") needs more than k inputs");
     }
     // Depth-optimal first round: the list is sorted by (depth, flow).
-    chosen_[id] = set.cuts().front();
+    chosen_[id] = cutStore_.at(id).front();
     arrival_[id] = chosen_[id].depth;
     areaFlow_[id] = chosen_[id].areaFlow;
   }
@@ -317,12 +316,12 @@ private:
   void reselectAreaFlow() {
     for (NodeId id = 0; id < nl_.nodeCount(); ++id) {
       if (!isGate(nl_.node(id).op)) continue;
-      const aig::CutSet& set = cutSets_[id];
+      const std::span<const aig::Cut> set = cutStore_.at(id);
       int bestIdx = -1;
       float bestFlow = 0.0f;
       unsigned bestDepth = 0;
-      for (std::size_t i = 0; i < set.cuts().size(); ++i) {
-        const aig::Cut& cut = set.cuts()[i];
+      for (std::size_t i = 0; i < set.size(); ++i) {
+        const aig::Cut& cut = set[i];
         const unsigned depth = cutDepthNow(cut);
         if (depth > required_[id]) continue;
         float flow = 1.0f;
@@ -337,7 +336,7 @@ private:
         }
       }
       if (bestIdx >= 0) {
-        chosen_[id] = set.cuts()[bestIdx];
+        chosen_[id] = set[bestIdx];
         arrival_[id] = bestDepth;
         areaFlow_[id] = bestFlow;
       } else {
@@ -384,12 +383,12 @@ private:
       if (!isGate(nl_.node(id).op)) continue;
       const bool inCover = refs_[id] > 0;
       if (inCover) derefCut(chosen_[id]);
-      const aig::CutSet& set = cutSets_[id];
+      const std::span<const aig::Cut> set = cutStore_.at(id);
       int bestIdx = -1;
       unsigned bestArea = 0;
       unsigned bestDepth = 0;
-      for (std::size_t i = 0; i < set.cuts().size(); ++i) {
-        const aig::Cut& cut = set.cuts()[i];
+      for (std::size_t i = 0; i < set.size(); ++i) {
+        const aig::Cut& cut = set[i];
         const unsigned depth = cutDepthNow(cut);
         if (depth > required_[id]) continue;
         const unsigned area = exactAreaOf(cut);
@@ -401,7 +400,7 @@ private:
         }
       }
       if (bestIdx >= 0) {
-        chosen_[id] = set.cuts()[bestIdx];
+        chosen_[id] = set[bestIdx];
         arrival_[id] = bestDepth;
       } else {
         arrival_[id] = cutDepthNow(chosen_[id]);
@@ -449,7 +448,7 @@ private:
   const Netlist& nl_;
   MapOptions options_;
   std::vector<std::uint32_t> fanout_;
-  std::vector<aig::CutSet> cutSets_;
+  aig::CutStore cutStore_;
   std::vector<aig::Cut> chosen_;
   std::vector<unsigned> arrival_;
   std::vector<float> areaFlow_;

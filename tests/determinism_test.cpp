@@ -18,8 +18,12 @@
 #include "flow/executor.hpp"
 #include "flow/pipeline.hpp"
 #include "lis/cosim.hpp"
+#include "lis/fsm.hpp"
+#include "lis/synth.hpp"
 #include "lis/system.hpp"
 #include "lis/wrapper.hpp"
+#include "netlist/netlist.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "test_util.hpp"
 
@@ -126,6 +130,99 @@ void testDesignLatchesUnderContention() {
     CHECK(fmax[i] == fmax[0]);
   }
   CHECK(d.stageSeconds("synthesize") > 0.0);
+}
+
+void checkSameNetlist(const lis::netlist::Netlist& a,
+                      const lis::netlist::Netlist& b) {
+  CHECK_EQ(a.nodeCount(), b.nodeCount());
+  const std::size_t n = std::min(a.nodeCount(), b.nodeCount());
+  for (lis::netlist::NodeId id = 0; id < n; ++id) {
+    const lis::netlist::Node& na = a.node(id);
+    const lis::netlist::Node& nb = b.node(id);
+    CHECK(na.op == nb.op);
+    CHECK(na.name == nb.name);
+    CHECK_EQ(na.fanin.size(), nb.fanin.size());
+    for (std::size_t f = 0; f < na.fanin.size() && f < nb.fanin.size();
+         ++f) {
+      CHECK_EQ(na.fanin[f], nb.fanin[f]);
+    }
+    CHECK_EQ(na.resetValue, nb.resetValue);
+    CHECK_EQ(na.hasEnable, nb.hasEnable);
+  }
+}
+
+void testSynthCacheConcurrent() {
+  // Many pool workers race phase-1 + phase-2 construction of the *same*
+  // FSM spec into private netlists: the synthesis cache must create one
+  // entry (every other lookup a hit), the minimizer must run exactly the
+  // once-per-entry set of functions, and the replayed emissions must be
+  // gate-identical to the computing thread's, node for node.
+  lis::obs::Registry& reg = lis::obs::Registry::global();
+  lis::sync::synthCacheClear();
+  const double miss0 = reg.value("synth.cache_miss");
+  const double hit0 = reg.value("synth.cache_hit");
+  const double runs0 = reg.value("synth.minimize_runs");
+
+  const lis::sync::FsmSpec spec = lis::sync::shellFsm(2, 1);
+  constexpr std::size_t kHammer = 16;
+  std::vector<lis::netlist::Netlist> nets;
+  for (std::size_t i = 0; i < kHammer; ++i) nets.emplace_back("hammer");
+  Executor pool(8);
+  pool.forEach(kHammer, [&](std::size_t i) {
+    lis::netlist::Netlist& nl = nets[i];
+    std::vector<lis::netlist::NodeId> ins;
+    for (const std::string& in : spec.inputs) ins.push_back(nl.addInput(in));
+    lis::sync::FsmInstance fsm(spec, lis::sync::Encoding::Binary, nl, "ctl");
+    fsm.elaborate(ins);
+  });
+
+  // One entry created, everyone else replayed it.
+  CHECK(reg.value("synth.cache_miss") - miss0 == 1.0);
+  CHECK(reg.value("synth.cache_hit") - hit0 >= double(kHammer - 1));
+  const double hammerRuns = reg.value("synth.minimize_runs") - runs0;
+  CHECK(hammerRuns > 0.0);
+  CHECK_EQ(lis::sync::synthCacheSize(), 1u);
+  for (std::size_t i = 1; i < nets.size(); ++i) {
+    checkSameNetlist(nets[0], nets[i]);
+  }
+
+  // The minimizer ran no more under the 16-thread hammer than a single
+  // cold warm-up runs: contention never duplicates minimization work.
+  lis::sync::synthCacheClear();
+  const double runs1 = reg.value("synth.minimize_runs");
+  lis::sync::warmSynthCache(spec, lis::sync::Encoding::Binary);
+  CHECK(reg.value("synth.minimize_runs") - runs1 == hammerRuns);
+}
+
+void testBuildSystemRunnerInvariance() {
+  // buildSystem's parallel elaboration must be a wall-clock-only knob:
+  // no runner, a serial-executor runner and a pooled runner (twice, for
+  // schedule jitter) all assign the same id to the same node.
+  const lis::sync::SystemSpec spec =
+      lis::sync::meshSpec(3, 3, 1, lis::sync::Encoding::Binary);
+  lis::sync::synthCacheClear();
+  const lis::sync::System plain = lis::sync::buildSystem(spec);
+
+  Executor serial(1);
+  Executor pool(8);
+  const auto runnerOf = [](Executor& e) {
+    return lis::sync::BuildOptions::Runner(
+        [&e](const char* label, std::size_t n,
+             const std::function<void(std::size_t)>& f) {
+          e.forEach(n, f, nullptr, label);
+        });
+  };
+  const lis::sync::System viaSerial =
+      lis::sync::buildSystem(spec, {runnerOf(serial)});
+  const lis::sync::System viaPool =
+      lis::sync::buildSystem(spec, {runnerOf(pool)});
+  const lis::sync::System viaPoolAgain =
+      lis::sync::buildSystem(spec, {runnerOf(pool)});
+
+  CHECK_EQ(plain.relayStations, viaPool.relayStations);
+  checkSameNetlist(plain.netlist, viaSerial.netlist);
+  checkSameNetlist(plain.netlist, viaPool.netlist);
+  checkSameNetlist(plain.netlist, viaPoolAgain.netlist);
 }
 
 void testShardedCosimReproducible() {
@@ -437,6 +534,8 @@ void testTraceStructureJobsInvariant() {
 int main() {
   testExecutorForEach();
   testDesignLatchesUnderContention();
+  testSynthCacheConcurrent();
+  testBuildSystemRunnerInvariance();
   testShardedCosimReproducible();
   testRunManyJobs1VsJobs8();
   testRunManySweepSection();

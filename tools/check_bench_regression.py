@@ -42,9 +42,19 @@ every non-failed config row must carry its suite's required counter keys
 (a deterministic output of the passes, so their absence means the
 instrumentation broke), and the sweep suite's parallel_efficiency must
 clear an absolute floor and not collapse relative to the baseline. A
-fresh file without the section — or without utilization, which only
-exists for `--trace` runs — warns and skips, so pre-observability
-benches and untraced runs still pass.
+fresh file without the section warns and skips (pre-observability bench
+output). Utilization is *required* of timed parallel runs (sweep.jobs >
+1): the bench derives it from always-on span recording, so a null there
+means the instrumentation broke. Serial or --strip-times runs (jobs <=
+1, where jobs is emitted as 0) still warn and skip.
+
+--scale-gate FRESH.json gates the production-scale suite instead of
+comparing against a baseline: every scale topology (pipe256 through
+mesh32x32) must be present and not failed, the flow wall must stay
+under --max-wall seconds, and — when the machine has at least 4
+hardware threads — the parallel run must clear --min-speedup over the
+serial re-run. On smaller machines the speedup check only warns: there
+is no parallelism to measure.
 
 Configs the bench marked `"failed": true` (a design whose pipeline run
 errored; the bench records it instead of crashing) are *warnings* here and
@@ -248,6 +258,7 @@ METRICS_REQUIRED_KEYS = {
     "wrapper": ("cosim.cycles", "bdd.apply_calls"),
     "system": ("cosim.cycles", "bdd.apply_calls"),
     "sweep": ("cosim.cycles", "bdd.apply_calls"),
+    "scale": ("cosim.cycles", "bdd.apply_calls"),
     "wrapper_opt": ("aig.ands_after", "aig.rewrite_adoptions",
                     "aig.cuts_enumerated"),
     "system_opt": ("aig.ands_after", "aig.rewrite_adoptions",
@@ -305,9 +316,19 @@ def check_metrics(baseline, fresh):
 
     util = metrics.get("utilization")
     if not util:
-        warnings.append("metrics.utilization absent (bench run without "
-                        "--trace or with --strip-times); efficiency gate "
-                        "skipped")
+        # The bench records spans (and thus utilization) unconditionally;
+        # only --strip-times nulls it, and a stripped run also emits
+        # sweep.jobs as 0. A timed parallel run without utilization means
+        # the instrumentation broke, not that the machine was small.
+        jobs = (fresh.get("sweep") or {}).get("jobs") or 0
+        if jobs > 1:
+            failures.append(
+                f"metrics.utilization null/absent in a timed parallel run "
+                f"(sweep.jobs = {jobs}); executor-utilization "
+                f"instrumentation broke")
+        else:
+            warnings.append("metrics.utilization absent (serial or "
+                            "--strip-times run); efficiency gate skipped")
         return failures, warnings
     base_util = (baseline.get("metrics") or {}).get("utilization") or {}
     base_suites = {s.get("suite"): s for s in base_util.get("suites", [])}
@@ -330,6 +351,100 @@ def check_metrics(baseline, fresh):
                 f"{eff:.3f} (dropped more than "
                 f"{PARALLEL_EFFICIENCY_SLACK:.2f})")
     return failures, warnings
+
+
+# The production-scale topologies --suite scale must carry end to end,
+# and the thread count below which the speedup check is unmeasurable.
+SCALE_REQUIRED_TOPOLOGIES = ("pipe256_d1", "pipe1024_d1", "mesh16x16_d1",
+                             "mesh32x32_d1")
+SCALE_MIN_HW_THREADS = 4
+
+
+def check_scale(fresh, max_wall, min_speedup):
+    """Gate a --suite scale bench run (no baseline involved).
+
+    Returns (failures, warnings). Fails when a required topology is
+    missing or failed, when the flow wall exceeds max_wall, or when a
+    parallel run on a machine with >= SCALE_MIN_HW_THREADS hardware
+    threads speeds up less than min_speedup over its serial re-run.
+    Under-provisioned machines and stripped runs warn instead: wall and
+    speedup are machine facts there, not code regressions.
+    """
+    failures = []
+    warnings = []
+    sweep = fresh.get("sweep")
+    if sweep is None:
+        failures.append('no "sweep" section in results; was the bench run '
+                        "with --suite scale?")
+        return failures, warnings
+
+    by_topology = {}
+    for entry in sweep.get("scale_entries", []):
+        name = entry.get("topology")
+        if name is not None:
+            by_topology[name] = entry
+    for name in SCALE_REQUIRED_TOPOLOGIES:
+        entry = by_topology.get(name)
+        if entry is None:
+            failures.append(f"scale {name}: missing from scale_entries")
+        elif entry.get("failed"):
+            failures.append(f"scale {name}: pipeline failed")
+
+    wall = sweep.get("flow_wall_seconds", 0)
+    if not wall:
+        warnings.append("flow_wall_seconds is 0 (--strip-times run); "
+                        "wall-ceiling check skipped")
+    elif wall > max_wall:
+        failures.append(f"scale suite wall {wall:.1f}s exceeds the "
+                        f"{max_wall:.0f}s ceiling")
+
+    jobs = sweep.get("jobs") or 0
+    hw = sweep.get("hardware_threads") or 0
+    speedup = sweep.get("speedup_vs_jobs1")
+    if jobs <= 1 or speedup is None or not wall:
+        warnings.append("no parallel speedup measured (serial or stripped "
+                        "run); speedup check skipped")
+    elif hw < SCALE_MIN_HW_THREADS:
+        warnings.append(
+            f"only {hw} hardware thread(s); speedup {speedup:.2f}x at "
+            f"--jobs {jobs} not gated (needs >= {SCALE_MIN_HW_THREADS} "
+            f"threads to be meaningful)")
+    elif speedup < min_speedup:
+        failures.append(
+            f"scale suite speedup {speedup:.2f}x at --jobs {jobs} on "
+            f"{hw} hardware threads, below the {min_speedup:.2f}x floor")
+    return failures, warnings
+
+
+def run_scale_gate(args):
+    with open(args.baseline) as f:
+        fresh = json.load(f)
+    failures, warnings = check_scale(fresh, args.max_wall, args.min_speedup)
+    sweep = fresh.get("sweep") or {}
+    for entry in sweep.get("scale_entries", []):
+        name = entry.get("topology", "?")
+        if entry.get("failed"):
+            print(f"scale {name:>14}   FAILED")
+            continue
+        print(f"scale {name:>14}   {entry.get('pearls', '?'):>5} pearls "
+              f"{entry.get('luts', '?'):>7} LUT  "
+              f"synth {entry.get('synth_seconds', 0):.3f}s  "
+              f"map {entry.get('map_seconds', 0):.3f}s  "
+              f"cosim {entry.get('cosim_seconds', 0):.3f}s")
+    print(f"scale wall {sweep.get('flow_wall_seconds', 0):.1f}s, speedup "
+          f"{sweep.get('speedup_vs_jobs1', 0):.2f}x at --jobs "
+          f"{sweep.get('jobs', 0)} ({sweep.get('hardware_threads', 0)} hw "
+          f"threads), serial fraction "
+          f"{sweep.get('serial_fraction_est', 0):.2f}")
+    for w in warnings:
+        print(f"warning: {w}", file=sys.stderr)
+    if failures:
+        print("\nScale gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\nScale gate passed.")
+    return 0
 
 
 def compare(baseline, fresh, max_regress):
@@ -704,6 +819,66 @@ def self_test():
     # A baseline without utilization (older bench) never blocks.
     f, _ = check_metrics({"metrics": {"configs": []}}, util_file(0.8))
     checks.append(("missing baseline utilization passes", not f))
+    # Null utilization in a timed parallel run (sweep.jobs > 1) fails:
+    # spans are always recorded, so only broken instrumentation nulls it.
+    timed_parallel = dict(metrics_file([]))
+    timed_parallel["sweep"] = {"jobs": 4}
+    f, _ = check_metrics({}, timed_parallel)
+    checks.append(("null utilization in parallel run fails", bool(f)))
+    # ...but serial and stripped runs (jobs <= 1 / 0) still warn and pass.
+    stripped = dict(metrics_file([]))
+    stripped["sweep"] = {"jobs": 0}
+    f, w = check_metrics({}, stripped)
+    checks.append(("null utilization in stripped run warns", not f
+                   and bool(w)))
+
+    # --- "--scale-gate" checks ------------------------------------------
+    def scale_file(**kw):
+        entries = [{"topology": t, "pearls": 256, "luts": 1000,
+                    "synth_seconds": 0.1, "map_seconds": 0.1,
+                    "cosim_seconds": 1.0}
+                   for t in SCALE_REQUIRED_TOPOLOGIES]
+        sweep = {"jobs": 4, "hardware_threads": 8,
+                 "flow_wall_seconds": 60.0, "serial_wall_seconds": 150.0,
+                 "speedup_vs_jobs1": 2.5, "serial_fraction_est": 0.2,
+                 "scale_entries": entries}
+        sweep.update(kw)
+        return {"sweep": sweep}
+
+    # A healthy parallel scale run on a big machine passes cleanly.
+    f, w = check_scale(scale_file(), 600, 1.5)
+    checks.append(("scale healthy run passes", not f and not w))
+    # A dropped or failed topology fails — mesh32x32 completing the full
+    # pipeline is part of the acceptance bar.
+    short = scale_file()
+    short["sweep"]["scale_entries"] = short["sweep"]["scale_entries"][:3]
+    f, _ = check_scale(short, 600, 1.5)
+    checks.append(("scale missing topology fails", bool(f)))
+    broken = scale_file()
+    broken["sweep"]["scale_entries"][3] = {"topology": "mesh32x32_d1",
+                                           "failed": True}
+    f, _ = check_scale(broken, 600, 1.5)
+    checks.append(("scale failed topology fails", bool(f)))
+    # Blowing the wall ceiling fails; a stripped wall (0) warns and skips.
+    f, _ = check_scale(scale_file(flow_wall_seconds=700.0), 600, 1.5)
+    checks.append(("scale wall over ceiling fails", bool(f)))
+    f, w = check_scale(scale_file(flow_wall_seconds=0), 600, 1.5)
+    checks.append(("scale stripped wall warns", not f and bool(w)))
+    # Speedup below the floor fails on >= 4 hardware threads, but only
+    # warns on an under-provisioned machine (nothing to measure there).
+    f, _ = check_scale(scale_file(speedup_vs_jobs1=1.1), 600, 1.5)
+    checks.append(("scale low speedup fails on big machine", bool(f)))
+    f, w = check_scale(
+        scale_file(speedup_vs_jobs1=0.98, hardware_threads=1), 600, 1.5)
+    checks.append(("scale low speedup warns on small machine",
+                   not f and bool(w)))
+    # A serial run has no speedup to gate: warns and passes.
+    f, w = check_scale(scale_file(jobs=1, speedup_vs_jobs1=1.0), 600, 1.5)
+    checks.append(("scale serial run warns", not f and bool(w)))
+    # A file without the sweep section fails: the gate was asked for
+    # explicitly, so absence means the wrong bench mode ran.
+    f, _ = check_scale({"wrapper": [entry]}, 600, 1.5)
+    checks.append(("scale absent sweep section fails", bool(f)))
 
     ok = True
     for name, passed in checks:
@@ -720,10 +895,24 @@ def main():
                         help="allowed fractional regression (default 0.25)")
     parser.add_argument("--self-test", action="store_true",
                         help="run the built-in unit checks and exit")
+    parser.add_argument("--scale-gate", action="store_true",
+                        help="gate a --suite scale run (pass its JSON as "
+                             "the only positional argument)")
+    parser.add_argument("--max-wall", type=float, default=600.0,
+                        help="scale-gate wall-clock ceiling in seconds "
+                             "(default 600)")
+    parser.add_argument("--min-speedup", type=float, default=1.5,
+                        help="scale-gate parallel speedup floor on >= 4 "
+                             "hardware threads (default 1.5)")
     args = parser.parse_args()
 
     if args.self_test:
         return self_test()
+    if args.scale_gate:
+        if args.baseline is None:
+            parser.error("--scale-gate needs the scale-run JSON as its "
+                         "positional argument")
+        return run_scale_gate(args)
     if args.baseline is None or args.fresh is None:
         parser.error("BASELINE and FRESH are required (or --self-test)")
     return run_gate(args)
