@@ -604,8 +604,9 @@ std::string jsonFault(const FaultBench& b) {
 }
 
 // The sat section: per-design SAT-sweep tallies, the sweep soundness
-// proof's method/verdict, and the BMC protocol-invariant verdicts at
-// bench::kSatBmcDepth (see bench::satSuite / bench::satPasses).
+// proof's method/verdict, the BMC protocol-invariant verdicts at
+// bench::kSatBmcDepth, and the unbounded (k-induction/PDR) verdicts
+// (see bench::satSuite / bench::satPasses).
 struct SatBench {
   std::string design;
   bool failed = false;
@@ -622,6 +623,14 @@ struct SatBench {
   bool tokenConservationOk = false;
   bool occupancyBoundOk = false;
   bool deadlockWatchdogOk = false;
+  bool provedUnbounded = false; // every property, for all time
+  bool pdrDegraded = false;
+  unsigned inductionK = 0;
+  unsigned pdrFrames = 0;
+  unsigned pdrClauses = 0;
+  bool tokenConservationProved = false;
+  bool occupancyBoundProved = false;
+  bool deadlockWatchdogProved = false;
   std::uint64_t satConflicts = 0;
   std::uint64_t satDecisions = 0;
   std::uint64_t satPropagations = 0;
@@ -633,7 +642,8 @@ SatBench satBenchOf(lis::flow::Design& d, const lis::flow::RunResult& res) {
   r.failed = !res.ok;
   const lis::sat::NetlistSweepResult* sw = d.sweepResult();
   const lis::sat::BmcResult* bmc = d.bmcResult();
-  if (sw == nullptr || bmc == nullptr) {
+  const lis::sat::PdrResult* pdr = d.pdrResult();
+  if (sw == nullptr || bmc == nullptr || pdr == nullptr) {
     r.failed = true;
     return r;
   }
@@ -661,6 +671,17 @@ SatBench satBenchOf(lis::flow::Design& d, const lis::flow::RunResult& res) {
     if (p.name == "token_conservation") r.tokenConservationOk = ok;
     if (p.name == "occupancy_bound") r.occupancyBoundOk = ok;
     if (p.name == "deadlock_watchdog") r.deadlockWatchdogOk = ok;
+  }
+  r.provedUnbounded = pdr->allProved();
+  r.pdrDegraded = pdr->anyDegraded();
+  r.inductionK = pdr->maxInductionK();
+  r.pdrFrames = pdr->totalFrames();
+  r.pdrClauses = pdr->totalClauses();
+  for (const lis::sat::PdrPropertyResult& p : pdr->properties) {
+    const bool proved = p.provedUnbounded;
+    if (p.name == "token_conservation") r.tokenConservationProved = proved;
+    if (p.name == "occupancy_bound") r.occupancyBoundProved = proved;
+    if (p.name == "deadlock_watchdog") r.deadlockWatchdogProved = proved;
   }
   r.satConflicts =
       static_cast<std::uint64_t>(d.metrics().value("sat.conflicts"));
@@ -692,6 +713,14 @@ std::string jsonSat(const SatBench& b) {
      << ", \"token_conservation_ok\": " << flag(b.tokenConservationOk)
      << ", \"occupancy_bound_ok\": " << flag(b.occupancyBoundOk)
      << ", \"deadlock_watchdog_ok\": " << flag(b.deadlockWatchdogOk)
+     << ", \"proved_unbounded\": " << flag(b.provedUnbounded)
+     << ", \"pdr_degraded\": " << flag(b.pdrDegraded)
+     << ", \"induction_k\": " << b.inductionK
+     << ", \"pdr_frames\": " << b.pdrFrames
+     << ", \"pdr_clauses\": " << b.pdrClauses
+     << ", \"token_conservation_proved\": " << flag(b.tokenConservationProved)
+     << ", \"occupancy_bound_proved\": " << flag(b.occupancyBoundProved)
+     << ", \"deadlock_watchdog_proved\": " << flag(b.deadlockWatchdogProved)
      << ", \"sat_conflicts\": " << b.satConflicts
      << ", \"sat_decisions\": " << b.satDecisions
      << ", \"sat_propagations\": " << b.satPropagations << "}";
@@ -988,8 +1017,8 @@ int main(int argc, char** argv) {
       continue;
     }
     std::printf("sat    %-22s sweep %2zu/%2zu merged (aig %4zu -> %4zu), "
-                "%s %s, bmc depth %2u %s (%llu conflicts, "
-                "%llu propagations)\n",
+                "%s %s, bmc depth %2u %s, %s (k=%u, %u frames, "
+                "%u clauses) (%llu conflicts, %llu propagations)\n",
                 b.design.c_str(), b.sweepProved, b.sweepCandidates,
                 b.aigAndsBefore, b.aigAndsAfter, b.equivMethod.c_str(),
                 b.equivProved ? "proved" : "UNPROVED", b.bmcDepth,
@@ -997,6 +1026,10 @@ int main(int argc, char** argv) {
                         b.deadlockWatchdogOk
                     ? "clean"
                     : "VIOLATED",
+                b.provedUnbounded
+                    ? "unbounded"
+                    : (b.pdrDegraded ? "DEGRADED" : "UNPROVED"),
+                b.inductionK, b.pdrFrames, b.pdrClauses,
                 static_cast<unsigned long long>(b.satConflicts),
                 static_cast<unsigned long long>(b.satPropagations));
   }

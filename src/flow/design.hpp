@@ -48,6 +48,7 @@
 #include "netlist/netlist.hpp"
 #include "obs/metrics.hpp"
 #include "sat/bmc.hpp"
+#include "sat/pdr.hpp"
 #include "sat/sweep.hpp"
 #include "techmap/lutmap.hpp"
 #include "timing/sta.hpp"
@@ -151,6 +152,10 @@ public:
   /// until it ran.
   const sat::BmcResult* bmcResult() const { return bmc_ ? &*bmc_ : nullptr; }
   void setBmcResult(sat::BmcResult r) { bmc_ = std::move(r); }
+  /// Unbounded proof verdicts (k-induction / PDR), produced by the
+  /// ProveUnbounded pass; null until it ran.
+  const sat::PdrResult* pdrResult() const { return pdr_ ? &*pdr_ : nullptr; }
+  void setPdrResult(sat::PdrResult r) { pdr_ = std::move(r); }
   /// BDD proof footprint, accumulated across every equivalence check the
   /// passes ran for this design (AIG proof, encoding proofs); null until
   /// the first one reports in.
@@ -224,6 +229,7 @@ private:
   std::optional<fault::CampaignResult> fault_;
   std::optional<sat::NetlistSweepResult> sweep_;
   std::optional<sat::BmcResult> bmc_;
+  std::optional<sat::PdrResult> pdr_;
   netlist::ProofStats proof_;
   bool hasProof_ = false;
   std::string reportJson_;

@@ -402,6 +402,78 @@ void CheckInvariants::run(Design& design, PassContext& ctx) {
   }
 }
 
+void ProveUnbounded::run(Design& design, PassContext& ctx) {
+  sat::PdrOptions opts = options_;
+  if (opts.cancel == nullptr) opts.cancel = ctx.cancel();
+  std::optional<sync::PortView> ports;
+  if (const sync::WrapperPorts* wp = design.wrapperPorts()) {
+    ports = sync::portView(*wp);
+    if (deriveCapacity_) {
+      opts.capacityBound = sat::capacityBound(*design.wrapperConfig());
+    }
+  } else if (const sync::SystemPorts* sp = design.systemPorts()) {
+    ports = sync::portView(*sp);
+    if (deriveCapacity_) {
+      opts.capacityBound = sat::capacityBound(*design.systemSpec());
+    }
+  } else {
+    ctx.note(design.name() + ": prebuilt netlist has no port view");
+    return;
+  }
+
+  sat::PdrResult r = sat::proveUnbounded(design.netlist(), *ports, opts);
+  ctx.metric("capacity_bound", static_cast<double>(opts.capacityBound));
+  ctx.metric("all_proved", r.allProved() ? 1.0 : 0.0);
+  ctx.metric("induction_k", static_cast<double>(r.maxInductionK()));
+  ctx.metric("pdr_frames", static_cast<double>(r.totalFrames()));
+  ctx.metric("pdr_clauses", static_cast<double>(r.totalClauses()));
+  obs::Registry& m = design.metrics();
+  m.set("pdr.all_proved", r.allProved() ? 1.0 : 0.0);
+  m.set("pdr.frames", static_cast<double>(r.totalFrames()));
+  m.set("pdr.clauses", static_cast<double>(r.totalClauses()));
+  m.set("pdr.induction_k", static_cast<double>(r.maxInductionK()));
+  m.add("sat.conflicts", static_cast<double>(r.stats.conflicts));
+  m.add("sat.decisions", static_cast<double>(r.stats.decisions));
+  m.add("sat.propagations", static_cast<double>(r.stats.propagations));
+  m.add("sat.cores", static_cast<double>(r.stats.cores));
+  m.add("sat.core_lits", static_cast<double>(r.stats.coreLits));
+  if (r.properties.empty()) {
+    ctx.note(design.name() + ": no unbounded property enabled");
+    design.setPdrResult(std::move(r));
+    return;
+  }
+  std::string violated;
+  for (const sat::PdrPropertyResult& p : r.properties) {
+    ctx.metric(p.name + "_proved", p.provedUnbounded ? 1.0 : 0.0);
+    m.set("pdr." + p.name + "_proved", p.provedUnbounded ? 1.0 : 0.0);
+    if (!p.violated) continue;
+    // Cross-validate the counterexample before reporting it: replay
+    // the trace on the netlist simulator with exact token accounting
+    // (independent of the SAT monitor's saturating encoding).
+    sat::ReplayOptions ro;
+    ro.capacityBound = opts.capacityBound;
+    ro.watchdogWindow = opts.watchdogWindow;
+    const sat::ReplayResult rep =
+        sat::replayTrace(design.netlist(), *ports, p.name, p.trace, ro);
+    violated += (violated.empty() ? "" : ", ") + p.name + " at depth " +
+                std::to_string(p.failDepth) + " (" + p.method +
+                "; replay " +
+                (rep.reproduced ? "reproduced" : "NOT reproduced") + ")";
+  }
+  const bool degraded = r.anyDegraded();
+  const bool anyViolated = !violated.empty();
+  design.setPdrResult(std::move(r));
+  if (anyViolated) {
+    ctx.error(design.name() + ": protocol invariant violated: " + violated);
+    return;
+  }
+  ctx.metric("degraded", degraded ? 1.0 : 0.0);
+  if (degraded) {
+    ctx.warning(design.name() +
+                ": unbounded proof degraded to a bounded result (budget)");
+  }
+}
+
 namespace {
 
 void jsonEscape(std::ostringstream& os, const std::string& s) {
@@ -495,6 +567,25 @@ void Report::run(Design& design, PassContext& ctx) {
     }
     os << "]}";
   }
+  if (const sat::PdrResult* u = design.pdrResult()) {
+    os << ",\n  \"unbounded\": {\"all_proved\": "
+       << (u->allProved() ? "true" : "false")
+       << ", \"degraded\": " << (u->anyDegraded() ? "true" : "false")
+       << ", \"induction_k\": " << u->maxInductionK()
+       << ", \"frames\": " << u->totalFrames()
+       << ", \"clauses\": " << u->totalClauses() << ", \"properties\": [";
+    bool firstProp = true;
+    for (const sat::PdrPropertyResult& p : u->properties) {
+      os << (firstProp ? "" : ", ") << "{\"name\": \"" << p.name
+         << "\", \"proved_unbounded\": "
+         << (p.provedUnbounded ? "true" : "false")
+         << ", \"violated\": " << (p.violated ? "true" : "false")
+         << ", \"method\": \"" << p.method << "\", \"depth\": "
+         << (p.violated ? p.failDepth : p.depthReached) << "}";
+      firstProp = false;
+    }
+    os << "]}";
+  }
   if (const fault::CampaignResult* f = design.faultResult()) {
     os << ",\n  \"fault\": {\"sites\": " << f->all.total()
        << ", \"detected\": " << f->all.detected
@@ -547,6 +638,11 @@ Pipeline& Pipeline::sta(const timing::TechParams& params) {
 
 Pipeline& Pipeline::proveEncodingEquiv() {
   return add(std::make_unique<ProveEncodingEquiv>());
+}
+
+Pipeline& Pipeline::proveUnbounded(const sat::PdrOptions& options,
+                                   bool deriveCapacity) {
+  return add(std::make_unique<ProveUnbounded>(options, deriveCapacity));
 }
 
 Pipeline& Pipeline::cosim(const sync::CosimOptions& options) {

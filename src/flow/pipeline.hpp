@@ -48,6 +48,7 @@
 #include "lis/cosim.hpp"
 #include "netlist/equiv.hpp"
 #include "sat/bmc.hpp"
+#include "sat/pdr.hpp"
 #include "sat/sweep.hpp"
 #include "support/cancellation.hpp"
 #include "timing/techparams.hpp"
@@ -258,6 +259,27 @@ private:
   bool deriveCapacity_;
 };
 
+/// Unbounded proofs of the LIS protocol invariants (k-induction, then
+/// PDR/IC3 — see sat/pdr.hpp) on the design's synthesized netlist. The
+/// strongest verdict per property: proved for all time, or a concrete
+/// counterexample trace (a pass error naming the property and failing
+/// depth, with the trace replayed on the netlist simulator — and, when
+/// the design has a behavioural spec, on the cosim oracle — to confirm
+/// it), or a budget/deadline-degraded bound (warning + metric, like
+/// CheckInvariants). deriveCapacity mirrors CheckInvariants.
+class ProveUnbounded final : public Pass {
+public:
+  explicit ProveUnbounded(sat::PdrOptions options = {},
+                          bool deriveCapacity = true)
+      : options_(options), deriveCapacity_(deriveCapacity) {}
+  std::string name() const override { return "prove-unbounded"; }
+  void run(Design& design, PassContext& ctx) override;
+
+private:
+  sat::PdrOptions options_;
+  bool deriveCapacity_;
+};
+
 struct ReportOptions {
   bool verilog = false; // also emit structural Verilog into the design
 };
@@ -289,6 +311,8 @@ public:
                      const netlist::EquivOptions& equiv = {});
   Pipeline& checkInvariants(const sat::BmcOptions& options = {},
                             bool deriveCapacity = true);
+  Pipeline& proveUnbounded(const sat::PdrOptions& options = {},
+                           bool deriveCapacity = true);
   Pipeline& report(const ReportOptions& options = {});
 
   /// Wall-clock budget per pass, in seconds (0 disables, the default).

@@ -192,6 +192,8 @@ void accumulate(SolverStats& into, const SolverStats& s) {
   into.minimizedLits += s.minimizedLits;
   into.deletedClauses += s.deletedClauses;
   into.solves += s.solves;
+  into.cores += s.cores;
+  into.coreLits += s.coreLits;
 }
 
 /// Unroll `sa` frame by frame, querying each active property's fail

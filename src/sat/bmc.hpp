@@ -69,18 +69,24 @@ struct BmcResult {
   std::vector<BmcPropertyResult> properties;
   SolverStats stats; // summed over the unrollings
 
+  /// Vacuously true with zero enabled properties — pair with
+  /// minDepthReached() == 0 so an all-disabled BmcOptions reads as "0
+  /// properties proven to depth 0", never as an unbounded proof.
   bool allHold() const {
     for (const BmcPropertyResult& p : properties) {
       if (p.violated) return false;
     }
     return true;
   }
+  /// Deepest frame every property is proven clean to; 0 (not ~0u) when
+  /// no property was enabled.
   unsigned minDepthReached() const {
+    if (properties.empty()) return 0;
     unsigned d = ~0u;
     for (const BmcPropertyResult& p : properties) {
       d = p.depthReached < d ? p.depthReached : d;
     }
-    return properties.empty() ? 0 : d;
+    return d;
   }
   bool anyDegraded() const {
     for (const BmcPropertyResult& p : properties) {

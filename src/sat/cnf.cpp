@@ -101,7 +101,7 @@ void AigCnf::encodeNode(std::uint32_t root) {
 // Unroller
 
 Unroller::Unroller(Solver& solver, const aig::SequentialAig& sa,
-                   std::vector<ForcedInput> forced)
+                   std::vector<ForcedInput> forced, bool freeInitialState)
     : solver_(solver), sa_(sa), forced_(std::move(forced)) {
   if (!sa_.romBits.empty()) {
     throw std::invalid_argument("sat::Unroller: ROMs are not supported");
@@ -130,8 +130,17 @@ Unroller::Unroller(Solver& solver, const aig::SequentialAig& sa,
   for (const netlist::NodeId d : dffs) {
     dffDataPo_.push_back(po++);
     dffEnablePo_.push_back(nl.node(d).hasEnable ? po++ : SIZE_MAX);
-    state_.push_back(nl.node(d).resetValue ? trueLit() : falseLit());
+    if (freeInitialState) {
+      state_.push_back(mkLit(solver_.newVar(), false));
+    } else {
+      state_.push_back(nl.node(d).resetValue ? trueLit() : falseLit());
+    }
   }
+  initState_ = state_;
+}
+
+bool Unroller::resetValue(std::size_t dffIndex) const {
+  return sa_.source->node(sa_.source->dffs().at(dffIndex)).resetValue;
 }
 
 Unroller::Frame Unroller::encodeFrame(const std::vector<Lit>& piOf) {

@@ -78,9 +78,14 @@ struct ForcedInput {
 class Unroller {
 public:
   /// `sa` (and its source netlist) must outlive the unroller. Throws
-  /// std::invalid_argument when the design has ROMs.
+  /// std::invalid_argument when the design has ROMs. With
+  /// `freeInitialState` frame 0 starts from a fresh unconstrained
+  /// variable per DFF instead of the reset values — the transition
+  /// relation form the induction step and PDR consecution queries need
+  /// (reset-constant folding is then disabled for frame 0).
   Unroller(Solver& solver, const aig::SequentialAig& sa,
-           std::vector<ForcedInput> forced = {});
+           std::vector<ForcedInput> forced = {},
+           bool freeInitialState = false);
 
   unsigned frames() const { return static_cast<unsigned>(frames_.size()); }
 
@@ -93,6 +98,20 @@ public:
 
   /// Solver literal of primary output `id` at `frame`.
   Lit outputLit(unsigned frame, netlist::NodeId id) const;
+
+  std::size_t numDffs() const { return initState_.size(); }
+
+  /// Solver literal of DFF `dffIndex`'s state entering `frame` (frame 0
+  /// is the initial state — reset constants, or fresh variables with
+  /// freeInitialState). `frame == frames()` names the state the last
+  /// pushed frame transitions into.
+  Lit stateLit(unsigned frame, std::size_t dffIndex) const {
+    return frame == 0 ? initState_.at(dffIndex)
+                      : frames_.at(frame - 1).nextState.at(dffIndex);
+  }
+
+  /// Reset value of DFF `dffIndex` in the source netlist.
+  bool resetValue(std::size_t dffIndex) const;
 
   /// Constant literals shared by all frames.
   Lit trueLit() const { return constTrue_; }
@@ -111,7 +130,8 @@ private:
   const aig::SequentialAig& sa_;
   std::vector<ForcedInput> forced_;
   std::vector<Frame> frames_;
-  std::vector<Lit> state_; // per DFF index: current-frame state literal
+  std::vector<Lit> state_;     // per DFF index: current-frame state literal
+  std::vector<Lit> initState_; // per DFF index: frame-0 state literal
   Lit constTrue_ = kLitUndef;
   std::unordered_map<netlist::NodeId, std::size_t> inputIndex_;
   std::unordered_map<netlist::NodeId, std::size_t> outputIndex_;

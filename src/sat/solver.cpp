@@ -53,6 +53,8 @@ Solver::~Solver() {
   global.add("sat.propagations", static_cast<double>(stats_.propagations));
   global.add("sat.restarts", static_cast<double>(stats_.restarts));
   global.add("sat.solves", static_cast<double>(stats_.solves));
+  global.add("sat.cores", static_cast<double>(stats_.cores));
+  global.add("sat.core_lits", static_cast<double>(stats_.coreLits));
 }
 
 Var Solver::newVar() {
@@ -274,7 +276,11 @@ void Solver::analyze(std::uint32_t confl, std::vector<Lit>& outLearnt,
 void Solver::analyzeFinal(Lit failedAssump) {
   conflictAssumps_.clear();
   conflictAssumps_.push_back(failedAssump);
-  if (decisionLevel() == 0) return;
+  stats_.cores++;
+  if (decisionLevel() == 0) {
+    stats_.coreLits += 1;
+    return;
+  }
   seen_[litVar(failedAssump)] = 1;
   for (std::size_t i = trail_.size(); i-- > trailLim_[0];) {
     const Var x = litVar(trail_[i]);
@@ -294,6 +300,7 @@ void Solver::analyzeFinal(Lit failedAssump) {
     seen_[x] = 0;
   }
   seen_[litVar(failedAssump)] = 0;
+  stats_.coreLits += conflictAssumps_.size();
 }
 
 void Solver::cancelUntil(std::uint32_t levelTo) {

@@ -74,6 +74,8 @@ struct SolverStats {
   std::uint64_t minimizedLits = 0; // removed by self-subsumption
   std::uint64_t deletedClauses = 0;
   std::uint64_t solves = 0;
+  std::uint64_t cores = 0;    // assumption-UNSAT answers with a final core
+  std::uint64_t coreLits = 0; // summed core sizes (mean = coreLits / cores)
 };
 
 class Solver {

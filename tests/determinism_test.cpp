@@ -369,9 +369,10 @@ void testRunManyOptPipeline() {
 
 void testRunManySatPipeline() {
   // The SAT verification pipeline (sweep + soundness proof + protocol
-  // BMC) through the runMany contract: solver statistics, sweep tallies,
-  // proof verdicts and BMC outcomes are all deterministic functions of
-  // the design, so --jobs 1 and --jobs 8 must agree metric for metric.
+  // BMC + unbounded PDR proofs) through the runMany contract: solver
+  // statistics, sweep tallies, proof verdicts, BMC outcomes and the
+  // PDR trapezoid shape are all deterministic functions of the design,
+  // so --jobs 1 and --jobs 8 must agree metric for metric.
   // Trimmed to one encoding of the sat suite — this also runs under
   // TSan, where 8 designs × 2 runs would dominate the wall clock.
   Pipeline pipe = lis::bench::satPasses();
@@ -396,6 +397,15 @@ void testRunManySatPipeline() {
       CHECK(!bmc->anyDegraded());
       CHECK_EQ(bmc->minDepthReached(), lis::bench::kSatBmcDepth);
       CHECK_EQ(bmc->properties.size(), 3u);
+      // The unbounded rung on top of it: every protocol invariant is
+      // proved for all time, within the default budgets, on both runs.
+      const lis::sat::PdrResult* pdr = d->pdrResult();
+      CHECK(pdr != nullptr);
+      if (pdr == nullptr) continue;
+      CHECK(pdr->allProved());
+      CHECK(!pdr->anyDegraded());
+      CHECK(!pdr->anyViolated());
+      CHECK_EQ(pdr->properties.size(), 3u);
     }
     // Jobs-count invariance of the artifacts behind the bench's "sat"
     // section rows, not just the pass records.
@@ -411,6 +421,30 @@ void testRunManySatPipeline() {
     CHECK_EQ(b1.conflicts, b8.conflicts);
     CHECK_EQ(b1.decisions, b8.decisions);
     CHECK_EQ(b1.propagations, b8.propagations);
+    // PDR's trapezoid is rebuilt from the same seed and the same
+    // obligation order at any job count: frame counts, learned-clause
+    // counts, the engine counters and the solver totals all match.
+    const lis::sat::PdrResult* p1 = designs1[i].pdrResult();
+    const lis::sat::PdrResult* p8 = designs8[i].pdrResult();
+    CHECK_EQ(p1->totalFrames(), p8->totalFrames());
+    CHECK_EQ(p1->totalClauses(), p8->totalClauses());
+    CHECK_EQ(p1->maxInductionK(), p8->maxInductionK());
+    for (std::size_t p = 0; p < p1->properties.size(); ++p) {
+      const auto& e1 = p1->properties[p].engine;
+      const auto& e8 = p8->properties[p].engine;
+      CHECK(p1->properties[p].method == p8->properties[p].method);
+      CHECK_EQ(e1.obligations, e8.obligations);
+      CHECK_EQ(e1.cubesBlocked, e8.cubesBlocked);
+      CHECK_EQ(e1.coreShrunkLits, e8.coreShrunkLits);
+      CHECK_EQ(e1.micDroppedLits, e8.micDroppedLits);
+      CHECK_EQ(e1.pushedClauses, e8.pushedClauses);
+      CHECK_EQ(e1.liftedLits, e8.liftedLits);
+    }
+    CHECK_EQ(p1->stats.conflicts, p8->stats.conflicts);
+    CHECK_EQ(p1->stats.decisions, p8->stats.decisions);
+    CHECK_EQ(p1->stats.propagations, p8->stats.propagations);
+    CHECK_EQ(p1->stats.cores, p8->stats.cores);
+    CHECK_EQ(p1->stats.coreLits, p8->stats.coreLits);
   }
 }
 

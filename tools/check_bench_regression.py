@@ -36,6 +36,13 @@ bound, deadlock watchdog), reach the section's advertised BMC depth
 baseline sat entry missing from the fresh results fails; a fresh file
 without the section warns (pre-SAT bench output).
 
+On top of the bounded verdicts, the unbounded (k-induction + PDR/IC3)
+rung of the same section is gated by check_pdr: every non-failed entry
+must report proved_unbounded — a verdict that degraded to the bounded
+bar (budget or frame-cap stop) fails with the degradation called out,
+as does an aggregate/per-property inconsistency. Entries that predate
+the PDR engine (no proved_unbounded key) warn and skip.
+
 The "metrics" section (per-config engine counters + executor
 utilization, added with the observability layer) is gated leniently:
 every non-failed config row must carry its suite's required counter keys
@@ -252,6 +259,61 @@ def check_sat(baseline, fresh):
     return failures, warnings
 
 
+# Per-property unbounded verdict keys behind the sat section's
+# aggregate proved_unbounded.
+PDR_PROPERTY_KEYS = ("token_conservation_proved", "occupancy_bound_proved",
+                     "deadlock_watchdog_proved")
+
+
+def check_pdr(baseline, fresh):
+    """Gate the unbounded-proof verdicts riding on the "sat" section.
+
+    Returns (failures, warnings). Entries that predate the PDR engine
+    (no proved_unbounded key) warn and skip; with the key, every
+    non-failed entry must be proved for all time within the bench's
+    default budgets. A degraded verdict fails with the degradation
+    named — falling back to the BMC floor is a weaker result than the
+    baseline promises, never an acceptable substitute. An entry that
+    claims the aggregate but not every per-property verdict (or the
+    reverse) fails as inconsistent. Dropped designs are already gated
+    by check_sat.
+    """
+    failures = []
+    warnings = []
+    sat = fresh.get("sat")
+    if sat is None:
+        return failures, warnings  # check_sat already warned
+
+    for entry in sat.get("entries", []):
+        name = entry.get("design")
+        if name is None or entry.get("failed"):
+            continue  # check_sat already reported these
+        if "proved_unbounded" not in entry:
+            warnings.append(f"sat {name}: proved_unbounded key missing "
+                            f"(pre-PDR bench output); unbounded gate "
+                            f"skipped")
+            continue
+        proved = entry["proved_unbounded"]
+        if not proved:
+            if entry.get("pdr_degraded"):
+                failures.append(
+                    f"sat {name}: unbounded proof degraded to the bounded "
+                    f"verdict (solver budget or frame cap exhausted)")
+            else:
+                failures.append(f"sat {name}: protocol invariants not "
+                                f"proved unbounded")
+        for key in PDR_PROPERTY_KEYS:
+            if key not in entry:
+                warnings.append(f'sat {name}: key "{key}" missing; '
+                                f"per-property unbounded check skipped")
+            elif proved and not entry[key]:
+                failures.append(
+                    f"sat {name}: aggregate proved_unbounded set but "
+                    f"{key[:-len('_proved')]} unproved (inconsistent "
+                    f"verdicts)")
+    return failures, warnings
+
+
 # Required per-config counter keys by suite: deterministic pass outputs,
 # so a missing key means the instrumentation regressed, not the machine.
 METRICS_REQUIRED_KEYS = {
@@ -266,7 +328,8 @@ METRICS_REQUIRED_KEYS = {
     "sweep_opt": ("aig.ands_after", "aig.rewrite_adoptions",
                   "aig.cuts_enumerated"),
     "fault": ("fault.sites", "fault.control_seu_coverage"),
-    "sat": ("sat.conflicts", "sat.decisions", "sat.propagations"),
+    "sat": ("sat.conflicts", "sat.decisions", "sat.propagations",
+            "pdr.all_proved", "pdr.frames"),
 }
 
 # The sweep suite (the long, many-design section) must keep the executor
@@ -529,6 +592,9 @@ def run_gate(args):
     sat_failures, sat_warnings = check_sat(baseline, fresh)
     failures += sat_failures
     warnings += sat_warnings
+    pdr_failures, pdr_warnings = check_pdr(baseline, fresh)
+    failures += pdr_failures
+    warnings += pdr_warnings
     metrics_failures, metrics_warnings = check_metrics(baseline, fresh)
     failures += metrics_failures
     warnings += metrics_warnings
@@ -567,11 +633,21 @@ def run_gate(args):
             print(f"sat {name:>24}   FAILED")
         else:
             holds = all(entry.get(k) for k in SAT_INVARIANT_KEYS)
+            if "proved_unbounded" not in entry:
+                unbounded = ""
+            elif entry["proved_unbounded"]:
+                unbounded = (f" unbounded (k={entry.get('induction_k', '?')}"
+                             f", {entry.get('pdr_frames', '?')} frames)")
+            elif entry.get("pdr_degraded"):
+                unbounded = " unbounded DEGRADED"
+            else:
+                unbounded = " unbounded UNPROVED"
             print(f"sat {name:>24}   bmc depth "
                   f"{entry.get('bmc_depth', '?'):>2} "
                   f"{'clean' if holds else 'VIOLATED'} sweep "
                   f"{entry.get('equiv_method', '?')}"
-                  f"{'' if entry.get('equiv_proved') else ' UNPROVED'}")
+                  f"{'' if entry.get('equiv_proved') else ' UNPROVED'}"
+                  f"{unbounded}")
 
     for w in warnings:
         print(f"warning: {w}", file=sys.stderr)
@@ -731,7 +807,11 @@ def self_test():
                  "sweep_undecided": 0, "equiv_method": "sat",
                  "equiv_proved": True, "bmc_depth": 20,
                  "token_conservation_ok": True, "occupancy_bound_ok": True,
-                 "deadlock_watchdog_ok": True}
+                 "deadlock_watchdog_ok": True, "proved_unbounded": True,
+                 "pdr_degraded": False, "induction_k": 3, "pdr_frames": 22,
+                 "pdr_clauses": 3000, "token_conservation_proved": True,
+                 "occupancy_bound_proved": True,
+                 "deadlock_watchdog_proved": True}
 
     def sat_with(**kw):
         e = dict(sat_entry)
@@ -774,6 +854,34 @@ def self_test():
     checks.append(("failed sat config warns", not f and bool(w)))
     f, w = check_sat(sat_file([sat_entry]), {"wrapper": [entry]})
     checks.append(("absent sat section warns only", not f and bool(w)))
+
+    # --- unbounded-proof (PDR) gate on the sat section -------------------
+    # All proved for all time: clean pass.
+    f, w = check_pdr(sat_file([sat_entry]), sat_file([sat_entry]))
+    checks.append(("pdr all proved passes", not f and not w))
+    # A verdict that degraded to the bounded bar fails, and the message
+    # names the degradation rather than a phantom violation.
+    f, _ = check_pdr({}, sat_file([
+        sat_with(proved_unbounded=False, pdr_degraded=True)]))
+    checks.append(("pdr degraded verdict fails",
+                   bool(f) and any("degraded" in x for x in f)))
+    # Plain unproved fails too.
+    f, _ = check_pdr({}, sat_file([sat_with(proved_unbounded=False)]))
+    checks.append(("pdr unproved fails", bool(f)))
+    # Aggregate/per-property inconsistency fails.
+    f, _ = check_pdr({}, sat_file([
+        sat_with(occupancy_bound_proved=False)]))
+    checks.append(("pdr inconsistent verdicts fail", bool(f)))
+    # Pre-PDR bench output (no proved_unbounded key) warns and skips.
+    pre_pdr = dict(sat_entry)
+    for key in ("proved_unbounded", "pdr_degraded") + PDR_PROPERTY_KEYS:
+        del pre_pdr[key]
+    f, w = check_pdr({}, sat_file([pre_pdr]))
+    checks.append(("pdr pre-engine entry warns", not f and bool(w)))
+    # Failed configs are check_sat's business; check_pdr stays silent.
+    f, w = check_pdr({}, sat_file([
+        {"design": sat_entry["design"], "failed": True}]))
+    checks.append(("pdr failed config silent", not f and not w))
 
     # --- "metrics" section gate -----------------------------------------
     def metrics_file(configs, utilization=None):
